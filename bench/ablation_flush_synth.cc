@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation of the paper's Sec. 3.5 flush-synthesis algorithms on the
+ * toy accelerator: Algorithm 1 (incremental, CEX-guided) vs
+ * Algorithm 2 (decremental minimization) — FPV calls, resulting flush
+ * sets, and runtime.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "core/autocc.hh"
+#include "duts/toy.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+std::string
+planString(const rtl::FlushPlan &plan)
+{
+    std::string out;
+    for (const auto &name : plan.flushed)
+        out += (out.empty() ? "" : ",") + name;
+    return out.empty() ? "(empty)" : out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Sec. 3.5: flush-mechanism synthesis (Algorithms 1 "
+                "and 2) ===\n\n");
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const auto candidates = duts::ToyAccelRegs::all();
+
+    const core::FlushSynthResult inc = core::synthesizeIncremental(
+        duts::buildToyAccel, candidates, opts, engine);
+    const core::FlushSynthResult dec = core::minimizeDecremental(
+        duts::buildToyAccel, candidates, opts, engine);
+
+    Table table({"Algorithm", "FPV calls", "Proof", "Flush set", "Time"});
+    table.addRow({"1 (incremental)", std::to_string(inc.fpvCalls),
+                  inc.proved ? "yes" : "no", planString(inc.plan),
+                  formatSeconds(inc.totalSeconds)});
+    table.addRow({"2 (decremental)", std::to_string(dec.fpvCalls),
+                  dec.proved ? "yes" : "no", planString(dec.plan),
+                  formatSeconds(dec.totalSeconds)});
+    table.print();
+
+    std::printf("\nAlgorithm 1 steps (CEX -> blamed state added):\n");
+    for (const auto &step : inc.steps) {
+        std::printf("  %-28s depth %2u  +[",
+                    step.foundCex ? step.failedAssert.c_str() : "(proof)",
+                    step.cexDepth);
+        for (const auto &name : step.blamed)
+            std::printf(" %s", name.c_str());
+        std::printf(" ]\n");
+    }
+    std::printf("\nAlgorithm 2 keeps only the observable leaks (cfg, "
+                "acc); pipeline latches and the write-only scratch "
+                "register are proven unnecessary to flush.\n");
+    return 0;
+}

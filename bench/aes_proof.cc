@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduction of A.5.4: achieving full proof on the AES accelerator.
+ * The default FT finds A1 (requests in flight at the switch) within
+ * seconds; after refining the flush condition to "both pipelines have
+ * no ongoing requests", the engine reaches an unbounded proof.  Swept
+ * over pipeline depths to show how proof effort scales.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "eval/aes_eval.hh"
+
+using namespace autocc;
+
+int
+main()
+{
+    std::printf("=== A.5.4: AES accelerator — A1 and full proof ===\n\n");
+    Table table({"Stages", "A1 depth", "A1 time", "Proof", "k",
+                 "Proof time"});
+    for (unsigned stages : {4u, 6u, 8u}) {
+        eval::AesEvalOptions options;
+        options.stages = stages;
+        options.maxDepth = stages + 8;
+        const eval::AesEvalResult r = eval::runAesEvaluation(options);
+        table.addRow({std::to_string(stages),
+                      r.a1Found ? std::to_string(r.a1Depth) : "-",
+                      formatSeconds(r.a1Seconds),
+                      r.proved ? "FULL PROOF" : "not proved",
+                      std::to_string(r.inductionK),
+                      formatSeconds(r.proofSeconds)});
+    }
+    table.print();
+    std::printf("\npaper reference: A1 at depth 42 in < 1 min on the "
+                "40-stage accelerator; full proof in < 6 h after the "
+                "idle-pipeline refinement (JasperGold).  Here the "
+                "equality-invariant (Houdini) strengthened induction "
+                "closes the proof; plain k-induction cannot.\n");
+    return 0;
+}

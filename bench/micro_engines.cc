@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure engines: SAT
+ * solving, bit-blasting/unrolling, cycle simulation, and FT (miter)
+ * generation — the moving parts behind every table in the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hh"
+#include "core/autocc.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+#include "formal/engine.hh"
+#include "sat/solver.hh"
+#include "sim/simulator.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+/** Random 3-SAT near the satisfiable regime. */
+void
+BM_SatRandom3Sat(benchmark::State &state)
+{
+    const int vars = static_cast<int>(state.range(0));
+    const int clauses = vars * 4;
+    for (auto _ : state) {
+        Rng rng(42);
+        sat::Solver solver;
+        for (int v = 0; v < vars; ++v)
+            solver.newVar();
+        for (int c = 0; c < clauses; ++c) {
+            solver.addClause(
+                sat::mkLit(static_cast<sat::Var>(rng.below(vars)),
+                           rng.chance(50)),
+                sat::mkLit(static_cast<sat::Var>(rng.below(vars)),
+                           rng.chance(50)),
+                sat::mkLit(static_cast<sat::Var>(rng.below(vars)),
+                           rng.chance(50)));
+        }
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(60)->Arg(120)->Arg(200)->Iterations(5);
+
+/** BMC of the toy-accelerator miter to a fixed depth. */
+void
+BM_BmcToyMiter(benchmark::State &state)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    for (auto _ : state) {
+        formal::EngineOptions engine;
+        engine.maxDepth = static_cast<unsigned>(state.range(0));
+        const core::RunResult run =
+            core::runAutocc(duts::buildToyAccelFixed(), opts, engine);
+        benchmark::DoNotOptimize(run.check.bound);
+    }
+}
+BENCHMARK(BM_BmcToyMiter)->Arg(4)->Arg(8)->Arg(12)->Iterations(2);
+
+/** Cycle-simulation throughput on the Vscale core. */
+void
+BM_SimulateVscale(benchmark::State &state)
+{
+    const rtl::Netlist nl = duts::buildVscale();
+    sim::Simulator sim(nl);
+    sim.poke("imem_rdata", 0x2001);
+    sim.poke("dmem_hready", 1);
+    sim.poke("dmem_hrdata", 0);
+    sim.poke("interrupt", 0);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.cycle());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateVscale);
+
+/** FT (miter) generation from a DUT netlist. */
+void
+BM_BuildMiter(benchmark::State &state)
+{
+    const rtl::Netlist dut = duts::buildVscale();
+    core::AutoccOptions opts;
+    for (auto _ : state) {
+        const core::Miter miter = core::buildMiter(dut, opts);
+        benchmark::DoNotOptimize(miter.netlist.numNodes());
+    }
+}
+BENCHMARK(BM_BuildMiter);
+
+/** SVA property-file emission. */
+void
+BM_EmitSva(benchmark::State &state)
+{
+    const rtl::Netlist dut = duts::buildVscale();
+    const core::Miter miter = core::buildMiter(dut, {});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::emitSvaPropertyFile(miter));
+    }
+}
+BENCHMARK(BM_EmitSva);
+
+} // namespace
+
+BENCHMARK_MAIN();

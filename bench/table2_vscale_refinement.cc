@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduction of the paper's Table 2: every CEX found on Vscale
+ * starting from the default AutoCC FT, refined iteratively.  The
+ * discovery *order* follows this model's trace depths (the paper's
+ * order followed the original core's); the classification column maps
+ * each CEX onto the paper's V1-V5 taxonomy.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "eval/vscale_eval.hh"
+
+using namespace autocc;
+
+int
+main()
+{
+    std::printf("=== Table 2: Vscale refinement from the default FT ===\n\n");
+    const auto steps = eval::runVscaleRefinement();
+
+    Table table({"Step", "CEX class (paper taxonomy)", "Depth", "Time",
+                 "Failed assert", "Refinement applied"});
+    for (const auto &step : steps) {
+        table.addRow({step.id,
+                      step.foundCex ? step.description : "none (proof)",
+                      step.foundCex ? std::to_string(step.depth)
+                                    : std::to_string(step.depth),
+                      formatSeconds(step.seconds), step.failedAssert,
+                      step.refinement});
+    }
+    table.print();
+
+    std::printf("\nblame (FindCause) per step:\n");
+    for (const auto &step : steps) {
+        if (step.blamed.empty())
+            continue;
+        std::printf("  %s:", step.id.c_str());
+        for (const auto &name : step.blamed)
+            std::printf(" %s", name.c_str());
+        std::printf("\n");
+    }
+    std::printf("\npaper reference (Table 2): V1 d6 | V2 d6 | V3 d7 | "
+                "V4 d7 | V5 d9, each < 100s; then a bounded proof "
+                "(depth 21 within the paper's 24h budget).\n");
+    return 0;
+}

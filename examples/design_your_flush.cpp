@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Test-driven flush design (paper Sec. 3.5): instead of guessing
+ * which microarchitectural state a context switch must clear, let
+ * AutoCC derive it.  Algorithm 1 grows the flush set from the state
+ * each CEX blames; Algorithm 2 starts from flush-everything and
+ * removes whatever the proof does not need — yielding the *minimal*
+ * temporal-partitioning mechanism for the design.
+ */
+
+#include <cstdio>
+
+#include "core/autocc.hh"
+#include "duts/toy.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+void
+printResult(const char *name, const core::FlushSynthResult &result)
+{
+    std::printf("%s: %u FPV calls, %s, flush set {", name,
+                result.fpvCalls, result.proved ? "proof" : "NO PROOF");
+    bool first = true;
+    for (const auto &reg : result.plan.flushed) {
+        std::printf("%s%s", first ? "" : ", ", reg.c_str());
+        first = false;
+    }
+    std::printf("}\n");
+    for (const auto &step : result.steps) {
+        if (step.foundCex) {
+            std::printf("   CEX %-22s depth %2u -> touch:",
+                        step.failedAssert.c_str(), step.cexDepth);
+            for (const auto &name : step.blamed)
+                std::printf(" %s", name.c_str());
+            std::printf("\n");
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Designing a flush mechanism with AutoCC ==\n\n");
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const auto candidates = duts::ToyAccelRegs::all();
+
+    std::printf("candidate registers:");
+    for (const auto &name : candidates)
+        std::printf(" %s", name.c_str());
+    std::printf("\n\n");
+
+    const auto incremental = core::synthesizeIncremental(
+        duts::buildToyAccel, candidates, opts, engine);
+    printResult("Algorithm 1 (incremental)", incremental);
+
+    std::printf("\n");
+    const auto decremental = core::minimizeDecremental(
+        duts::buildToyAccel, candidates, opts, engine);
+    printResult("Algorithm 2 (decremental)", decremental);
+
+    std::printf("\nthe minimal flush the design actually needs: clear "
+                "cfg and acc on a context switch; the pipeline latches "
+                "drain within the transfer period and scratch is never "
+                "observable.\n");
+    return incremental.proved && decremental.proved ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the IR, simulator and
+ * bit-blaster.  All signal values in this library are held in a
+ * uint64_t and masked to their declared width.
+ */
+
+#ifndef AUTOCC_BASE_BITS_HH
+#define AUTOCC_BASE_BITS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace autocc
+{
+
+/** Maximum signal width supported by the IR. */
+constexpr unsigned maxWidth = 64;
+
+/** All-ones mask for a width in [1, 64]. */
+constexpr uint64_t
+mask64(unsigned width)
+{
+    return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+/** Truncate a value to the given width. */
+constexpr uint64_t
+truncate(uint64_t value, unsigned width)
+{
+    return value & mask64(width);
+}
+
+/** Extract bit `pos` of `value`. */
+constexpr bool
+bit(uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Extract bits [lo, lo+width) of `value`. */
+constexpr uint64_t
+bits(uint64_t value, unsigned lo, unsigned width)
+{
+    return (value >> lo) & mask64(width);
+}
+
+/** Sign-extend the low `width` bits of `value` to 64 bits. */
+constexpr uint64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width >= 64)
+        return value;
+    const uint64_t sign = uint64_t{1} << (width - 1);
+    return (value ^ sign) - sign;
+}
+
+/** Number of bits needed to count up to `n` inclusive (>= 1). */
+constexpr unsigned
+clog2(uint64_t n)
+{
+    unsigned w = 1;
+    while ((uint64_t{1} << w) <= n && w < 64)
+        ++w;
+    return w;
+}
+
+/** Population count. */
+constexpr unsigned
+popcount(uint64_t value)
+{
+    return static_cast<unsigned>(__builtin_popcountll(value));
+}
+
+} // namespace autocc
+
+#endif // AUTOCC_BASE_BITS_HH

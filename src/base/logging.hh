@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — internal invariant broken (a bug in this library); aborts.
+ * fatal()  — unrecoverable user/configuration error; exits with code 1.
+ * warn()   — something is off but execution can continue.
+ * inform() — plain status message.
+ */
+
+#ifndef AUTOCC_BASE_LOGGING_HH
+#define AUTOCC_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace autocc
+{
+
+namespace detail
+{
+
+/** Accumulate a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Toggle for inform() output (benches silence chatter). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace autocc
+
+#define panic(...)                                                          \
+    ::autocc::detail::panicImpl(__FILE__, __LINE__,                         \
+                                ::autocc::detail::formatMessage(__VA_ARGS__))
+
+#define fatal(...)                                                          \
+    ::autocc::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                ::autocc::detail::formatMessage(__VA_ARGS__))
+
+#define warn(...)                                                           \
+    ::autocc::detail::warnImpl(::autocc::detail::formatMessage(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::autocc::detail::informImpl(                                           \
+        ::autocc::detail::formatMessage(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // AUTOCC_BASE_LOGGING_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * property tests, random-netlist generation, and random stimulus in the
+ * simulator.  Determinism matters: test failures must reproduce.
+ */
+
+#ifndef AUTOCC_BASE_RNG_HH
+#define AUTOCC_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace autocc
+{
+
+/** Deterministic xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to fill state
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Random boolean with probability `percent`/100 of being true. */
+    bool chance(unsigned percent) { return below(100) < percent; }
+
+    /** Random value masked to `width` bits. */
+    uint64_t
+    bits(unsigned width)
+    {
+        return width >= 64 ? next() : (next() & ((uint64_t{1} << width) - 1));
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+};
+
+} // namespace autocc
+
+#endif // AUTOCC_BASE_RNG_HH

@@ -1,0 +1,91 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace autocc
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(row.size() != headers_.size(),
+             "table row arity ", row.size(), " != header arity ",
+             headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderLine = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << " " << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+        return os.str();
+    };
+
+    auto renderRule = [&]() {
+        std::ostringstream os;
+        os << "+";
+        for (size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << renderRule() << renderLine(headers_) << renderRule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << renderRule();
+        else
+            os << renderLine(row);
+    }
+    os << renderRule();
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[32];
+    if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    return buf;
+}
+
+} // namespace autocc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer used by the bench harnesses to
+ * reproduce the paper's tables (Table 1, Table 2, ...).
+ */
+
+#ifndef AUTOCC_BASE_TABLE_HH
+#define AUTOCC_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace autocc
+{
+
+/** Accumulates rows of strings and renders an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+/** Format a double with the given precision. */
+std::string formatSeconds(double seconds);
+
+} // namespace autocc
+
+#endif // AUTOCC_BASE_TABLE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to report engine runtimes in benches and
+ * in Table 1/2 reproductions.
+ */
+
+#ifndef AUTOCC_BASE_TIMER_HH
+#define AUTOCC_BASE_TIMER_HH
+
+#include <chrono>
+
+namespace autocc
+{
+
+/** Simple wall-clock stopwatch. Starts on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction/reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds since construction/reset. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace autocc
+
+#endif // AUTOCC_BASE_TIMER_HH

@@ -1,0 +1,133 @@
+#include "core/analysis.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace autocc::core
+{
+
+std::vector<std::string>
+CauseReport::uarchNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &d : divergent) {
+        if (!d.isArch)
+            names.push_back(d.name);
+    }
+    return names;
+}
+
+std::string
+CauseReport::render() const
+{
+    std::ostringstream os;
+    if (neverEntersSpyMode) {
+        os << "trace never enters spy mode\n";
+        return os.str();
+    }
+    os << "spy mode starts at cycle " << spyStartCycle
+       << " (analysis window from cycle " << windowStart << "); "
+       << divergent.size() << " divergent state element(s):\n";
+    for (const auto &d : divergent) {
+        os << "  " << (d.isArch ? "[arch ] " : "[uarch] ") << d.name
+           << " @" << d.cycle << ": ua=0x" << std::hex << d.valueA
+           << " ub=0x" << d.valueB << std::dec
+           << (d.atSpyStart ? " (still divergent at spy start)" : "")
+           << "\n";
+    }
+    return os.str();
+}
+
+CauseReport
+findCause(const Miter &miter, const formal::CexInfo &cex)
+{
+    CauseReport report;
+    const sim::Trace &trace = cex.trace;
+
+    // Locate the first spy-mode cycle.
+    size_t spyCycle = trace.depth();
+    for (size_t t = 0; t < trace.depth(); ++t) {
+        if (trace.signalAt(t, "spy_mode")) {
+            spyCycle = t;
+            break;
+        }
+    }
+    if (spyCycle == trace.depth()) {
+        report.neverEntersSpyMode = true;
+        return report;
+    }
+    report.spyStartCycle = static_cast<unsigned>(spyCycle);
+
+    // The analysis window opens where the final transfer run begins
+    // (the first cycle of the run in which eq_cnt became non-zero and
+    // stayed that way until spy mode): divergence created earlier is
+    // "victim execution", divergence inside the window is what the
+    // context switch failed to erase.
+    size_t windowStart = spyCycle;
+    while (windowStart > 0 &&
+           trace.signalAt(windowStart - 1, "eq_cnt") != 0) {
+        --windowStart;
+    }
+    if (windowStart > 0)
+        --windowStart; // include the cycle whose transfer_cond started it
+    report.windowStart = static_cast<unsigned>(windowStart);
+
+    const auto compare = [&](const std::string &dutName) {
+        DivergentState d;
+        bool diverged = false;
+        for (size_t t = windowStart; t <= spyCycle; ++t) {
+            const uint64_t a =
+                trace.signalAt(t, miter.prefixA + "." + dutName);
+            const uint64_t b =
+                trace.signalAt(t, miter.prefixB + "." + dutName);
+            if (a != b) {
+                if (!diverged) {
+                    d.name = dutName;
+                    d.valueA = a;
+                    d.valueB = b;
+                    d.cycle = static_cast<unsigned>(t);
+                    d.isArch = miter.archEq.count(dutName) > 0;
+                    diverged = true;
+                }
+                if (t == spyCycle)
+                    d.atSpyStart = true;
+            }
+        }
+        if (diverged)
+            report.divergent.push_back(std::move(d));
+    };
+
+    for (const auto &regName : miter.dutRegNames)
+        compare(regName);
+    for (const auto &[memName, size] : miter.dutMemNames) {
+        for (uint32_t w = 0; w < size; ++w)
+            compare(memName + "[" + std::to_string(w) + "]");
+    }
+
+    // Microarchitectural causes first — they are what the designer
+    // needs to flush.
+    std::stable_sort(report.divergent.begin(), report.divergent.end(),
+                     [](const DivergentState &x, const DivergentState &y) {
+                         return !x.isArch && y.isArch;
+                     });
+    return report;
+}
+
+std::string
+renderCexWave(const Miter &miter, const formal::CexInfo &cex,
+              const std::vector<std::string> &dut_signals)
+{
+    std::vector<std::string> rows = {"spy_mode", "eq_cnt", "transfer_cond",
+                                     "flush_done_both"};
+    for (const auto &name : dut_signals) {
+        rows.push_back(miter.prefixA + "." + name);
+        rows.push_back(miter.prefixB + "." + name);
+    }
+    std::ostringstream os;
+    os << "CEX for " << cex.failedAssert << " (depth " << cex.depth
+       << ")\n";
+    os << cex.trace.render(rows);
+    return os.str();
+}
+
+} // namespace autocc::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Counterexample analysis: FindCause (used by Algorithm 1 and by
+ * human users).  Given a CEX trace from the formal engine, locate the
+ * cycle at which the spy process begins and report every piece of
+ * machine state that differed between the two universes at that
+ * point — the candidate root causes of the covert channel.
+ */
+
+#ifndef AUTOCC_CORE_ANALYSIS_HH
+#define AUTOCC_CORE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/miter.hh"
+#include "formal/engine.hh"
+
+namespace autocc::core
+{
+
+/** One state element that differs between the universes. */
+struct DivergentState
+{
+    std::string name;    ///< DUT-relative signal name (regs or mem[w])
+    uint64_t valueA = 0;
+    uint64_t valueB = 0;
+    bool isArch = false; ///< currently part of architectural_state_eq
+    /** First cycle within the analysis window where it diverged. */
+    unsigned cycle = 0;
+    /** Whether it is still divergent when spy mode starts. */
+    bool atSpyStart = false;
+};
+
+/** FindCause output. */
+struct CauseReport
+{
+    /** First cycle with spy_mode asserted (trace cycle index). */
+    unsigned spyStartCycle = 0;
+    /** First cycle of the final transfer run (analysis window start). */
+    unsigned windowStart = 0;
+    /** True if the trace never enters spy mode (unexpected). */
+    bool neverEntersSpyMode = false;
+    /**
+     * State that differs anywhere in the window [windowStart,
+     * spyStartCycle], uarch first.  The window matters: in-flight
+     * divergence (e.g. a write-back landing right as spy mode begins)
+     * can materialize in architectural state at the spy start while
+     * its microarchitectural root diverged a few cycles earlier.
+     */
+    std::vector<DivergentState> divergent;
+
+    /** Names of the divergent microarchitectural (non-arch) state. */
+    std::vector<std::string> uarchNames() const;
+
+    /** Render a human-readable report. */
+    std::string render() const;
+};
+
+/**
+ * Analyze a counterexample against the miter it came from.
+ *
+ * The returned divergent set is what the paper's Algorithm 1 inserts
+ * into the flush process, and what a user inspects to refine
+ * architectural_state_eq.
+ */
+CauseReport findCause(const Miter &miter, const formal::CexInfo &cex);
+
+/**
+ * Render the last cycles of a CEX as a two-universe waveform for the
+ * given DUT-relative signals (plus the spy-mode bookkeeping).
+ */
+std::string renderCexWave(const Miter &miter, const formal::CexInfo &cex,
+                          const std::vector<std::string> &dut_signals);
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_ANALYSIS_HH

@@ -1,0 +1,34 @@
+#include "core/autocc.hh"
+
+namespace autocc::core
+{
+
+RunResult
+runAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
+          const formal::EngineOptions &engine)
+{
+    RunResult result;
+    result.miter = buildMiter(dut, autocc);
+    result.check = formal::checkSafety(result.miter.netlist, engine);
+    if (result.check.foundCex())
+        result.cause = findCause(result.miter, *result.check.cex);
+    return result;
+}
+
+RunResult
+proveAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
+            const formal::EngineOptions &engine)
+{
+    RunResult result;
+    result.miter = buildMiter(dut, autocc);
+    const std::vector<rtl::NodeId> candidates =
+        makeEqualityInvariantCandidates(result.miter);
+    result.check =
+        formal::proveWithInvariants(result.miter.netlist, candidates,
+                                    engine);
+    if (result.check.foundCex())
+        result.cause = findCause(result.miter, *result.check.cex);
+    return result;
+}
+
+} // namespace autocc::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header and one-call driver for the AutoCC flow:
+ * DUT netlist -> FPV testbench -> safety check -> cause analysis.
+ *
+ * Typical use (mirrors the paper's workflow):
+ *
+ *   AutoccOptions opts;
+ *   RunResult r = runAutocc(myDut(), opts);
+ *   while (r.check.foundCex()) {
+ *       // inspect r.cause, refine opts.archEq / DUT flush, re-run
+ *   }
+ */
+
+#ifndef AUTOCC_CORE_AUTOCC_HH
+#define AUTOCC_CORE_AUTOCC_HH
+
+#include "core/analysis.hh"
+#include "core/invariants.hh"
+#include "core/flush_synth.hh"
+#include "core/miter.hh"
+#include "core/sva.hh"
+#include "formal/engine.hh"
+
+namespace autocc::core
+{
+
+/** Everything one AutoCC invocation produced. */
+struct RunResult
+{
+    Miter miter;
+    formal::CheckResult check;
+    /** FindCause output; meaningful only when check.foundCex(). */
+    CauseReport cause;
+
+    bool foundCex() const { return check.foundCex(); }
+    bool proved() const
+    {
+        return check.status == formal::CheckStatus::Proved;
+    }
+};
+
+/** Build the FT for `dut`, run the engine, analyze any CEX. */
+RunResult runAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
+                    const formal::EngineOptions &engine = {});
+
+/**
+ * Like runAutocc(), but aims for an unbounded proof: generates
+ * equality-invariant candidates over all DUT state and runs
+ * formal::proveWithInvariants().  BMC still runs first, so a covert
+ * channel is reported as a CEX exactly as with runAutocc().
+ */
+RunResult proveAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
+                      const formal::EngineOptions &engine = {});
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_AUTOCC_HH

@@ -1,0 +1,145 @@
+#include "core/flush_synth.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/timer.hh"
+#include "core/analysis.hh"
+
+namespace autocc::core
+{
+
+namespace
+{
+
+/** One FPV oracle call: build DUT -> miter -> checkSafety. */
+formal::CheckResult
+oracle(const DutBuilder &build, const rtl::FlushPlan &plan,
+       const AutoccOptions &autocc, const formal::EngineOptions &engine,
+       Miter *miter_out)
+{
+    const rtl::Netlist dut = build(plan);
+    Miter miter = buildMiter(dut, autocc);
+    formal::CheckResult result = formal::checkSafety(miter.netlist, engine);
+    if (miter_out)
+        *miter_out = std::move(miter);
+    return result;
+}
+
+bool
+isProof(const formal::CheckResult &result)
+{
+    return result.status == formal::CheckStatus::BoundedProof ||
+           result.status == formal::CheckStatus::Proved;
+}
+
+} // namespace
+
+FlushSynthResult
+synthesizeIncremental(const DutBuilder &build,
+                      const std::vector<std::string> &candidates,
+                      const AutoccOptions &autocc,
+                      const formal::EngineOptions &engine,
+                      unsigned max_iters)
+{
+    Stopwatch watch;
+    FlushSynthResult result;
+    // Flush <- {} (Algorithm 1).
+    for (unsigned iter = 0; iter < max_iters; ++iter) {
+        Miter miter;
+        const formal::CheckResult check =
+            oracle(build, result.plan, autocc, engine, &miter);
+        ++result.fpvCalls;
+
+        FlushSynthStep step;
+        step.plan = result.plan;
+        step.seconds = check.seconds;
+        if (!check.foundCex()) {
+            result.steps.push_back(std::move(step));
+            result.proved = isProof(check);
+            result.totalSeconds = watch.seconds();
+            return result;
+        }
+
+        // state <- FindCause(result); Insert(Flush, state).
+        step.foundCex = true;
+        step.failedAssert = check.cex->failedAssert;
+        step.cexDepth = check.cex->depth;
+        const CauseReport cause = findCause(miter, *check.cex);
+        bool added = false;
+        for (const auto &name : cause.uarchNames()) {
+            if (std::find(candidates.begin(), candidates.end(), name) !=
+                    candidates.end() &&
+                !result.plan.contains(name)) {
+                result.plan.insert(name);
+                step.blamed.push_back(name);
+                added = true;
+            }
+        }
+        result.steps.push_back(std::move(step));
+        if (!added) {
+            warn("Algorithm 1: CEX '", check.cex->failedAssert,
+                 "' blames no flushable candidate; stopping");
+            result.totalSeconds = watch.seconds();
+            return result;
+        }
+    }
+    warn("Algorithm 1: iteration bound reached");
+    result.totalSeconds = watch.seconds();
+    return result;
+}
+
+FlushSynthResult
+minimizeDecremental(const DutBuilder &build,
+                    const std::vector<std::string> &candidates,
+                    const AutoccOptions &autocc,
+                    const formal::EngineOptions &engine)
+{
+    Stopwatch watch;
+    FlushSynthResult result;
+    // Flush <- uarch (all candidates).
+    for (const auto &name : candidates)
+        result.plan.insert(name);
+
+    // The full flush must be correct before minimizing.
+    const formal::CheckResult full =
+        oracle(build, result.plan, autocc, engine, nullptr);
+    ++result.fpvCalls;
+    FlushSynthStep first;
+    first.plan = result.plan;
+    first.foundCex = full.foundCex();
+    first.seconds = full.seconds;
+    result.steps.push_back(std::move(first));
+    if (!isProof(full)) {
+        warn("Algorithm 2: full flush does not yield a proof; aborting");
+        result.totalSeconds = watch.seconds();
+        return result;
+    }
+
+    // for (state in Candidates): Remove; if (result != Proof) re-Insert.
+    for (const auto &name : candidates) {
+        result.plan.erase(name);
+        const formal::CheckResult check =
+            oracle(build, result.plan, autocc, engine, nullptr);
+        ++result.fpvCalls;
+
+        FlushSynthStep step;
+        step.plan = result.plan;
+        step.blamed = {name};
+        step.foundCex = check.foundCex();
+        step.seconds = check.seconds;
+        if (check.foundCex()) {
+            step.failedAssert = check.cex->failedAssert;
+            step.cexDepth = check.cex->depth;
+        }
+        result.steps.push_back(std::move(step));
+
+        if (!isProof(check))
+            result.plan.insert(name); // removal broke the proof
+    }
+    result.proved = true;
+    result.totalSeconds = watch.seconds();
+    return result;
+}
+
+} // namespace autocc::core

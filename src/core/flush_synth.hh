@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Flush-mechanism synthesis (paper Sec. 3.5, Algorithms 1 and 2).
+ * Both algorithms treat the DUT as a function of a FlushPlan and use
+ * AutoCC FPV runs as an oracle:
+ *
+ *  - Algorithm 1 (incremental) starts with an empty flush and adds
+ *    the state FindCause blames for each CEX until a proof holds.
+ *  - Algorithm 2 (decremental) starts by flushing all candidates and
+ *    removes one at a time, keeping a removal only if the proof still
+ *    holds.
+ */
+
+#ifndef AUTOCC_CORE_FLUSH_SYNTH_HH
+#define AUTOCC_CORE_FLUSH_SYNTH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/miter.hh"
+#include "formal/engine.hh"
+#include "rtl/flush.hh"
+
+namespace autocc::core
+{
+
+/** Rebuilds the DUT for a given flush plan. */
+using DutBuilder = std::function<rtl::Netlist(const rtl::FlushPlan &)>;
+
+/** One FPV invocation in a synthesis run. */
+struct FlushSynthStep
+{
+    rtl::FlushPlan plan;
+    bool foundCex = false;
+    std::string failedAssert;
+    unsigned cexDepth = 0;
+    std::vector<std::string> blamed; ///< state added/considered this step
+    double seconds = 0.0;
+};
+
+/** Result of a synthesis run. */
+struct FlushSynthResult
+{
+    rtl::FlushPlan plan;          ///< final flush set
+    bool proved = false;          ///< bounded/inductive proof achieved
+    unsigned fpvCalls = 0;
+    double totalSeconds = 0.0;
+    std::vector<FlushSynthStep> steps;
+};
+
+/**
+ * Algorithm 1: incremental flush construction.
+ *
+ * @param build      rebuilds the DUT from a plan.
+ * @param candidates registers eligible for flushing (full names).
+ * @param autocc     miter generation options (arch state etc.).
+ * @param engine     FPV budget per call.
+ * @param max_iters  safety bound on the loop.
+ */
+FlushSynthResult synthesizeIncremental(
+    const DutBuilder &build, const std::vector<std::string> &candidates,
+    const AutoccOptions &autocc, const formal::EngineOptions &engine,
+    unsigned max_iters = 64);
+
+/**
+ * Algorithm 2: decremental flush minimization.  Starts from flushing
+ * every candidate (which must yield a proof) and keeps only the
+ * removals that preserve the proof.
+ */
+FlushSynthResult minimizeDecremental(
+    const DutBuilder &build, const std::vector<std::string> &candidates,
+    const AutoccOptions &autocc, const formal::EngineOptions &engine);
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_FLUSH_SYNTH_HH

@@ -1,0 +1,49 @@
+#include "core/invariants.hh"
+
+namespace autocc::core
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+std::vector<NodeId>
+makeEqualityInvariantCandidates(Miter &miter)
+{
+    Netlist &nl = miter.netlist;
+    std::vector<NodeId> candidates;
+
+    const NodeId spyMode = nl.signal("spy_mode");
+    const NodeId eqCnt = nl.signal("eq_cnt");
+    const NodeId flushDone = nl.signal("flush_done_both");
+    const NodeId counting =
+        nl.orOf(spyMode, nl.ne(eqCnt, nl.constant(nl.width(eqCnt), 0)));
+    const NodeId notCounting = nl.notOf(counting);
+    const NodeId notFlushDone = nl.notOf(flushDone);
+
+    const auto addCandidatesFor = [&](NodeId a, NodeId b) {
+        const NodeId eq = nl.eq(a, b);
+        candidates.push_back(nl.orOf(notFlushDone, eq));
+        candidates.push_back(nl.orOf(notCounting, eq));
+    };
+
+    for (const auto &regName : miter.dutRegNames) {
+        addCandidatesFor(nl.signal(miter.prefixA + "." + regName),
+                         nl.signal(miter.prefixB + "." + regName));
+    }
+
+    // Memory words: the miter clones ua's memories first, then ub's.
+    const size_t numDutMems = miter.dutMemNames.size();
+    for (size_t m = 0; m < numDutMems; ++m) {
+        const auto &[name, size] = miter.dutMemNames[m];
+        const unsigned addrWidth = nl.mems()[m].addrWidth;
+        for (uint32_t w = 0; w < size; ++w) {
+            const NodeId addr = nl.constant(addrWidth, w);
+            addCandidatesFor(
+                nl.memRead(static_cast<uint32_t>(m), addr),
+                nl.memRead(static_cast<uint32_t>(m + numDutMems), addr));
+        }
+    }
+    return candidates;
+}
+
+} // namespace autocc::core

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Equality-invariant candidate generation for AutoCC miters.
+ *
+ * The unbounded proofs the paper reports (e.g. the AES accelerator
+ * reaching full proof) rely on reachability facts of the shape "once
+ * the transfer period has begun, state X is equal across universes"
+ * and "a completed flush left X equal".  We materialize those facts
+ * as candidate invariant nodes over every DUT register and memory
+ * word; formal::proveWithInvariants() keeps the subset that is
+ * actually inductive and uses it to discharge the spy-mode
+ * assertions.
+ */
+
+#ifndef AUTOCC_CORE_INVARIANTS_HH
+#define AUTOCC_CORE_INVARIANTS_HH
+
+#include <vector>
+
+#include "core/miter.hh"
+
+namespace autocc::core
+{
+
+/**
+ * Build equality-invariant candidates into the miter netlist.
+ *
+ * For every DUT register r (and memory word w) two candidates are
+ * generated:
+ *   - flush_done_both -> (ua.r == ub.r)
+ *   - (eq_cnt != 0 || spy_mode) -> (ua.r == ub.r)
+ *
+ * @return candidate node ids to pass to formal::proveWithInvariants.
+ */
+std::vector<rtl::NodeId> makeEqualityInvariantCandidates(Miter &miter);
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_INVARIANTS_HH

@@ -1,0 +1,194 @@
+#include "core/miter.hh"
+
+#include <unordered_map>
+
+#include "rtl/clone.hh"
+
+namespace autocc::core
+{
+
+using rtl::CloneResult;
+using rtl::Netlist;
+using rtl::NodeId;
+using rtl::Port;
+using rtl::PortDir;
+
+Miter
+buildMiter(const Netlist &dut, const AutoccOptions &options)
+{
+    Miter miter;
+    miter.options = options;
+    miter.archEq = options.archEq;
+    miter.dutName = dut.name();
+    Netlist &nl = miter.netlist;
+    nl.setName("autocc_ft_" + dut.name());
+
+    // ------------------------------------------------------------------
+    // Step 1-3 of the flow (Sec. 3.3.1): clone the DUT twice, sharing
+    // the signals marked common.
+    // ------------------------------------------------------------------
+    std::unordered_map<std::string, NodeId> shared;
+    const CloneResult ua = cloneInto(dut, nl, miter.prefixA, &shared);
+    const CloneResult ub = cloneInto(dut, nl, miter.prefixB, &shared);
+
+    for (const auto &reg : dut.regs())
+        miter.dutRegNames.push_back(reg.name);
+    for (const auto &mem : dut.mems())
+        miter.dutMemNames.emplace_back(mem.name, mem.size);
+
+    // Payload port -> governing valid port (same direction only).
+    std::unordered_map<std::string, std::string> validOf;
+    for (const auto &txn : dut.transactions()) {
+        const Port *vp = dut.findPort(txn.validPort);
+        for (const auto &payload : txn.payloadPorts) {
+            const Port *pp = dut.findPort(payload);
+            if (vp && pp && vp->dir == pp->dir)
+                validOf[payload] = txn.validPort;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-port equality wires (Listing 1).  Payloads of transactions
+    // are gated by the universe-a valid signal.
+    // ------------------------------------------------------------------
+    const auto nodeOf = [&](const CloneResult &clone,
+                            const std::string &name) {
+        const auto it = clone.byName.find(name);
+        panic_if(it == clone.byName.end(), "miter: unknown DUT signal '",
+                 name, "'");
+        return it->second;
+    };
+
+    std::vector<NodeId> inputEqs, outputEqs;
+    std::vector<std::pair<std::string, NodeId>> assumeEqs, assertEqs;
+    for (const auto &port : dut.ports()) {
+        if (port.common)
+            continue; // shared: equal by construction
+        const NodeId a = nodeOf(ua, port.name);
+        const NodeId b = nodeOf(ub, port.name);
+        NodeId eq = nl.eq(a, b);
+        std::string gatedBy;
+        const auto vit = validOf.find(port.name);
+        if (vit != validOf.end()) {
+            // Gate payload equality with the (universe-a) valid.
+            const NodeId validA = nodeOf(ua, vit->second);
+            eq = nl.orOf(nl.notOf(validA), eq);
+            gatedBy = vit->second;
+        }
+        nl.nameNode(eq, "eq." + port.name);
+
+        PortHandling h;
+        h.port = port.name;
+        h.validPort = gatedBy;
+        h.isInput = port.dir == PortDir::In;
+        if (port.dir == PortDir::In) {
+            inputEqs.push_back(eq);
+            h.propertyName = "am__" + port.name + "_eq";
+            assumeEqs.emplace_back(h.propertyName, eq);
+        } else {
+            outputEqs.push_back(eq);
+            h.propertyName = "as__" + port.name + "_eq";
+            assertEqs.emplace_back(h.propertyName, eq);
+        }
+        miter.handling.push_back(std::move(h));
+    }
+
+    // ------------------------------------------------------------------
+    // architectural_state_eq: conjunction over the user-refined set.
+    // ------------------------------------------------------------------
+    std::vector<NodeId> archConj;
+    for (const auto &name : options.archEq) {
+        const NodeId a = nl.findSignal(miter.prefixA + "." + name);
+        const NodeId b = nl.findSignal(miter.prefixB + "." + name);
+        panic_if(a == rtl::invalidNode || b == rtl::invalidNode,
+                 "archEq signal '", name, "' not found in DUT '",
+                 dut.name(), "'");
+        archConj.push_back(nl.eq(a, b));
+    }
+    const NodeId archEq = nl.andAll(archConj);
+    nl.nameNode(archEq, "arch_eq");
+
+    // ------------------------------------------------------------------
+    // flush_done: DUT-declared signal in both universes, or free ('x)
+    // when the DUT declares none — the USER may refine it later.
+    // ------------------------------------------------------------------
+    NodeId flushDone;
+    std::string flushName;
+    if (options.syncAtFlushStart) {
+        panic_if(options.flushStartSignal.empty(),
+                 "syncAtFlushStart requires flushStartSignal");
+        flushName = options.flushStartSignal;
+    } else if (dut.flushDoneSignal()) {
+        flushName = *dut.flushDoneSignal();
+    }
+    if (flushName.empty()) {
+        flushDone = nl.input("flush_done_free", 1, /*common=*/true);
+        miter.flushDoneFree = true;
+    } else {
+        const NodeId a = nl.findSignal(miter.prefixA + "." + flushName);
+        const NodeId b = nl.findSignal(miter.prefixB + "." + flushName);
+        panic_if(a == rtl::invalidNode || b == rtl::invalidNode,
+                 "flush signal '", flushName, "' not found");
+        flushDone = nl.andOf(a, b);
+    }
+    nl.nameNode(flushDone, "flush_done_both");
+    miter.flushDoneName = flushName;
+
+    // ------------------------------------------------------------------
+    // Transfer period and spy mode (Listing 1 sequential logic).
+    // ------------------------------------------------------------------
+    const NodeId transferCond =
+        nl.andAll({archEq, nl.andAll(inputEqs), nl.andAll(outputEqs)});
+    nl.nameNode(transferCond, "transfer_cond");
+
+    const unsigned cntWidth = clog2(options.threshold) + 1;
+    const NodeId eqCnt = nl.reg("eq_cnt", cntWidth, 0);
+    const NodeId spyMode = nl.reg("spy_mode", 1, 0);
+    const NodeId threshold = nl.constant(cntWidth, options.threshold);
+
+    // In the default mode the transfer period begins when the flush
+    // completed and spy mode follows it.  In flush-latency checking
+    // mode (Sec. 3.2), the universes must converge *before* the flush
+    // starts and the flush itself executes inside spy mode, so any
+    // latency difference violates the output assertions.
+    NodeId spyStarts, countEnable;
+    const NodeId satIncr =
+        nl.mux(nl.uge(eqCnt, threshold), eqCnt, nl.incr(eqCnt));
+    if (options.syncAtFlushStart) {
+        countEnable = transferCond;
+        spyStarts = nl.andAll(
+            {flushDone /* = flush-start in both universes */,
+             transferCond, nl.uge(eqCnt, threshold)});
+    } else {
+        countEnable = nl.andOf(
+            nl.orOf(flushDone,
+                    nl.ugt(eqCnt, nl.constant(cntWidth, 0))),
+            transferCond);
+        spyStarts = nl.andOf(transferCond, nl.uge(eqCnt, threshold));
+    }
+    nl.nameNode(spyStarts, "spy_starts");
+    nl.connectReg(eqCnt, nl.mux(countEnable, satIncr,
+                                nl.constant(cntWidth, 0)));
+    nl.connectReg(spyMode, nl.orOf(spyStarts, spyMode));
+
+    // ------------------------------------------------------------------
+    // Properties: one assumption per replicated input, one assertion
+    // per output, all guarded by spy_mode.
+    // ------------------------------------------------------------------
+    for (const auto &[name, eq] : assumeEqs)
+        nl.addAssume(name, nl.orOf(nl.notOf(spyMode), eq));
+    for (const auto &[name, eq] : assertEqs)
+        nl.addAssert(name, nl.orOf(nl.notOf(spyMode), eq));
+
+    if (options.includeDutAsserts) {
+        for (const auto &a : ua.asserts)
+            nl.addAssert(a.name, a.node);
+        for (const auto &a : ub.asserts)
+            nl.addAssert(a.name, a.node);
+    }
+
+    nl.validate();
+    return miter;
+}
+
+} // namespace autocc::core

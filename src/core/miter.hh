@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AutoCC FPV-testbench (FT) generation — the core of the paper
+ * (Sec. 3.2/3.3).  Given a DUT netlist, buildMiter() produces a
+ * two-universe wrapper implementing Listing 1:
+ *
+ *  - the DUT is instantiated twice (ua / ub) with replicated input and
+ *    output signals (inputs marked `common` are shared);
+ *  - a transfer counter (eq_cnt) counts consecutive cycles in which
+ *    the transfer condition holds after the flush completed; once it
+ *    reaches THRESHOLD, spy_mode latches;
+ *  - in spy mode every replicated DUT input is *assumed* equal across
+ *    universes and every DUT output is *asserted* equal — payloads of
+ *    valid/payload transactions are gated by their valid;
+ *  - the transfer condition requires the user-refined architectural
+ *    state, the inputs and the outputs to be equal across universes;
+ *  - flush_done comes from the DUT's declared flush-completion signal
+ *    (anded across universes) or is left free (`'x`) when the DUT has
+ *    none, exactly as the generated property file does.
+ *
+ * A counterexample to any generated assertion is an execution in
+ * which microarchitectural state left behind by the victim process
+ * causes an observable difference in the spy process: a covert
+ * channel (or an RTL bug).
+ */
+
+#ifndef AUTOCC_CORE_MITER_HH
+#define AUTOCC_CORE_MITER_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::core
+{
+
+/** User-tunable knobs for FT generation. */
+struct AutoccOptions
+{
+    /** Transfer-period length (Listing 1 THRESHOLD). */
+    unsigned threshold = 4;
+
+    /**
+     * Signals (DUT-relative names) added to the
+     * architectural_state_eq condition.  Refined iteratively as CEXs
+     * are found, per the paper's recommended workflow.
+     */
+    std::set<std::string> archEq;
+
+    /**
+     * Check flush latency too: synchronize the universes at the
+     * *start* of the flush rather than its end (Sec. 3.2, "Measuring
+     * Context Switch Latency").  Requires the DUT to name a
+     * flush-start signal.
+     */
+    bool syncAtFlushStart = false;
+
+    /** DUT-relative name of the flush-start signal (see above). */
+    std::string flushStartSignal;
+
+    /** Also install the DUT's own embedded assertions. */
+    bool includeDutAsserts = false;
+};
+
+/** How one DUT port is handled in the miter. */
+struct PortHandling
+{
+    std::string port;          ///< DUT-relative port name
+    std::string validPort;     ///< gating valid ("" if ungated)
+    bool isInput = false;
+    std::string propertyName;  ///< am__*/as__* name in the miter
+};
+
+/** Generated FPV testbench. */
+struct Miter
+{
+    /** The wrapper netlist with all properties embedded. */
+    rtl::Netlist netlist;
+
+    /** Universe prefixes used for cloned names. */
+    std::string prefixA = "ua";
+    std::string prefixB = "ub";
+
+    /** DUT register names (unprefixed) for cause analysis. */
+    std::vector<std::string> dutRegNames;
+    /** DUT memory names and sizes (unprefixed). */
+    std::vector<std::pair<std::string, uint32_t>> dutMemNames;
+
+    /** Architectural-state signals in effect. */
+    std::set<std::string> archEq;
+
+    /** Per-port assume/assert bookkeeping. */
+    std::vector<PortHandling> handling;
+
+    /** Options the miter was built with. */
+    AutoccOptions options;
+
+    /** Name of the DUT this miter wraps. */
+    std::string dutName;
+
+    /** True when flush_done was left free ('x). */
+    bool flushDoneFree = false;
+
+    /** DUT-relative name of the flush signal in use ("" when free). */
+    std::string flushDoneName;
+
+    // Well-known signal names inside `netlist`:
+    //   "spy_mode", "eq_cnt", "transfer_cond", "spy_starts",
+    //   "flush_done_both", "arch_eq"
+};
+
+/**
+ * Generate the AutoCC FPV testbench for a DUT.
+ *
+ * The DUT may carry metadata consumed here: `common` input ports,
+ * transactions (valid/payload groups), a flush-done signal, embedded
+ * environment assumptions, and named internal signals that options
+ * .archEq may reference.
+ */
+Miter buildMiter(const rtl::Netlist &dut, const AutoccOptions &options = {});
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_MITER_HH

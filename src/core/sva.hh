@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SVA property-file emission.  AutoCC's tool flow writes a
+ * SystemVerilog property file (paper Listing 1) that a commercial FPV
+ * tool consumes; we reproduce that artifact textually so that a
+ * generated FT can be inspected — and, with a real SVA toolchain,
+ * reused — even though our own engine consumes the netlist form
+ * directly.
+ */
+
+#ifndef AUTOCC_CORE_SVA_HH
+#define AUTOCC_CORE_SVA_HH
+
+#include <string>
+
+#include "core/miter.hh"
+
+namespace autocc::core
+{
+
+/** Emit a Listing-1-style SystemVerilog property file for a miter. */
+std::string emitSvaPropertyFile(const Miter &miter);
+
+/** Emit the two-instance SystemVerilog wrapper skeleton. */
+std::string emitSvaWrapper(const Miter &miter, const rtl::Netlist &dut);
+
+} // namespace autocc::core
+
+#endif // AUTOCC_CORE_SVA_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pipelined AES-style accelerator (paper Sec. 4.4).
+ *
+ * A request {data, key} enters the pipeline and the cipher text
+ * appears `stages` cycles later; each stage applies one round
+ * (substitution/rotation + key schedule).  The paper's accelerator is
+ * 40 stages x 128 bits; the model parameterizes both (downsized by
+ * default per the paper's advice — the A1 channel and the full proof
+ * depend only on per-stage valid bits and the request/response
+ * protocol, not on the round function's cryptographic strength).
+ *
+ * The accelerator offers no flush or invalidate signal.  Run with
+ * `declareIdleFlushDone = false` to reproduce A1 (AutoCC leaves
+ * flush_done free and finds the in-flight-request channel); run with
+ * it true to apply the paper's refinement — "the flush condition is
+ * both universes having no ongoing requests" — after which the
+ * property is provable.
+ */
+
+#ifndef AUTOCC_DUTS_AES_HH
+#define AUTOCC_DUTS_AES_HH
+
+#include "rtl/netlist.hh"
+
+namespace autocc::duts
+{
+
+/** Build-time configuration of the AES accelerator. */
+struct AesConfig
+{
+    /** Pipeline depth (the paper's accelerator has 40 stages). */
+    unsigned stages = 8;
+    /** Datapath width in bits (paper: 128). */
+    unsigned width = 16;
+    /**
+     * Declare "pipeline idle" as the flush-done condition (the
+     * paper's refinement of A1).
+     */
+    bool declareIdleFlushDone = false;
+};
+
+/** Build the AES accelerator model. */
+rtl::Netlist buildAes(const AesConfig &config = {});
+
+/**
+ * Reference model: run `data`/`key` through the same round function
+ * in software (for simulator cross-checks).
+ */
+uint64_t aesReference(uint64_t data, uint64_t key, unsigned stages,
+                      unsigned width);
+
+} // namespace autocc::duts
+
+#endif // AUTOCC_DUTS_AES_HH

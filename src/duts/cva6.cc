@@ -1,0 +1,498 @@
+#include "duts/cva6.hh"
+
+namespace autocc::duts
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+using rtl::Scope;
+
+namespace
+{
+
+// FSM encodings (kept as plain constants so traces are readable).
+constexpr uint64_t icIdle = 0, icMiss = 1, icKill = 2;
+constexpr uint64_t ptwIdle = 0, ptwLookup = 1, ptwWait = 2;
+constexpr uint64_t fIdle = 0, fWb = 1, fDrain = 2, fPad = 3;
+constexpr uint64_t padLimit = 5; ///< microreset worst-case latency
+
+} // namespace
+
+Cva6Config
+cva6Fixed()
+{
+    Cva6Config config;
+    config.fixC1 = true;
+    config.fixC2 = true;
+    config.fixC3 = true;
+    return config;
+}
+
+std::vector<std::string>
+cva6ArchState()
+{
+    return {"frontend.pc_q"};
+}
+
+rtl::Netlist
+buildCva6(const Cva6Config &config)
+{
+    Netlist nl("cva6_memsys");
+    const bool microreset = config.flush == Cva6Flush::Microreset;
+
+    // --- interface ------------------------------------------------------
+    const NodeId fenceT = nl.input("fence_t", 1);
+    const NodeId fetchEn = nl.input("fetch_en", 1);
+    const NodeId ifFault = nl.input("if_fault", 1);
+    const NodeId iRValid = nl.input("i_r_valid", 1);
+    const NodeId iRData = nl.input("i_r_data", 16);
+    const NodeId lsuValid = nl.input("lsu_req_valid", 1);
+    const NodeId lsuAddr = nl.input("lsu_addr", 8);
+    const NodeId lsuWrite = nl.input("lsu_write", 1);
+    const NodeId lsuWdata = nl.input("lsu_wdata", 8);
+    const NodeId dRValid = nl.input("d_r_valid", 1);
+    const NodeId dRData = nl.input("d_r_data", 8);
+
+    // --- fence.t controller state (logic comes later) ---------------------
+    NodeId fState, fCnt, fDone;
+    {
+        Scope fence(nl, "fence");
+        fState = nl.reg("state", 2, fIdle);
+        fCnt = nl.reg("cnt", 3, 0);
+        fDone = nl.reg("done", 1, 0);
+    }
+    const NodeId flushing = nl.ne(fState, nl.constant(2, fIdle));
+    const NodeId fenceTrigger =
+        nl.andOf(fenceT, nl.notOf(flushing));
+    nl.setFlushDone("fence.done");
+
+    // ======================================================================
+    // Frontend: PC, 2-line direct-mapped I$, realigner (C1 lives here).
+    // ======================================================================
+    NodeId icState;
+    NodeId emitOut, payloadOut, iArValidOut, iArAddrOut;
+    {
+        Scope frontend(nl, "frontend");
+        const NodeId pcQ = nl.reg("pc_q", 8, 0);
+        icState = nl.reg("ic_state", 2, icIdle);
+        const NodeId v0 = nl.reg("ic_v0", 1, 0);
+        const NodeId t0 = nl.reg("ic_tag0", 7, 0);
+        const NodeId d0 = nl.reg("ic_data0", 16, 0);
+        const NodeId v1 = nl.reg("ic_v1", 1, 0);
+        const NodeId t1 = nl.reg("ic_tag1", 7, 0);
+        const NodeId d1 = nl.reg("ic_data1", 16, 0);
+
+        const NodeId idx = nl.bit(pcQ, 0);
+        const NodeId tag = nl.slice(pcQ, 1, 7);
+        const NodeId lineV = nl.mux(idx, v1, v0);
+        const NodeId lineT = nl.mux(idx, t1, t0);
+        const NodeId lineD = nl.mux(idx, d1, d0);
+        const NodeId hit = nl.andOf(lineV, nl.eq(lineT, tag));
+
+        const NodeId icIsIdle = nl.eqConst(icState, icIdle);
+        const NodeId icIsMiss = nl.eqConst(icState, icMiss);
+        const NodeId icIsKill = nl.eqConst(icState, icKill);
+
+        const NodeId fetch =
+            nl.andAll({fetchEn, icIsIdle, nl.notOf(flushing)});
+        const NodeId fault = nl.andOf(fetch, ifFault);
+        const NodeId respond = nl.andOf(fetch, nl.orOf(hit, ifFault));
+        const NodeId startMiss =
+            nl.andAll({fetch, nl.notOf(hit), nl.notOf(ifFault)});
+
+        // C1: the response payload is the raw line data even when the
+        // line did not hit (exception path).  Fixed: zero it.
+        NodeId payload = lineD;
+        if (config.fixC1) {
+            payload = nl.mux(hit, lineD, nl.constant(16, 0));
+        }
+        // The realigner derives instruction validity from a payload
+        // bit (compressed-instruction marker) without knowing whether
+        // the payload is meaningful — the crux of C1.
+        const NodeId emit = nl.andOf(respond, nl.bit(payload, 0));
+        emitOut = emit;
+        payloadOut = payload;
+
+        // PC: redirect to the handler on a fault, else advance by the
+        // (payload-steered) compressed/uncompressed amount.
+        const NodeId pcStep =
+            nl.mux(nl.bit(payload, 0), nl.incr(pcQ), nl.incr(pcQ, 2));
+        const NodeId pcNext =
+            nl.mux(fault, nl.constant(8, 0x40),
+                   nl.mux(respond, pcStep, pcQ));
+        nl.connectReg(pcQ, pcNext);
+
+        // I$ FSM.  FullFlush kills an outstanding miss (-> KILL, the
+        // paper's KILL_MISS divergence); microreset's drain phase
+        // instead waits for the miss to complete.
+        NodeId next = nl.mux(startMiss, nl.constant(2, icMiss), icState);
+        next = nl.mux(nl.andOf(icIsMiss, iRValid), nl.constant(2, icIdle),
+                      next);
+        next = nl.mux(nl.andOf(icIsKill, iRValid), nl.constant(2, icIdle),
+                      next);
+        if (!microreset) {
+            next = nl.mux(nl.andOf(fenceTrigger, icIsMiss),
+                          nl.constant(2, icKill), next);
+        }
+        nl.connectReg(icState, next);
+
+        // Refill on response in MISS (KILL discards it).
+        const NodeId fill = nl.andOf(icIsMiss, iRValid);
+        // Clearing is wired below once the fence clear pulse exists;
+        // export the fill conditions and line registers by name.
+        nl.nameNode(fill, "ic_fill");
+        nl.nameNode(idx, "ic_idx");
+        nl.nameNode(tag, "ic_tag_in");
+
+        iArValidOut = icIsMiss;
+        iArAddrOut = pcQ;
+
+        // Line updates are connected after the fence logic computes
+        // the clear pulse; export the pieces via names.
+        nl.nameNode(v0, "ic_v0_s");
+        nl.nameNode(v1, "ic_v1_s");
+        nl.nameNode(t0, "ic_t0_s");
+        nl.nameNode(t1, "ic_t1_s");
+        nl.nameNode(d0, "ic_d0_s");
+        nl.nameNode(d1, "ic_d1_s");
+    }
+
+    // ======================================================================
+    // Fence controller logic (needs to come before cache write wiring
+    // so the clear pulse exists; the drain conditions reference PTW /
+    // D$ state created below through late-bound named signals, so we
+    // instead compute drain-ready from dedicated registers patched in
+    // below.  To keep the netlist builder single-pass, the controller
+    // is expressed over this cycle's *registered* state only.
+    // ======================================================================
+    // Placeholders for state created later:
+    NodeId ptwState, ptwOutstanding, dcPending;
+    // D$ / MMU are built next; the fence transition function uses
+    // their registered state, which is legal in a single pass if we
+    // create those registers first.
+    {
+        Scope mmu(nl, "mmu");
+        ptwState = nl.reg("ptw_state", 2, ptwIdle);
+        ptwOutstanding = nl.reg("ptw_outstanding", 1, 0);
+    }
+    {
+        Scope dcache(nl, "dcache");
+        dcPending = nl.reg("pending", 1, 0);
+    }
+
+    // Fence transitions.
+    const NodeId fIsWb = nl.eqConst(fState, fWb);
+    const NodeId fIsDrain = nl.eqConst(fState, fDrain);
+    const NodeId fIsPad = nl.eqConst(fState, fPad);
+
+    const NodeId wbDone = nl.andOf(fIsWb, nl.eqConst(fCnt, 1));
+    const NodeId icIdleNow = nl.eqConst(icState, icIdle);
+    const NodeId ptwIdleNow = nl.eqConst(ptwState, ptwIdle);
+    NodeId drainReady = nl.andOf(icIdleNow, ptwIdleNow);
+    if (config.fixC3) {
+        // Drain in-flight D$ refills before clearing (pulp ae79ec5).
+        drainReady = nl.andOf(drainReady, nl.notOf(dcPending));
+    }
+    const NodeId drainDone = nl.andOf(fIsDrain, drainReady);
+    const NodeId padDone =
+        nl.andOf(fIsPad, nl.uge(fCnt, nl.constant(3, padLimit)));
+
+    NodeId fNext = fState;
+    fNext = nl.mux(fenceTrigger, nl.constant(2, fWb), fNext);
+    if (microreset) {
+        fNext = nl.mux(wbDone, nl.constant(2, fDrain), fNext);
+        fNext = nl.mux(drainDone, nl.constant(2, fPad), fNext);
+        fNext = nl.mux(padDone, nl.constant(2, fIdle), fNext);
+    } else {
+        fNext = nl.mux(wbDone, nl.constant(2, fIdle), fNext);
+    }
+    nl.connectReg(fState, fNext);
+    nl.connectReg(fCnt,
+                  nl.mux(fenceTrigger, nl.constant(3, 0),
+                         nl.mux(flushing,
+                                nl.mux(nl.eqConst(fCnt, 7), fCnt,
+                                       nl.incr(fCnt)),
+                                nl.constant(3, 0))));
+    nl.connectReg(fDone, microreset ? padDone : wbDone);
+
+    // The invalidation pulse.
+    const NodeId clrPulse = microreset ? drainDone : wbDone;
+    nl.nameNode(clrPulse, "fence.clr");
+
+    // ======================================================================
+    // MMU: 1-entry DTLB + PTW (C2 lives here).
+    // ======================================================================
+    NodeId tlbHit, tlbPaddr, ptwWantsDc, ptwDcAddr;
+    NodeId dcRespV, dcRespData, dcRespTarget; // D$ response staging regs
+    {
+        Scope dcache(nl, "dcache");
+        dcRespV = nl.reg("resp_v", 1, 0);
+        dcRespData = nl.reg("resp_data", 8, 0);
+        dcRespTarget = nl.reg("resp_target", 1, 0); // 0 LSU, 1 PTW
+    }
+    {
+        Scope mmu(nl, "mmu");
+        const NodeId tlbV = nl.reg("tlb_v", 1, 0);
+        const NodeId tlbVpn = nl.reg("tlb_vpn", 4, 0);
+        const NodeId tlbPpn = nl.reg("tlb_ppn", 4, 0);
+        const NodeId ptwVpnQ = nl.reg("ptw_vpn_q", 4, 0);
+
+        const NodeId vpn = nl.slice(lsuAddr, 4, 4);
+        tlbHit = nl.andOf(tlbV, nl.eq(tlbVpn, vpn));
+        tlbPaddr = nl.concat(tlbPpn, nl.slice(lsuAddr, 0, 4));
+
+        const NodeId ptwIsIdle = nl.eqConst(ptwState, ptwIdle);
+        const NodeId ptwIsLookup = nl.eqConst(ptwState, ptwLookup);
+        const NodeId ptwIsWait = nl.eqConst(ptwState, ptwWait);
+
+        const NodeId lsuMiss = nl.andAll(
+            {lsuValid, nl.notOf(tlbHit), nl.notOf(flushing)});
+        const NodeId startWalk = nl.andAll(
+            {lsuMiss, ptwIsIdle, nl.notOf(ptwOutstanding)});
+
+        ptwWantsDc = nl.andOf(ptwIsLookup, nl.notOf(flushing));
+        ptwDcAddr = nl.concat(nl.constant(4, 0xf), ptwVpnQ);
+
+        const NodeId respForPtw =
+            nl.andOf(dcRespV, dcRespTarget);
+        const NodeId walkDone = nl.andOf(ptwIsWait, respForPtw);
+
+        // PTW FSM.  C2: flush in WAIT_RVALID drops to IDLE without
+        // waiting for the response (leaving ptw_outstanding set).
+        // Fixed (cva6 PR #1184): stay in WAIT until the response.
+        NodeId next = nl.mux(startWalk, nl.constant(2, ptwLookup),
+                             ptwState);
+        // LOOKUP: request accepted by the D$ arbiter below when the
+        // D$ is free; model acceptance as !pending && !resp staging.
+        const NodeId dcFree =
+            nl.andOf(nl.notOf(dcPending), nl.notOf(dcRespV));
+        const NodeId issued = nl.andOf(ptwWantsDc, dcFree);
+        next = nl.mux(issued, nl.constant(2, ptwWait), next);
+        next = nl.mux(walkDone, nl.constant(2, ptwIdle), next);
+        // Flush behaviour.
+        next = nl.mux(nl.andOf(ptwIsLookup, flushing),
+                      nl.constant(2, ptwIdle), next);
+        if (!config.fixC2) {
+            next = nl.mux(nl.andOf(ptwIsWait, flushing),
+                          nl.constant(2, ptwIdle), next);
+        }
+        nl.connectReg(ptwState, next);
+
+        // Outstanding-request bookkeeping: set when the PTE fetch is
+        // issued, cleared when the response is consumed.  The buggy
+        // early exit orphans it.
+        nl.connectReg(ptwOutstanding,
+                      nl.mux(issued, nl.one(),
+                             nl.mux(walkDone, nl.zero(),
+                                    ptwOutstanding)));
+        nl.connectReg(ptwVpnQ, nl.mux(startWalk, vpn, ptwVpnQ));
+
+        // DTLB fill on a completed (non-flush) walk; cleared by clr.
+        const NodeId fillTlb =
+            nl.andOf(walkDone, nl.notOf(flushing));
+        nl.connectReg(tlbV,
+                      nl.mux(clrPulse, nl.zero(),
+                             nl.orOf(tlbV, fillTlb)));
+        nl.connectReg(tlbVpn, nl.mux(fillTlb, ptwVpnQ, tlbVpn));
+        nl.connectReg(tlbPpn,
+                      nl.mux(fillTlb, nl.slice(dcRespData, 0, 4),
+                             tlbPpn));
+
+        nl.nameNode(ptwIsWait, "ptw_is_wait");
+    }
+
+    // ======================================================================
+    // D$: 2-line write-back cache (C3 lives here).
+    // ======================================================================
+    NodeId dArValidOut, dArAddrOut, dAwValidOut, dAwAddrOut, dWDataOut;
+    {
+        Scope dcache(nl, "dcache");
+        const NodeId v0 = nl.reg("v0", 1, 0);
+        const NodeId dy0 = nl.reg("d0", 1, 0);
+        const NodeId t0 = nl.reg("tag0", 7, 0);
+        const NodeId w0 = nl.reg("data0", 8, 0);
+        const NodeId v1 = nl.reg("v1", 1, 0);
+        const NodeId dy1 = nl.reg("d1", 1, 0);
+        const NodeId t1 = nl.reg("tag1", 7, 0);
+        const NodeId w1 = nl.reg("data1", 8, 0);
+        const NodeId missAddr = nl.reg("miss_addr", 8, 0);
+        const NodeId missTarget = nl.reg("miss_target", 1, 0);
+        const NodeId missWrite = nl.reg("miss_write", 1, 0);
+        const NodeId missWdata = nl.reg("miss_wdata", 8, 0);
+
+        const NodeId dcFree =
+            nl.andOf(nl.notOf(dcPending), nl.notOf(dcRespV));
+
+        // Request arbitration: PTW first, then a translated LSU op.
+        const NodeId lsuWantsDc = nl.andAll(
+            {lsuValid, tlbHit, nl.notOf(flushing),
+             nl.notOf(ptwWantsDc)});
+        const NodeId reqValid =
+            nl.andOf(nl.orOf(ptwWantsDc, lsuWantsDc), dcFree);
+        const NodeId reqIsPtw = ptwWantsDc;
+        const NodeId reqAddr = nl.mux(reqIsPtw, ptwDcAddr, tlbPaddr);
+        const NodeId reqWrite =
+            nl.andOf(nl.notOf(reqIsPtw), lsuWrite);
+        const NodeId reqWdata = lsuWdata;
+
+        const NodeId idx = nl.bit(reqAddr, 0);
+        const NodeId tag = nl.slice(reqAddr, 1, 7);
+        const NodeId lineV = nl.mux(idx, v1, v0);
+        const NodeId lineT = nl.mux(idx, t1, t0);
+        const NodeId lineDy = nl.mux(idx, dy1, dy0);
+        const NodeId lineW = nl.mux(idx, w1, w0);
+        const NodeId hit =
+            nl.andAll({reqValid, lineV, nl.eq(lineT, tag)});
+        const NodeId miss = nl.andOf(reqValid, nl.notOf(hit));
+
+        // Refill consumption.  C3: the refill lands even while the
+        // flush runs (and `pending` survives the invalidation), so a
+        // line can become valid after the flush completed.  Fixed:
+        // refills during a flush are drained without filling.
+        NodeId consume = nl.andOf(dcPending, dRValid);
+        NodeId fill = consume;
+        if (config.fixC3)
+            fill = nl.andOf(consume, nl.notOf(flushing));
+
+        const NodeId fillIdx = nl.bit(missAddr, 0);
+        const NodeId fillTag = nl.slice(missAddr, 1, 7);
+        const NodeId fillData =
+            nl.mux(missWrite, missWdata, dRData);
+
+        // Write hit updates the line in place and marks it dirty.
+        const NodeId writeHit = nl.andOf(hit, reqWrite);
+
+        const auto lineUpdate = [&](int i, NodeId v, NodeId dy, NodeId t,
+                                    NodeId w) {
+            const NodeId isThis =
+                i ? nl.bit(reqAddr, 0) : nl.notOf(nl.bit(reqAddr, 0));
+            const NodeId fillsThis =
+                nl.andOf(fill, i ? fillIdx : nl.notOf(fillIdx));
+            const NodeId writesThis = nl.andOf(writeHit, isThis);
+
+            NodeId vN = nl.mux(fillsThis, nl.one(), v);
+            vN = nl.mux(clrPulse, nl.zero(), vN);
+            NodeId dyN = nl.mux(writesThis, nl.one(),
+                                nl.mux(fillsThis, missWrite, dy));
+            dyN = nl.mux(clrPulse, nl.zero(), dyN);
+            const NodeId tN = nl.mux(fillsThis, fillTag, t);
+            const NodeId wN = nl.mux(writesThis, reqWdata,
+                                     nl.mux(fillsThis, fillData, w));
+            nl.connectReg(v, vN);
+            nl.connectReg(dy, dyN);
+            nl.connectReg(t, tN);
+            nl.connectReg(w, wN);
+        };
+        lineUpdate(0, v0, dy0, t0, w0);
+        lineUpdate(1, v1, dy1, t1, w1);
+
+        // Miss bookkeeping.
+        nl.connectReg(dcPending,
+                      nl.mux(miss, nl.one(),
+                             nl.mux(consume, nl.zero(), dcPending)));
+        nl.connectReg(missAddr, nl.mux(miss, reqAddr, missAddr));
+        nl.connectReg(missTarget, nl.mux(miss, reqIsPtw, missTarget));
+        nl.connectReg(missWrite, nl.mux(miss, reqWrite, missWrite));
+        nl.connectReg(missWdata, nl.mux(miss, reqWdata, missWdata));
+
+        // Response staging: hits answer next cycle; refills answer
+        // when they land.  Microreset clears staged responses.
+        const NodeId respSet = nl.orOf(hit, consume);
+        NodeId respVN = nl.mux(respSet, nl.one(), nl.zero());
+        if (microreset)
+            respVN = nl.mux(clrPulse, nl.zero(), respVN);
+        nl.connectReg(dcRespV, respVN);
+        nl.connectReg(dcRespData,
+                      nl.mux(hit, lineW,
+                             nl.mux(consume, dRData, dcRespData)));
+        nl.connectReg(dcRespTarget,
+                      nl.mux(hit, reqIsPtw,
+                             nl.mux(consume, missTarget,
+                                    dcRespTarget)));
+
+        // Memory-side ports.
+        dArValidOut = dcPending;
+        dArAddrOut = missAddr;
+
+        // Write-back port: evictions of dirty victims, plus the fence
+        // write-back phase (line 0 on cnt 0, line 1 on cnt 1).
+        const NodeId evict =
+            nl.andAll({miss, lineV, lineDy});
+        const NodeId wbLine = nl.bit(fCnt, 0);
+        const NodeId fenceWb = nl.andOf(
+            fIsWb, nl.mux(wbLine, dy1, dy0));
+        const NodeId awValid = nl.mux(flushing, fenceWb, evict);
+        const NodeId awAddr = nl.mux(
+            flushing,
+            nl.mux(wbLine, nl.concat(t1, nl.constant(1, 1)),
+                   nl.concat(t0, nl.constant(1, 0))),
+            nl.concat(lineT, nl.bit(reqAddr, 0)));
+        const NodeId wData =
+            nl.mux(flushing, nl.mux(wbLine, w1, w0), lineW);
+        dAwValidOut = awValid;
+        dAwAddrOut = awAddr;
+        dWDataOut = wData;
+    }
+
+    // ======================================================================
+    // I$ line updates (deferred until the clear pulse existed).
+    // ======================================================================
+    {
+        const NodeId fill = nl.signal("frontend.ic_fill");
+        const NodeId idx = nl.signal("frontend.ic_idx");
+        const NodeId tag = nl.signal("frontend.ic_tag_in");
+        const NodeId v0 = nl.signal("frontend.ic_v0_s");
+        const NodeId v1 = nl.signal("frontend.ic_v1_s");
+        const NodeId t0 = nl.signal("frontend.ic_t0_s");
+        const NodeId t1 = nl.signal("frontend.ic_t1_s");
+        const NodeId d0 = nl.signal("frontend.ic_d0_s");
+        const NodeId d1 = nl.signal("frontend.ic_d1_s");
+
+        const NodeId fills0 = nl.andOf(fill, nl.notOf(idx));
+        const NodeId fills1 = nl.andOf(fill, idx);
+        nl.connectReg(v0, nl.mux(clrPulse, nl.zero(),
+                                 nl.orOf(v0, fills0)));
+        nl.connectReg(v1, nl.mux(clrPulse, nl.zero(),
+                                 nl.orOf(v1, fills1)));
+        nl.connectReg(t0, nl.mux(fills0, tag, t0));
+        nl.connectReg(t1, nl.mux(fills1, tag, t1));
+        // Data SRAM contents are never cleared (the C1 substrate).
+        nl.connectReg(d0, nl.mux(fills0, iRData, d0));
+        nl.connectReg(d1, nl.mux(fills1, iRData, d1));
+    }
+
+    // LSU response port: a staged response for the LSU — or a
+    // misdelivered PTW response when the (buggy) PTW abandoned its
+    // walk (part of the C2 behaviour).
+    const NodeId ptwIsWait = nl.signal("mmu.ptw_is_wait");
+    const NodeId lsuRespValid = nl.andOf(
+        dcRespV, nl.orOf(nl.notOf(dcRespTarget),
+                         nl.andOf(dcRespTarget, nl.notOf(ptwIsWait))));
+    nl.output("lsu_resp_valid", lsuRespValid);
+    nl.output("lsu_resp_data", dcRespData);
+    nl.output("if_instr_valid", emitOut);
+    nl.output("if_instr", payloadOut);
+    nl.output("i_ar_valid", iArValidOut);
+    nl.output("i_ar_addr", iArAddrOut);
+    nl.output("d_ar_valid", dArValidOut);
+    nl.output("d_ar_addr", dArAddrOut);
+    nl.output("d_aw_valid", dAwValidOut);
+    nl.output("d_aw_addr", dAwAddrOut);
+    nl.output("d_w_data", dWDataOut);
+
+    // Transactions.
+    nl.transaction("ifetch_resp", "if_instr_valid", {"if_instr"});
+    nl.transaction("i_ar", "i_ar_valid", {"i_ar_addr"});
+    nl.transaction("lsu_req", "lsu_req_valid",
+                   {"lsu_addr", "lsu_write", "lsu_wdata"});
+    nl.transaction("lsu_resp", "lsu_resp_valid", {"lsu_resp_data"});
+    nl.transaction("d_ar", "d_ar_valid", {"d_ar_addr"});
+    nl.transaction("d_aw", "d_aw_valid", {"d_aw_addr", "d_w_data"});
+    nl.transaction("d_r", "d_r_valid", {"d_r_data"});
+    nl.transaction("i_r", "i_r_valid", {"i_r_data"});
+
+    nl.validate();
+    return nl;
+}
+
+} // namespace autocc::duts

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CVA6-style core memory subsystem (paper Sec. 4.2).
+ *
+ * AutoCC is modular: the paper applies it to cores and accelerators
+ * alike, downsizing caches/TLBs to keep FPV tractable.  This model
+ * captures the CVA6 components in which the paper's CEXs live —
+ * frontend with instruction cache and realigner, MMU (DTLB + page
+ * table walker), and a write-back data cache — together with the two
+ * fence.t variants it evaluates:
+ *
+ *  - FullFlush clears caches and TLBs but kills outstanding AXI
+ *    transactions (leaving the I$ FSM in KILL_MISS — the paper's
+ *    known CEX) and does not wait for the PTW (its second CEX);
+ *  - Microreset waits for the in-flight units, clears all valid
+ *    bits/FSMs, and pads the flush latency toward a fixed bound.
+ *
+ * Three injectable bugs reproduce the paper's new findings:
+ *  - C1: on a faulting fetch the I$ responds valid-with-exception and
+ *    forwards the *raw line data* of an invalid line; the realigner
+ *    derives its emit/compressed decision from a payload bit, so the
+ *    stale (never cleared) data SRAM steers the PC.
+ *    Fix: zero the payload when the line does not hit.
+ *  - C2: the PTW in WAIT_RVALID drops to IDLE when flush arrives
+ *    instead of waiting for the response; the orphaned D$ response is
+ *    then misdelivered.  Fix (upstream cva6 PR #1184): stay in
+ *    WAIT_RVALID until the response arrives.
+ *  - C3: the flush does not drain an in-flight D$ refill; the refill
+ *    lands after the invalidation, leaving a valid line after the
+ *    flush completes.  Fix (pulp cva6 ae79ec5): drain D$ transactions
+ *    before and after the write-back.
+ */
+
+#ifndef AUTOCC_DUTS_CVA6_HH
+#define AUTOCC_DUTS_CVA6_HH
+
+#include "rtl/netlist.hh"
+
+namespace autocc::duts
+{
+
+/** fence.t implementation variants (Wistoff et al.). */
+enum class Cva6Flush { FullFlush, Microreset };
+
+/** Build-time configuration. */
+struct Cva6Config
+{
+    Cva6Flush flush = Cva6Flush::Microreset;
+    bool fixC1 = false; ///< zero I$ payload when the line misses
+    bool fixC2 = false; ///< PTW waits out WAIT_RVALID despite flush
+    bool fixC3 = false; ///< drain D$ refills around the write-back
+};
+
+/** All three fixes applied (the state merged upstream). */
+Cva6Config cva6Fixed();
+
+/** Build the CVA6 memory-subsystem model. */
+rtl::Netlist buildCva6(const Cva6Config &config = {});
+
+/**
+ * Architectural state the OS handles, added to the arch condition
+ * upfront exactly as the paper does ("after we added the PC, register
+ * file, and CSR into the arch signal").  This model's slice of the
+ * core carries the PC.
+ */
+std::vector<std::string> cva6ArchState();
+
+} // namespace autocc::duts
+
+#endif // AUTOCC_DUTS_CVA6_HH

@@ -1,0 +1,212 @@
+#include "duts/maple.hh"
+
+namespace autocc::duts
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+using rtl::Scope;
+
+namespace
+{
+
+/** A 2-entry shift FIFO; data arrays survive `clear`, count does not. */
+struct Fifo2
+{
+    NodeId head;  ///< entry 0 (combinational)
+    NodeId count; ///< 2-bit occupancy
+    NodeId empty;
+    NodeId full;
+};
+
+Fifo2
+buildFifo2(Netlist &nl, const std::string &name, unsigned width,
+           NodeId push_req, NodeId push_data, NodeId pop_req, NodeId clear)
+{
+    Scope scope(nl, name);
+    const NodeId e0 = nl.reg("e0", width, 0);
+    const NodeId e1 = nl.reg("e1", width, 0);
+    const NodeId count = nl.reg("count", 2, 0);
+
+    const NodeId empty = nl.eqConst(count, 0);
+    const NodeId full = nl.eqConst(count, 2);
+
+    const NodeId doPop = nl.andOf(pop_req, nl.notOf(empty));
+    const NodeId doPush =
+        nl.andOf(push_req, nl.orOf(nl.notOf(full), doPop));
+
+    // Index the push lands at, after the pop shifted everything down.
+    const NodeId idx = nl.sub(count, nl.zext(doPop, 2));
+    const NodeId pushAt0 = nl.andOf(doPush, nl.eqConst(idx, 0));
+    const NodeId pushAt1 = nl.andOf(doPush, nl.eqConst(idx, 1));
+
+    nl.connectReg(e0, nl.mux(pushAt0, push_data,
+                             nl.mux(doPop, e1, e0)));
+    nl.connectReg(e1, nl.mux(pushAt1, push_data, e1));
+
+    const NodeId countNext =
+        nl.sub(nl.add(count, nl.zext(doPush, 2)), nl.zext(doPop, 2));
+    nl.connectReg(count, nl.mux(clear, nl.constant(2, 0), countNext));
+
+    return Fifo2{e0, count, empty, full};
+}
+
+} // namespace
+
+Netlist
+buildMaple(const MapleConfig &config)
+{
+    Netlist nl("maple");
+
+    // --- interface ------------------------------------------------------
+    const NodeId cmdValid = nl.input("cmd_valid", 1);
+    const NodeId cmdOp = nl.input("cmd_op", 3);
+    const NodeId cmdData = nl.input("cmd_data", 8);
+    const NodeId nocReqReady = nl.input("noc_req_ready", 1);
+    const NodeId nocRespValid = nl.input("noc_resp_valid", 1);
+    const NodeId nocRespData = nl.input("noc_resp_data", 8);
+
+    // --- invalidation (cleanup) FSM --------------------------------------
+    NodeId invRun;
+    {
+        Scope inv(nl, "inv");
+        const NodeId state = nl.reg("state", 1, 0); // 0 IDLE, 1 RUN
+        const NodeId done = nl.reg("done", 1, 0);
+        const NodeId startCleanup = nl.andAll(
+            {cmdValid,
+             nl.eqConst(cmdOp, static_cast<uint64_t>(MapleOp::Cleanup)),
+             nl.notOf(state)});
+        nl.connectReg(state, startCleanup);
+        nl.connectReg(done, state); // pulse the cycle after RUN
+        (void)done;
+        invRun = state;
+    }
+    nl.setFlushDone(MapleSignals::flushDone);
+
+    // Commands are ignored while the invalidation runs.
+    const NodeId accept = nl.andOf(cmdValid, nl.notOf(invRun));
+    const auto isOp = [&](MapleOp op) {
+        return nl.andOf(accept,
+                        nl.eqConst(cmdOp, static_cast<uint64_t>(op)));
+    };
+    const NodeId isSetBase = isOp(MapleOp::SetBase);
+    const NodeId isLoad = isOp(MapleOp::LoadWord);
+    const NodeId isConsume = isOp(MapleOp::Consume);
+    const NodeId isTlbOff = isOp(MapleOp::TlbOff);
+    const NodeId isTlbOn = isOp(MapleOp::TlbOn);
+    const NodeId isTlbFill = isOp(MapleOp::TlbFill);
+
+    // --- configuration registers (the M2/M3 state) ------------------------
+    NodeId arrayBase, tlbEn;
+    {
+        Scope cfg(nl, "cfg");
+        arrayBase = nl.reg("array_base", 8, 0);
+        tlbEn = nl.reg("tlb_en", 1, 1);
+
+        NodeId baseNext = nl.mux(isSetBase, cmdData, arrayBase);
+        if (config.fixArrayBase) {
+            // Upstream fix 04a54d5: reset the base during invalidation.
+            baseNext = nl.mux(invRun, nl.constant(8, 0), baseNext);
+        }
+        nl.connectReg(arrayBase, baseNext);
+
+        NodeId enNext =
+            nl.mux(isTlbOff, nl.zero(), nl.mux(isTlbOn, nl.one(), tlbEn));
+        if (config.fixTlbEnable) {
+            // Upstream fix fa614fc: re-enable the TLB during invalidation.
+            enNext = nl.mux(invRun, nl.one(), enNext);
+        }
+        nl.connectReg(tlbEn, enNext);
+    }
+
+    // --- TLB (2 entries, cleared by cleanup) ------------------------------
+    const NodeId vaddr = nl.add(arrayBase, cmdData);
+    const NodeId vpn = nl.slice(vaddr, 4, 4);
+    NodeId tlbHit, paddr;
+    {
+        Scope tlb(nl, "tlb");
+        const NodeId e0Valid = nl.reg("e0_valid", 1, 0);
+        const NodeId e0Vpn = nl.reg("e0_vpn", 4, 0);
+        const NodeId e0Ppn = nl.reg("e0_ppn", 4, 0);
+        const NodeId e1Valid = nl.reg("e1_valid", 1, 0);
+        const NodeId e1Vpn = nl.reg("e1_vpn", 4, 0);
+        const NodeId e1Ppn = nl.reg("e1_ppn", 4, 0);
+
+        const NodeId hit0 = nl.andOf(e0Valid, nl.eq(e0Vpn, vpn));
+        const NodeId hit1 = nl.andOf(e1Valid, nl.eq(e1Vpn, vpn));
+        tlbHit = nl.orOf(hit0, hit1);
+        const NodeId ppn = nl.mux(hit0, e0Ppn, e1Ppn);
+        paddr = nl.concat(ppn, nl.slice(vaddr, 0, 4));
+
+        // Fill entry 0 first, then entry 1.
+        const NodeId fill0 = nl.andOf(isTlbFill, nl.notOf(e0Valid));
+        const NodeId fill1 = nl.andOf(isTlbFill, e0Valid);
+        nl.connectReg(e0Valid,
+                      nl.mux(invRun, nl.zero(), nl.orOf(e0Valid, fill0)));
+        nl.connectReg(e0Vpn, nl.mux(fill0, nl.slice(cmdData, 4, 4), e0Vpn));
+        nl.connectReg(e0Ppn, nl.mux(fill0, nl.slice(cmdData, 0, 4), e0Ppn));
+        nl.connectReg(e1Valid,
+                      nl.mux(invRun, nl.zero(), nl.orOf(e1Valid, fill1)));
+        nl.connectReg(e1Vpn, nl.mux(fill1, nl.slice(cmdData, 4, 4), e1Vpn));
+        nl.connectReg(e1Ppn, nl.mux(fill1, nl.slice(cmdData, 0, 4), e1Ppn));
+    }
+
+    // --- load path ----------------------------------------------------------
+    const NodeId translateOk = nl.orOf(nl.notOf(tlbEn), tlbHit);
+    const NodeId loadIssues = nl.andOf(isLoad, translateOk);
+    const NodeId loadFaults =
+        nl.andAll({isLoad, tlbEn, nl.notOf(tlbHit)});
+    const NodeId fetchAddr = nl.mux(tlbEn, paddr, vaddr);
+
+    // --- NoC output buffer (M1: cleanup does NOT drain it) -----------------
+    Fifo2 outbuf;
+    {
+        Scope noc(nl, "noc");
+        outbuf = buildFifo2(nl, "outbuf", 8, loadIssues, fetchAddr,
+                            nocReqReady, nl.zero() /* never cleared */);
+        nl.nameNode(outbuf.empty, "outbuf_empty");
+    }
+
+    // --- data queue (cleared by cleanup) ------------------------------------
+    const Fifo2 queue = buildFifo2(nl, "queue", 8, nocRespValid,
+                                   nocRespData, isConsume, invRun);
+
+    // --- fault flag ----------------------------------------------------------
+    const NodeId faultQ = nl.reg("fault_q", 1, 0);
+    nl.connectReg(faultQ,
+                  nl.mux(nl.orOf(invRun, isConsume), loadFaults,
+                         nl.orOf(faultQ, loadFaults)));
+
+    // --- outputs --------------------------------------------------------------
+    const NodeId nocReqValid = nl.notOf(outbuf.empty);
+    nl.output("noc_req_valid", nocReqValid);
+    nl.output("noc_req_addr", outbuf.head);
+
+    const NodeId respValid =
+        nl.andOf(isConsume, nl.orOf(nl.notOf(queue.empty), faultQ));
+    nl.output("resp_valid", respValid);
+    // A faulting consume returns zero, not whatever the (uncleared)
+    // queue SRAM happens to hold.
+    nl.output("resp_data",
+              nl.mux(faultQ, nl.constant(8, 0), queue.head));
+    nl.output("resp_fault", faultQ);
+
+    nl.transaction("cmd", "cmd_valid", {"cmd_op", "cmd_data"});
+    nl.transaction("noc_req", "noc_req_valid", {"noc_req_addr"});
+    nl.transaction("noc_resp", "noc_resp_valid", {"noc_resp_data"});
+    nl.transaction("resp", "resp_valid", {"resp_data", "resp_fault"});
+
+    nl.validate();
+    return nl;
+}
+
+Netlist
+buildMapleFixed()
+{
+    MapleConfig config;
+    config.fixTlbEnable = true;
+    config.fixArrayBase = true;
+    return buildMaple(config);
+}
+
+} // namespace autocc::duts

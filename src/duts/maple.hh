@@ -1,0 +1,80 @@
+/**
+ * @file
+ * MAPLE-style memory-access engine (paper Sec. 4.3).
+ *
+ * The model preserves the mechanisms behind the paper's three CEXs:
+ *
+ *  - M1: a NoC output buffer that the cleanup operation does not
+ *    drain — requests parked behind back-pressure survive the context
+ *    switch;
+ *  - M2: the TLB-enable flip-flop (reset value 1, toggled via the
+ *    API) is not reset by cleanup — a binary covert channel (Trojan
+ *    disables the TLB, spy observes a page fault);
+ *  - M3: the array base-address register set by dec_set_array_base is
+ *    not reset by cleanup — the Listing 2 channel leaking a byte per
+ *    iteration.
+ *
+ * The cleanup/invalidation FSM clears the TLB entries and the data
+ * queue (so neither needs to be declared architectural, matching the
+ * paper), and its RUN -> IDLE transition drives the flush-done
+ * signal.  `MapleConfig` can apply the two upstream RTL fixes
+ * (maple commits fa614fc and 04a54d5) so fix validation can re-run
+ * AutoCC and confirm the CEXs disappear.
+ *
+ * Command interface (dec_* API at RTL level), via cmd transaction:
+ *   op 1 SET_BASE   base <= data
+ *   op 2 LOAD_WORD  vaddr = base + data; translate; fetch via NoC
+ *   op 3 CONSUME    pop the data queue to the resp port
+ *   op 4 TLB_OFF    disable translation
+ *   op 5 TLB_ON     enable translation
+ *   op 6 CLEANUP    run the invalidation FSM
+ *   op 7 TLB_FILL   fill a TLB entry with {vpn, ppn} = data
+ */
+
+#ifndef AUTOCC_DUTS_MAPLE_HH
+#define AUTOCC_DUTS_MAPLE_HH
+
+#include "rtl/netlist.hh"
+
+namespace autocc::duts
+{
+
+/** Command opcodes of the MAPLE model (cmd_op values). */
+enum class MapleOp : uint64_t {
+    Nop = 0,
+    SetBase = 1,
+    LoadWord = 2,
+    Consume = 3,
+    TlbOff = 4,
+    TlbOn = 5,
+    Cleanup = 6,
+    TlbFill = 7,
+};
+
+/** Build-time configuration. */
+struct MapleConfig
+{
+    /** Apply the upstream fix for M2: cleanup resets tlb_en. */
+    bool fixTlbEnable = false;
+    /** Apply the upstream fix for M3: cleanup resets array_base. */
+    bool fixArrayBase = false;
+};
+
+/** Well-known signal names of the MAPLE model. */
+struct MapleSignals
+{
+    static constexpr const char *arrayBase = "cfg.array_base";
+    static constexpr const char *tlbEnable = "cfg.tlb_en";
+    static constexpr const char *outbufEmpty = "noc.outbuf_empty";
+    static constexpr const char *flushDone = "inv.done";
+};
+
+/** Build the MAPLE engine model. */
+rtl::Netlist buildMaple(const MapleConfig &config = {});
+
+/** Both upstream fixes applied. */
+rtl::Netlist buildMapleFixed();
+
+} // namespace autocc::duts
+
+#endif // AUTOCC_DUTS_MAPLE_HH

@@ -1,0 +1,93 @@
+#include "duts/toy.hh"
+
+namespace autocc::duts
+{
+
+using rtl::FlushCtx;
+using rtl::FlushPlan;
+using rtl::Netlist;
+using rtl::NodeId;
+
+std::vector<std::string>
+ToyAccelRegs::all()
+{
+    return {cfg, acc, pending, dataQ, opQ, scratch};
+}
+
+Netlist
+buildToyAccel(const FlushPlan &plan)
+{
+    Netlist nl("toy_accel");
+    FlushCtx fc(nl, plan);
+
+    // --- interface ----------------------------------------------------
+    const NodeId reqValid = nl.input("req_valid", 1);
+    const NodeId reqOp = nl.input("req_op", 2);
+    const NodeId reqData = nl.input("req_data", 8);
+    const NodeId flush = nl.input("flush", 1);
+    fc.setFlushSignal(flush);
+
+    // --- state ----------------------------------------------------------
+    const NodeId cfg = fc.reg(ToyAccelRegs::cfg, 8, 0);
+    const NodeId acc = fc.reg(ToyAccelRegs::acc, 8, 0);
+    const NodeId pending = fc.reg(ToyAccelRegs::pending, 1, 0);
+    const NodeId dataQ = fc.reg(ToyAccelRegs::dataQ, 8, 0);
+    const NodeId opQ = fc.reg(ToyAccelRegs::opQ, 2, 0);
+    const NodeId scratch = fc.reg(ToyAccelRegs::scratch, 8, 0);
+    // Flush-done indicator: the single-cycle flush has completed on the
+    // cycle after `flush` was asserted.
+    const NodeId flushQ = nl.reg("flush_q", 1, 0);
+    nl.connectReg(flushQ, flush);
+    nl.nameNode(flushQ, "flush_done");
+    nl.setFlushDone("flush_done");
+
+    // --- request decode -------------------------------------------------
+    const NodeId issue = nl.andOf(reqValid, nl.notOf(flush));
+    const NodeId isCompute = nl.eqConst(reqOp, 1);
+    const NodeId isSetCfg = nl.eqConst(reqOp, 2);
+    const NodeId isAccum = nl.eqConst(reqOp, 3);
+    const NodeId issueResp =
+        nl.andOf(issue, nl.orOf(isCompute, isAccum));
+
+    const NodeId accNext = nl.add(acc, reqData);
+
+    fc.connect(pending, issueResp);
+    fc.connect(dataQ, nl.mux(issue, reqData, dataQ));
+    fc.connect(opQ, nl.mux(issue, reqOp, opQ));
+    fc.connect(cfg, nl.mux(nl.andOf(issue, isSetCfg), reqData, cfg));
+    fc.connect(acc, nl.mux(nl.andOf(issue, isAccum), accNext, acc));
+    fc.connect(scratch, nl.mux(issue, nl.xorOf(scratch, reqData), scratch));
+
+    // --- response --------------------------------------------------------
+    const NodeId respValid = pending;
+    const NodeId respData = nl.mux(nl.eqConst(opQ, 3), acc,
+                                   nl.add(dataQ, cfg));
+    nl.output("resp_valid", respValid);
+    nl.output("resp_data", respData);
+
+    nl.transaction("req", "req_valid", {"req_op", "req_data"});
+    nl.transaction("resp", "resp_valid", {"resp_data"});
+
+    nl.validate();
+    return nl;
+}
+
+Netlist
+buildToyAccelShipped()
+{
+    FlushPlan plan;
+    plan.insert(ToyAccelRegs::pending);
+    return buildToyAccel(plan);
+}
+
+Netlist
+buildToyAccelFixed()
+{
+    FlushPlan plan;
+    plan.insert(ToyAccelRegs::pending);
+    plan.insert(ToyAccelRegs::cfg);
+    plan.insert(ToyAccelRegs::acc);
+    return buildToyAccel(plan);
+}
+
+} // namespace autocc::duts

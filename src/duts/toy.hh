@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A deliberately small request/response accelerator used as the
+ * quickstart DUT and as the flush-synthesis test vehicle.  It has a
+ * one-cycle compute pipeline plus three pieces of configuration/
+ * accumulation state; the "as shipped" flush only clears the pending
+ * bit, so two of the registers form M2/M3-style covert channels:
+ *
+ *   - cfg  : adder bias set via SET_CFG; not flushed (leaks like
+ *            MAPLE's array-base register, M3);
+ *   - acc  : running accumulator readable via ACCUM requests; not
+ *            flushed;
+ *   - scratch : write-only debug register; never observable — present
+ *            so flush minimization has something to discard.
+ *
+ * Request ops: 1 = COMPUTE (resp = data + cfg), 2 = SET_CFG,
+ * 3 = ACCUM (acc += data; resp = new acc).
+ */
+
+#ifndef AUTOCC_DUTS_TOY_HH
+#define AUTOCC_DUTS_TOY_HH
+
+#include "rtl/flush.hh"
+#include "rtl/netlist.hh"
+
+namespace autocc::duts
+{
+
+/** Register names of ToyAccel, usable in flush plans. */
+struct ToyAccelRegs
+{
+    static constexpr const char *cfg = "cfg";
+    static constexpr const char *acc = "acc";
+    static constexpr const char *pending = "pending";
+    static constexpr const char *dataQ = "data_q";
+    static constexpr const char *opQ = "op_q";
+    static constexpr const char *scratch = "scratch";
+
+    /** All flush candidates in a stable order. */
+    static std::vector<std::string> all();
+};
+
+/** Build the toy accelerator honoring `plan`. */
+rtl::Netlist buildToyAccel(const rtl::FlushPlan &plan);
+
+/** The shipped (buggy) flush: pending only. */
+rtl::Netlist buildToyAccelShipped();
+
+/** The repaired flush: pending + cfg + acc. */
+rtl::Netlist buildToyAccelFixed();
+
+} // namespace autocc::duts
+
+#endif // AUTOCC_DUTS_TOY_HH

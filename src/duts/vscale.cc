@@ -1,0 +1,184 @@
+#include "duts/vscale.hh"
+
+namespace autocc::duts
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+using rtl::Scope;
+
+std::vector<std::string>
+VscaleSignals::regfile()
+{
+    return {"pipeline.regfile.x0", "pipeline.regfile.x1",
+            "pipeline.regfile.x2", "pipeline.regfile.x3"};
+}
+
+std::vector<std::string>
+VscaleSignals::csr()
+{
+    return {"pipeline.csr.csr0", "pipeline.csr.csr1"};
+}
+
+std::vector<std::string>
+VscaleSignals::pcChain()
+{
+    return {"pipeline.PC_IF", "pipeline.pc_DX"};
+}
+
+std::vector<std::string>
+VscaleSignals::decodeStage()
+{
+    return {"pipeline.instr_DX", "pipeline.wb_en", "pipeline.wb_rd",
+            "pipeline.wb_data"};
+}
+
+std::vector<std::string>
+VscaleSignals::interrupt()
+{
+    return {"pipeline.wb_irq_pending"};
+}
+
+Netlist
+buildVscale(const VscaleConfig &config)
+{
+    Netlist nl("vscale_core");
+
+    // --- interface ------------------------------------------------------
+    const NodeId imemRdata = nl.input("imem_rdata", 16);
+    const NodeId dmemHrdata = nl.input("dmem_hrdata", 8);
+    const NodeId dmemHready = nl.input("dmem_hready", 1);
+    const NodeId interrupt =
+        config.withInterrupt ? nl.input("interrupt", 1) : nl.zero();
+
+    NodeId pcIfOut, memopOut, aluOut, isSwOut, rdValOut;
+    {
+    Scope pipe(nl, "pipeline");
+
+    // --- state ------------------------------------------------------------
+    const NodeId pcIf = nl.reg("PC_IF", 8, 0);
+    const NodeId instrDx = nl.reg("instr_DX", 16, 0); // NOP
+    const NodeId pcDx = nl.reg("pc_DX", 8, 0);
+    const NodeId wbEn = nl.reg("wb_en", 1, 0);
+    const NodeId wbRd = nl.reg("wb_rd", 2, 0);
+    const NodeId wbData = nl.reg("wb_data", 8, 0);
+    const NodeId irqPending = nl.reg("wb_irq_pending", 1, 0);
+
+    std::vector<NodeId> regfile;
+    {
+        Scope rf(nl, "regfile");
+        for (int i = 0; i < 4; ++i)
+            regfile.push_back(nl.reg("x" + std::to_string(i), 8, 0));
+    }
+
+    // --- decode (DX stage) -------------------------------------------------
+    const NodeId op = nl.slice(instrDx, 13, 3);
+    const NodeId rd = nl.slice(instrDx, 11, 2);
+    const NodeId rs1 = nl.slice(instrDx, 9, 2);
+    const NodeId imm = nl.slice(instrDx, 0, 8);
+
+    const auto regRead = [&](NodeId sel) {
+        return nl.mux(nl.bit(sel, 1),
+                      nl.mux(nl.bit(sel, 0), regfile[3], regfile[2]),
+                      nl.mux(nl.bit(sel, 0), regfile[1], regfile[0]));
+    };
+    const NodeId rs1Val = regRead(rs1);
+    const NodeId rdVal = regRead(rd);
+
+    const NodeId isAddi = nl.eqConst(op, 1);
+    const NodeId isJalr = nl.eqConst(op, 2);
+    const NodeId isBeqz = nl.eqConst(op, 3);
+    const NodeId isLw = nl.eqConst(op, 4);
+    const NodeId isSw = nl.eqConst(op, 5);
+    const NodeId isCsr = nl.eqConst(op, 6);
+
+    const NodeId memop = nl.orOf(isLw, isSw);
+    const NodeId stall = nl.andOf(memop, nl.notOf(dmemHready));
+    const NodeId aluResult = nl.add(rs1Val, imm);
+
+    // --- CSR block (blackboxable) -----------------------------------------
+    const NodeId csrWen = nl.andOf(isCsr, nl.notOf(stall));
+    const NodeId csrAddr = nl.bit(imm, 0);
+    NodeId csrRdata;
+    if (config.blackboxCsr) {
+        // Blackboxing moves the module outside the DUT: its outputs
+        // become DUT inputs, its inputs become DUT outputs (Sec. 3.4).
+        csrRdata = nl.input("csr_rdata", 8);
+        nl.output("csr_wen", csrWen);
+        nl.output("csr_waddr", csrAddr);
+        nl.output("csr_wdata", rs1Val);
+        nl.transaction("csr_write", "pipeline.csr_wen",
+                       {"pipeline.csr_waddr", "pipeline.csr_wdata"});
+    } else {
+        Scope csr(nl, "csr");
+        const NodeId csr0 = nl.reg("csr0", 8, 0);
+        const NodeId csr1 = nl.reg("csr1", 8, 0);
+        csrRdata = nl.mux(csrAddr, csr1, csr0);
+        nl.connectReg(csr0, nl.mux(nl.andOf(csrWen, nl.notOf(csrAddr)),
+                                   rs1Val, csr0));
+        nl.connectReg(csr1, nl.mux(nl.andOf(csrWen, csrAddr), rs1Val,
+                                   csr1));
+    }
+
+    // --- control flow --------------------------------------------------------
+    const NodeId branchTaken =
+        nl.andOf(isBeqz, nl.eqConst(rs1Val, 0));
+    const NodeId redirect =
+        nl.andOf(nl.orOf(isJalr, branchTaken), nl.notOf(stall));
+    const NodeId target = nl.mux(isJalr, aluResult, nl.add(pcDx, imm));
+
+    // Interrupt handled in the WB stage: it stalls fetch for one cycle
+    // when an instruction is retiring (the paper's V5 mechanism).
+    const NodeId irqTake = nl.andOf(irqPending, wbEn);
+    nl.connectReg(irqPending,
+                  nl.mux(irqTake, nl.zero(),
+                         nl.orOf(irqPending, interrupt)));
+
+    const NodeId pcHold = nl.orOf(stall, irqTake);
+    const NodeId pcNext =
+        nl.mux(pcHold, pcIf,
+               nl.mux(redirect, target, nl.incr(pcIf)));
+    nl.connectReg(pcIf, pcNext);
+    nl.connectReg(instrDx,
+                  nl.mux(stall, instrDx,
+                         nl.mux(nl.orOf(redirect, irqTake),
+                                nl.constant(16, 0), imemRdata)));
+    nl.connectReg(pcDx, nl.mux(stall, pcDx, pcIf));
+
+    // --- write-back stage -------------------------------------------------
+    const NodeId writes =
+        nl.orAll({isAddi, isJalr, isLw, isCsr});
+    nl.connectReg(wbEn, nl.andOf(writes, nl.notOf(stall)));
+    nl.connectReg(wbRd, rd);
+    nl.connectReg(wbData,
+                  nl.mux(isLw, dmemHrdata,
+                         nl.mux(isJalr, nl.incr(pcDx),
+                                nl.mux(isCsr, csrRdata, aluResult))));
+
+    for (int i = 0; i < 4; ++i) {
+        const NodeId hit =
+            nl.andOf(wbEn, nl.eqConst(wbRd, static_cast<uint64_t>(i)));
+        nl.connectReg(regfile[i], nl.mux(hit, wbData, regfile[i]));
+    }
+
+    pcIfOut = pcIf;
+    memopOut = memop;
+    aluOut = aluResult;
+    isSwOut = isSw;
+    rdValOut = rdVal;
+    } // close "pipeline" scope: outputs are top-level port names
+
+    // --- outputs -----------------------------------------------------------
+    nl.output("imem_haddr", pcIfOut);
+    nl.output("dmem_req_valid", memopOut);
+    nl.output("dmem_haddr", aluOut);
+    nl.output("dmem_hwrite", isSwOut);
+    nl.output("dmem_hwdata", rdValOut);
+    nl.transaction("dmem", "dmem_req_valid",
+                   {"dmem_haddr", "dmem_hwrite", "dmem_hwdata"});
+
+    nl.validate();
+    return nl;
+}
+
+} // namespace autocc::duts

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Vscale-style 3-stage RV32-subset core (paper Sec. 4.1, Table 2).
+ *
+ * The model preserves every mechanism the paper's V1-V5 CEXs rely on,
+ * downsized per the paper's own parameterization advice:
+ *
+ *  - a 4-entry register file readable by JALR/stores (V1);
+ *  - a separate CSR block readable via CSRRW, blackboxable (V2);
+ *  - a PC chain through the pipeline: PC_IF and pc_DX (V3);
+ *  - decode-stage instruction latch instr_DX (V4);
+ *  - an interrupt-pending flop handled in the write-back stage that
+ *    stalls fetch for a cycle (V5);
+ *  - a hready-style memory wait input that stalls the pipeline, which
+ *    is what lets pre-switch pipeline state survive the transfer
+ *    period (the role dmem wait states play in the real core).
+ *
+ * Vscale has no temporal fence: the DUT declares no flush-done signal
+ * and AutoCC leaves flush_done free ('x), exactly as in A.5.1.
+ *
+ * ISA subset (16-bit instructions): op[15:13] rd[12:11] rs1[10:9]
+ * imm[7:0]:
+ *   0 NOP | 1 ADDI rd=r[rs1]+imm | 2 JALR pc=r[rs1]+imm, rd=pc+1
+ *   3 BEQZ if r[rs1]==0 pc+=imm  | 4 LW rd=dmem[r[rs1]+imm]
+ *   5 SW dmem[r[rs1]+imm]=r[rd]  | 6 CSRRW rd=csr[imm1:0], csr=r[rs1]
+ */
+
+#ifndef AUTOCC_DUTS_VSCALE_HH
+#define AUTOCC_DUTS_VSCALE_HH
+
+#include "rtl/netlist.hh"
+
+namespace autocc::duts
+{
+
+/** Build-time configuration for the Vscale model. */
+struct VscaleConfig
+{
+    /**
+     * Blackbox the CSR module (paper V2 refinement): its read data
+     * becomes a free DUT input and its write interface becomes DUT
+     * outputs, both subject to AutoCC's standard port treatment.
+     */
+    bool blackboxCsr = false;
+
+    /** Model the interrupt input / WB-stage interrupt logic (V5). */
+    bool withInterrupt = true;
+};
+
+/** Signal names for arch-state refinement steps (Table 2). */
+struct VscaleSignals
+{
+    /** Register file entries (V1 refinement). */
+    static std::vector<std::string> regfile();
+    /** CSR registers (V2 refinement, when not blackboxed). */
+    static std::vector<std::string> csr();
+    /** PC registers along the pipeline (V3 refinement). */
+    static std::vector<std::string> pcChain();
+    /** Decode-stage latches (V4 refinement). */
+    static std::vector<std::string> decodeStage();
+    /** WB-stage interrupt state (V5 refinement). */
+    static std::vector<std::string> interrupt();
+};
+
+/** Build the Vscale core model. */
+rtl::Netlist buildVscale(const VscaleConfig &config = {});
+
+} // namespace autocc::duts
+
+#endif // AUTOCC_DUTS_VSCALE_HH

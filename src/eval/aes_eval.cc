@@ -1,0 +1,54 @@
+#include "eval/aes_eval.hh"
+
+namespace autocc::eval
+{
+
+using core::AutoccOptions;
+using duts::AesConfig;
+using formal::EngineOptions;
+
+AesEvalResult
+runAesEvaluation(const AesEvalOptions &options)
+{
+    AesEvalResult result;
+    AutoccOptions opts;
+    opts.threshold = options.threshold;
+
+    EngineOptions engine;
+    engine.maxDepth = options.maxDepth;
+
+    AesConfig config;
+    config.stages = options.stages;
+    config.width = options.width;
+
+    // A1: default FT, flush_done free.  The engine finds universes
+    // that diverge because one had requests in flight at the switch.
+    {
+        config.declareIdleFlushDone = false;
+        const core::RunResult run =
+            core::runAutocc(duts::buildAes(config), opts, engine);
+        result.a1Found = run.foundCex();
+        result.a1Seconds = run.check.seconds;
+        if (run.foundCex()) {
+            result.a1Depth = run.check.cex->depth;
+            result.a1FailedAssert = run.check.cex->failedAssert;
+            result.a1Blamed = run.cause.uarchNames();
+        }
+    }
+
+    // Refinement: flush done := both pipelines idle.  Full proof.
+    {
+        config.declareIdleFlushDone = true;
+        EngineOptions proofEngine = engine;
+        proofEngine.maxInductionK =
+            options.stages + options.threshold + 4;
+        const core::RunResult run =
+            core::proveAutocc(duts::buildAes(config), opts, proofEngine);
+        result.proved = run.proved();
+        result.inductionK = run.check.inductionK;
+        result.proofSeconds = run.check.seconds;
+    }
+    return result;
+}
+
+} // namespace autocc::eval

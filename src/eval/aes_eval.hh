@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduction of the paper's AES evaluation (Sec. 4.4 / A.5.4):
+ * the default FT finds A1 (a request in the pipeline during the
+ * switch); defining flush completion as "no ongoing requests in both
+ * universes" removes it and the engine achieves a full proof.
+ */
+
+#ifndef AUTOCC_EVAL_AES_EVAL_HH
+#define AUTOCC_EVAL_AES_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+
+namespace autocc::eval
+{
+
+/** Result of the two-phase AES evaluation. */
+struct AesEvalResult
+{
+    /** A1: CEX from the default FT. */
+    bool a1Found = false;
+    unsigned a1Depth = 0;
+    double a1Seconds = 0.0;
+    std::string a1FailedAssert;
+    std::vector<std::string> a1Blamed;
+
+    /** Full proof after the idle-pipeline refinement. */
+    bool proved = false;
+    unsigned inductionK = 0;
+    double proofSeconds = 0.0;
+};
+
+/** Options for the AES run. */
+struct AesEvalOptions
+{
+    unsigned stages = 8;
+    unsigned width = 16;
+    unsigned threshold = 2;
+    unsigned maxDepth = 14;
+};
+
+/** Run A1 discovery followed by the full-proof refinement. */
+AesEvalResult runAesEvaluation(const AesEvalOptions &options = {});
+
+} // namespace autocc::eval
+
+#endif // AUTOCC_EVAL_AES_EVAL_HH

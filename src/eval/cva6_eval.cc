@@ -1,0 +1,138 @@
+#include "eval/cva6_eval.hh"
+
+#include "base/logging.hh"
+
+namespace autocc::eval
+{
+
+using core::AutoccOptions;
+using core::RunResult;
+using duts::Cva6Config;
+using duts::Cva6Flush;
+using formal::EngineOptions;
+
+namespace
+{
+
+bool
+blames(const std::vector<std::string> &blamed, const std::string &what)
+{
+    for (const auto &name : blamed) {
+        if (name.find(what) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+Cva6Step
+record(const RunResult &run)
+{
+    Cva6Step step;
+    step.foundCex = run.foundCex();
+    step.seconds = run.check.seconds;
+    if (run.foundCex()) {
+        step.depth = run.check.cex->depth;
+        step.failedAssert = run.check.cex->failedAssert;
+        step.blamed = run.cause.uarchNames();
+    }
+    return step;
+}
+
+} // namespace
+
+std::vector<Cva6Step>
+runCva6Evaluation(const Cva6EvalOptions &options)
+{
+    std::vector<Cva6Step> steps;
+    EngineOptions engine;
+    engine.maxDepth = options.maxDepth;
+    AutoccOptions opts;
+    opts.threshold = options.threshold;
+    // The paper adds the OS-handled state (PC, regfile, CSR) upfront;
+    // this subsystem slice carries the PC.
+    for (const auto &name : duts::cva6ArchState())
+        opts.archEq.insert(name);
+
+    // ---- Phase 1: full-flush fence.t (known channels) ----------------
+    if (options.includeFullFlush) {
+        Cva6Config config;
+        config.flush = Cva6Flush::FullFlush;
+        // This phase validates the previously-known fence.t channels
+        // (killed AXI transactions, busy PTW); the frontend payload
+        // issue is a *new* finding of the microreset phase below, so
+        // mask it here to surface the known ones at minimal depth.
+        config.fixC1 = true;
+        const RunResult run =
+            core::runAutocc(duts::buildCva6(config), opts, engine);
+        Cva6Step step = record(run);
+        step.id = "CF";
+        if (blames(step.blamed, "frontend.ic_state")) {
+            step.description =
+                "outstanding AXI fetch killed: I$ in KILL_MISS vs IDLE";
+        } else if (blames(step.blamed, "mmu.ptw")) {
+            step.description = "PTW still busy when the flush completes";
+        } else {
+            step.description = "full-flush residual state divergence";
+        }
+        step.refinement = "adopt the microreset fence.t variant";
+        steps.push_back(std::move(step));
+    }
+
+    // ---- Phase 2: microreset, fix C1 / C2 / C3 as they surface --------
+    Cva6Config config;
+    config.flush = Cva6Flush::Microreset;
+    for (unsigned iter = 0; iter < 6; ++iter) {
+        const RunResult run =
+            core::runAutocc(duts::buildCva6(config), opts, engine);
+        if (!run.foundCex())
+            break;
+        Cva6Step step = record(run);
+        if (!config.fixC1 && blames(step.blamed, "frontend.ic_data")) {
+            step.id = "C1";
+            step.description =
+                "leaks invalid I-Cache data to the next PC";
+            step.refinement = "zero the payload when the line misses";
+            config.fixC1 = true;
+        } else if (!config.fixC2 && blames(step.blamed, "mmu.ptw")) {
+            step.id = "C2";
+            step.description = "wrong transition in the FSM of the PTW";
+            step.refinement =
+                "stay in WAIT_RVALID despite flush (cva6 PR #1184)";
+            config.fixC2 = true;
+        } else if (!config.fixC3 && blames(step.blamed, "dcache.")) {
+            step.id = "C3";
+            step.description =
+                "valid D$ line after flush caused by the PTW/LSU refill";
+            step.refinement =
+                "drain D$ transactions around the write-back (ae79ec5)";
+            config.fixC3 = true;
+        } else {
+            step.id = "C?";
+            step.description = "unexpected CEX";
+            warn("cva6 evaluation: CEX with unhandled blame set");
+            steps.push_back(std::move(step));
+            return steps;
+        }
+        steps.push_back(std::move(step));
+    }
+
+    // ---- Fix validation ------------------------------------------------
+    {
+        EngineOptions deep = engine;
+        deep.maxDepth = options.proofDepth;
+        const RunResult run =
+            core::runAutocc(duts::buildCva6(config), opts, deep);
+        Cva6Step step = record(run);
+        step.id = "proof";
+        step.description = "fixed microreset: CEXs no longer found";
+        step.depth = run.check.bound;
+        step.refinement = run.foundCex()
+            ? "unexpected CEX"
+            : "bounded proof (depth " +
+              std::to_string(run.check.bound) + ")";
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+} // namespace autocc::eval

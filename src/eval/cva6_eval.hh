@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduction of the paper's CVA6 evaluation (Sec. 4.2): first the
+ * full-flush fence.t variant (re-finding the known KILL_MISS / busy-
+ * PTW channels of Wistoff et al.), then the microreset variant, where
+ * AutoCC uncovers C1 (realigner consumes an invalid I$ payload), C2
+ * (illegal PTW FSM transition under flush) and C3 (D$ refill landing
+ * after the flush), each fixed and re-verified in turn.
+ */
+
+#ifndef AUTOCC_EVAL_CVA6_EVAL_HH
+#define AUTOCC_EVAL_CVA6_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/cva6.hh"
+
+namespace autocc::eval
+{
+
+/** One discovered CEX / refinement step on CVA6. */
+struct Cva6Step
+{
+    std::string id;          ///< CF (full flush), C1..C3, "proof"
+    std::string description;
+    std::string refinement;
+    bool foundCex = false;
+    unsigned depth = 0;
+    double seconds = 0.0;
+    std::string failedAssert;
+    std::vector<std::string> blamed;
+};
+
+/** Options for the CVA6 run. */
+struct Cva6EvalOptions
+{
+    unsigned threshold = 2;
+    unsigned maxDepth = 18;
+    unsigned proofDepth = 18;
+    /** Include the full-flush phase (an extra, slower FPV run). */
+    bool includeFullFlush = true;
+};
+
+/** Run the full evaluation ladder. */
+std::vector<Cva6Step> runCva6Evaluation(
+    const Cva6EvalOptions &options = {});
+
+} // namespace autocc::eval
+
+#endif // AUTOCC_EVAL_CVA6_EVAL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduction of the paper's MAPLE evaluation (Sec. 4.3): discover
+ * M1 (output-buffer occupancy), refine it with the buffer-empty
+ * assumption exactly as the paper does, discover M2 (TLB-enable flop)
+ * and M3 (array base address), apply the upstream RTL fixes, and
+ * confirm the CEXs disappear.
+ */
+
+#ifndef AUTOCC_EVAL_MAPLE_EVAL_HH
+#define AUTOCC_EVAL_MAPLE_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/maple.hh"
+
+namespace autocc::eval
+{
+
+/** One discovered-CEX / refinement step on MAPLE. */
+struct MapleStep
+{
+    std::string id;          ///< M1 / M2 / M3 / "proof"
+    std::string description;
+    std::string refinement;  ///< the user action taken afterwards
+    bool foundCex = false;
+    unsigned depth = 0;
+    double seconds = 0.0;
+    std::string failedAssert;
+    std::vector<std::string> blamed;
+};
+
+/** Options for the MAPLE run. */
+struct MapleEvalOptions
+{
+    unsigned threshold = 2;
+    unsigned maxDepth = 12;
+    unsigned proofDepth = 14;
+};
+
+/**
+ * Install the paper's M1 refinement on a freshly built miter: assume
+ * the NoC output buffer is empty in both universes when the spy
+ * process is about to start.
+ */
+void assumeOutbufEmptyAtSwitch(core::Miter &miter);
+
+/** Run the M1 -> M2 -> M3 -> proof sequence. */
+std::vector<MapleStep> runMapleEvaluation(
+    const MapleEvalOptions &options = {});
+
+} // namespace autocc::eval
+
+#endif // AUTOCC_EVAL_MAPLE_EVAL_HH

@@ -1,0 +1,126 @@
+#include "eval/vscale_eval.hh"
+
+#include "base/logging.hh"
+
+namespace autocc::eval
+{
+
+using core::AutoccOptions;
+using core::RunResult;
+using duts::VscaleConfig;
+using formal::EngineOptions;
+
+namespace
+{
+
+/** Map a blame list onto the paper's CEX taxonomy (Table 2). */
+std::string
+classify(const std::vector<std::string> &blamed)
+{
+    bool rf = false, csr = false, irq = false, decode = false, pc = false;
+    for (const auto &name : blamed) {
+        rf |= name.find("regfile") != std::string::npos;
+        csr |= name.find("csr") != std::string::npos;
+        irq |= name.find("irq") != std::string::npos;
+        decode |= name.find("instr_DX") != std::string::npos ||
+                  name.find("wb_") != std::string::npos;
+        pc |= name.find("pc_DX") != std::string::npos ||
+              name.find("PC_IF") != std::string::npos;
+    }
+    // Priority mirrors the paper's descriptions.
+    if (irq)
+        return "V5: interrupt in the WB stage stalls pipeline";
+    if (csr)
+        return "V2: jump to address read from CSR";
+    if (pc)
+        return "V3: PC different throughout the pipeline";
+    if (rf)
+        return "V1: jump/store exposing reg. file state";
+    if (decode)
+        return "V4: decode/WB stage registers different";
+    return "unclassified";
+}
+
+} // namespace
+
+std::vector<VscaleStep>
+runVscaleRefinement(const VscaleEvalOptions &options)
+{
+    std::vector<VscaleStep> steps;
+    EngineOptions engine;
+    engine.maxDepth = options.maxDepth;
+
+    VscaleConfig config;
+    AutoccOptions opts;
+    opts.threshold = options.threshold;
+
+    // Iteratively refine, exactly as the paper recommends: run the
+    // default FT, inspect each CEX with FindCause, declare the blamed
+    // state architectural (the OS restores it) — except the CSR block,
+    // which is blackboxed instead, mirroring the paper's V2 action.
+    for (unsigned iter = 0; iter < 10; ++iter) {
+        const RunResult run =
+            core::runAutocc(duts::buildVscale(config), opts, engine);
+        if (!run.foundCex())
+            break;
+
+        VscaleStep step;
+        step.id = "S" + std::to_string(steps.size() + 1);
+        step.foundCex = true;
+        step.depth = run.check.cex->depth;
+        step.seconds = run.check.seconds;
+        step.failedAssert = run.check.cex->failedAssert;
+        step.blamed = run.cause.uarchNames();
+        step.description = classify(step.blamed);
+
+        bool blackboxedNow = false;
+        std::vector<std::string> added;
+        for (const auto &name : step.blamed) {
+            if (!config.blackboxCsr &&
+                name.find(".csr.") != std::string::npos) {
+                blackboxedNow = true;
+            } else {
+                if (opts.archEq.insert(name).second)
+                    added.push_back(name);
+            }
+        }
+        if (blackboxedNow) {
+            config.blackboxCsr = true;
+            step.refinement = "blackbox the CSR module";
+        } else if (!added.empty()) {
+            step.refinement = "add to architectural_state_eq:";
+            for (const auto &name : added)
+                step.refinement += " " + name;
+        } else {
+            warn("vscale refinement: CEX blames nothing new; stopping");
+            steps.push_back(std::move(step));
+            return steps;
+        }
+        steps.push_back(std::move(step));
+    }
+
+    // Final step: with the refined FT the engine keeps searching and
+    // reaches a bounded proof — the same outcome the paper reports for
+    // Vscale ("a bounded proof of depth 21" after 24h; we use a
+    // smaller bound on the downsized model).
+    {
+        EngineOptions deep = engine;
+        deep.maxDepth = options.proofDepth;
+        const RunResult run =
+            core::runAutocc(duts::buildVscale(config), opts, deep);
+        VscaleStep step;
+        step.id = "proof";
+        step.description = "no CEX under the trusted-OS assumption";
+        step.foundCex = run.foundCex();
+        step.depth = run.check.bound;
+        step.seconds = run.check.seconds;
+        step.refinement = run.foundCex()
+            ? "unexpected CEX"
+            : "bounded proof (depth " +
+              std::to_string(run.check.bound) + ")";
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+} // namespace autocc::eval

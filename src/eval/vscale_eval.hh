@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduction of the paper's Vscale evaluation (Sec. 4.1, Table 2)
+ * as an automated refinement loop: run the default AutoCC FT, use
+ * FindCause on each CEX to decide the next refinement (declare the
+ * blamed state architectural, or blackbox the CSR module when CSR
+ * state is blamed — the paper's V2 action), and finish with a proof
+ * once no CEX remains.  Each discovered CEX is classified against the
+ * paper's V1–V5 taxonomy; discovery *order* follows this model's
+ * trace depths, which differ from the original core's (see
+ * EXPERIMENTS.md).
+ *
+ * Used by tests (to assert every step behaves) and by the Table 2
+ * bench (to print the refinement table).
+ */
+
+#ifndef AUTOCC_EVAL_VSCALE_EVAL_HH
+#define AUTOCC_EVAL_VSCALE_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/vscale.hh"
+
+namespace autocc::eval
+{
+
+/** One row of the Table 2 reproduction. */
+struct VscaleStep
+{
+    std::string id;          ///< V1..V5 / "proof"
+    std::string description; ///< paper-style description
+    std::string refinement;  ///< what the user adds after this CEX
+    bool foundCex = false;
+    unsigned depth = 0;
+    double seconds = 0.0;
+    std::string failedAssert;
+    std::vector<std::string> blamed; ///< FindCause uarch output
+};
+
+/** Options for the run. */
+struct VscaleEvalOptions
+{
+    unsigned threshold = 2;  ///< transfer period length
+    unsigned maxDepth = 12;  ///< BMC budget per step
+    unsigned proofDepth = 14; ///< BMC bound for the final proof step
+};
+
+/** Run the whole ladder; the last step reports the bounded proof. */
+std::vector<VscaleStep> runVscaleRefinement(
+    const VscaleEvalOptions &options = {});
+
+} // namespace autocc::eval
+
+#endif // AUTOCC_EVAL_VSCALE_EVAL_HH

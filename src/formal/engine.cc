@@ -1,0 +1,320 @@
+#include "formal/engine.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/timer.hh"
+#include "formal/gates.hh"
+#include "formal/unroller.hh"
+#include "sat/solver.hh"
+
+namespace autocc::formal
+{
+
+namespace
+{
+
+/** Accumulate solver stats into a result. */
+void
+accumulate(CheckResult &result, const sat::Solver &solver)
+{
+    result.conflicts += solver.stats().conflicts;
+    result.decisions += solver.stats().decisions;
+    result.propagations += solver.stats().propagations;
+}
+
+/**
+ * Run the k-induction step for a given k: frames 0..k start from an
+ * arbitrary state, assumptions hold everywhere, assertions hold on
+ * frames 0..k-1 and are violated at frame k.  UNSAT => proved.
+ */
+sat::SolveResult
+inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
+              CheckResult &result)
+{
+    sat::Solver solver;
+    Gates gates(solver);
+    Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+
+    const size_t numAsserts = netlist.asserts().size();
+    for (unsigned t = 0; t <= k; ++t) {
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+        if (t < k) {
+            for (size_t a = 0; a < numAsserts; ++a)
+                gates.assertTrue(unroller.assertHolds(t, a));
+        }
+    }
+    Bv violations;
+    for (size_t a = 0; a < numAsserts; ++a)
+        violations.push_back(~unroller.assertHolds(k, a));
+    gates.assertTrue(gates.mkOrAll(violations));
+
+    if (simple_path) {
+        for (unsigned i = 0; i <= k; ++i) {
+            for (unsigned j = i + 1; j <= k; ++j)
+                gates.assertTrue(~unroller.statesEqual(i, j));
+        }
+    }
+
+    const sat::SolveResult sr = solver.solve();
+    accumulate(result, solver);
+    return sr;
+}
+
+} // namespace
+
+CheckResult
+checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
+{
+    CheckResult result;
+    Stopwatch watch;
+    panic_if(netlist.asserts().empty(),
+             "checkSafety: netlist '", netlist.name(), "' has no assertions");
+
+    // ---------------- bounded model checking -------------------------
+    sat::Solver solver;
+    Gates gates(solver);
+    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    const size_t numAsserts = netlist.asserts().size();
+
+    auto timeLeft = [&]() {
+        return options.timeLimitSeconds <= 0.0 ||
+               watch.seconds() < options.timeLimitSeconds;
+    };
+
+    for (unsigned depth = 1; depth <= options.maxDepth; ++depth) {
+        if (!timeLeft()) {
+            result.timedOut = true;
+            break;
+        }
+        const unsigned t = depth - 1; // frame index of the new cycle
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+
+        std::vector<Lit> holds(numAsserts);
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a) {
+            holds[a] = unroller.assertHolds(t, a);
+            violations.push_back(~holds[a]);
+        }
+        const Lit bad = gates.mkOrAll(violations);
+
+        const sat::SolveResult sr = solver.solve({bad});
+        if (sr == sat::SolveResult::Sat) {
+            CexInfo cex;
+            cex.trace = unroller.extractTrace();
+            cex.depth = depth;
+            for (size_t a = 0; a < numAsserts; ++a) {
+                if (!solver.modelValue(holds[a])) {
+                    cex.failedAssert = netlist.asserts()[a].name;
+                    break;
+                }
+            }
+            result.status = CheckStatus::Cex;
+            result.cex = std::move(cex);
+            result.bound = depth - 1;
+            accumulate(result, solver);
+            result.seconds = watch.seconds();
+            return result;
+        }
+        // No violation at this depth: lock it in and deepen.
+        solver.addClause(~bad);
+        result.bound = depth;
+    }
+    accumulate(result, solver);
+    result.status = result.bound == 0 ? CheckStatus::Unknown
+                                      : CheckStatus::BoundedProof;
+
+    // ---------------- k-induction ------------------------------------
+    if (options.tryInduction && !result.timedOut) {
+        const unsigned maxK =
+            std::min(options.maxInductionK, options.maxDepth);
+        for (unsigned k = 1; k <= maxK; ++k) {
+            if (!timeLeft()) {
+                result.timedOut = true;
+                break;
+            }
+            const sat::SolveResult sr =
+                inductionStep(netlist, k, options.simplePath, result);
+            if (sr == sat::SolveResult::Unsat) {
+                result.status = CheckStatus::Proved;
+                result.inductionK = k;
+                break;
+            }
+        }
+    }
+
+    result.seconds = watch.seconds();
+    return result;
+}
+
+CheckResult
+proveWithInvariants(const rtl::Netlist &netlist,
+                    const std::vector<rtl::NodeId> &candidates,
+                    const EngineOptions &options)
+{
+    // BMC first: a concrete counterexample beats any proof attempt.
+    CheckResult result = checkSafety(netlist, options);
+    if (result.foundCex() || result.timedOut)
+        return result;
+    Stopwatch watch;
+
+    std::vector<rtl::NodeId> active = candidates;
+
+    // ---- (1) initiation: drop candidates violated in the reset state.
+    {
+        sat::Solver solver;
+        Gates gates(solver);
+        Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(0));
+        for (;;) {
+            Bv bad;
+            for (rtl::NodeId c : active)
+                bad.push_back(~unroller.nodeLits(0, c)[0]);
+            if (solver.solve({gates.mkOrAll(bad)}) !=
+                sat::SolveResult::Sat) {
+                break;
+            }
+            std::vector<rtl::NodeId> kept;
+            for (rtl::NodeId c : active) {
+                if (solver.modelValue(unroller.nodeLits(0, c)[0]))
+                    kept.push_back(c);
+            }
+            active = std::move(kept);
+            accumulate(result, solver);
+            if (active.empty())
+                break;
+        }
+        accumulate(result, solver);
+    }
+
+    // ---- (2) consecution fixpoint (Houdini): keep dropping candidates
+    // that the surviving set cannot carry across one transition.
+    bool changed = true;
+    while (changed && !active.empty()) {
+        changed = false;
+        sat::Solver solver;
+        Gates gates(solver);
+        Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.addFrame();
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(0));
+        gates.assertTrue(unroller.assumeOk(1));
+        for (rtl::NodeId c : active)
+            gates.assertTrue(unroller.nodeLits(0, c)[0]);
+        for (;;) {
+            Bv bad;
+            for (rtl::NodeId c : active)
+                bad.push_back(~unroller.nodeLits(1, c)[0]);
+            if (solver.solve({gates.mkOrAll(bad)}) !=
+                sat::SolveResult::Sat) {
+                break;
+            }
+            // Dropping a candidate weakens the frame-0 assumption, so
+            // restart the solver after this sweep.
+            std::vector<rtl::NodeId> kept;
+            for (rtl::NodeId c : active) {
+                if (solver.modelValue(unroller.nodeLits(1, c)[0]))
+                    kept.push_back(c);
+            }
+            if (kept.size() != active.size()) {
+                active = std::move(kept);
+                changed = true;
+            }
+            break;
+        }
+        accumulate(result, solver);
+    }
+
+    // ---- (3a) do the assertions follow combinationally from the
+    // invariant?
+    const size_t numAsserts = netlist.asserts().size();
+    {
+        sat::Solver solver;
+        Gates gates(solver);
+        Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(0));
+        for (rtl::NodeId c : active)
+            gates.assertTrue(unroller.nodeLits(0, c)[0]);
+        Bv bad;
+        for (size_t a = 0; a < numAsserts; ++a)
+            bad.push_back(~unroller.assertHolds(0, a));
+        gates.assertTrue(gates.mkOrAll(bad));
+        const sat::SolveResult sr = solver.solve();
+        accumulate(result, solver);
+        if (sr == sat::SolveResult::Unsat) {
+            result.status = CheckStatus::Proved;
+            result.inductionK = 1;
+            result.seconds += watch.seconds();
+            return result;
+        }
+    }
+
+    // ---- (3b) invariant-strengthened k-induction.
+    for (unsigned k = 1; k <= options.maxInductionK; ++k) {
+        if (options.timeLimitSeconds > 0.0 &&
+            watch.seconds() > options.timeLimitSeconds) {
+            result.timedOut = true;
+            break;
+        }
+        sat::Solver solver;
+        Gates gates(solver);
+        Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        for (unsigned t = 0; t <= k; ++t) {
+            unroller.addFrame();
+            gates.assertTrue(unroller.assumeOk(t));
+            for (rtl::NodeId c : active)
+                gates.assertTrue(unroller.nodeLits(t, c)[0]);
+            if (t < k) {
+                for (size_t a = 0; a < numAsserts; ++a)
+                    gates.assertTrue(unroller.assertHolds(t, a));
+            }
+        }
+        Bv bad;
+        for (size_t a = 0; a < numAsserts; ++a)
+            bad.push_back(~unroller.assertHolds(k, a));
+        gates.assertTrue(gates.mkOrAll(bad));
+        const sat::SolveResult sr = solver.solve();
+        accumulate(result, solver);
+        if (sr == sat::SolveResult::Unsat) {
+            result.status = CheckStatus::Proved;
+            result.inductionK = k;
+            break;
+        }
+    }
+
+    result.seconds += watch.seconds();
+    return result;
+}
+
+std::string
+describe(const CheckResult &result)
+{
+    std::ostringstream os;
+    switch (result.status) {
+      case CheckStatus::Cex:
+        os << "CEX at depth " << result.cex->depth << " ("
+           << result.cex->failedAssert << ")";
+        break;
+      case CheckStatus::BoundedProof:
+        os << "bounded proof to depth " << result.bound;
+        break;
+      case CheckStatus::Proved:
+        os << "full proof (k-induction, k=" << result.inductionK << ")";
+        break;
+      case CheckStatus::Unknown:
+        os << "unknown (budget exhausted)";
+        break;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " [%.2fs, %llu conflicts]",
+                  result.seconds,
+                  static_cast<unsigned long long>(result.conflicts));
+    os << buf;
+    return os.str();
+}
+
+} // namespace autocc::formal

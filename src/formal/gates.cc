@@ -1,0 +1,269 @@
+#include "formal/gates.hh"
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+
+namespace autocc::formal
+{
+
+Gates::Gates(sat::Solver &solver) : solver_(solver)
+{
+    trueLit_ = sat::mkLit(solver_.newVar());
+    solver_.addClause(trueLit_);
+}
+
+Lit
+Gates::freshBit()
+{
+    return sat::mkLit(solver_.newVar());
+}
+
+Bv
+Gates::fresh(unsigned width)
+{
+    Bv result(width);
+    for (auto &lit : result)
+        lit = freshBit();
+    return result;
+}
+
+Lit
+Gates::mkAnd(Lit a, Lit b)
+{
+    if (a == falseLit() || b == falseLit())
+        return falseLit();
+    if (a == trueLit())
+        return b;
+    if (b == trueLit())
+        return a;
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return falseLit();
+    const Lit c = freshBit();
+    solver_.addClause(~c, a);
+    solver_.addClause(~c, b);
+    solver_.addClause(c, ~a, ~b);
+    return c;
+}
+
+Lit
+Gates::mkOr(Lit a, Lit b)
+{
+    return ~mkAnd(~a, ~b);
+}
+
+Lit
+Gates::mkXor(Lit a, Lit b)
+{
+    if (a == falseLit())
+        return b;
+    if (b == falseLit())
+        return a;
+    if (a == trueLit())
+        return ~b;
+    if (b == trueLit())
+        return ~a;
+    if (a == b)
+        return falseLit();
+    if (a == ~b)
+        return trueLit();
+    const Lit c = freshBit();
+    solver_.addClause(~c, a, b);
+    solver_.addClause(~c, ~a, ~b);
+    solver_.addClause(c, ~a, b);
+    solver_.addClause(c, a, ~b);
+    return c;
+}
+
+Lit
+Gates::mkMux(Lit sel, Lit then_v, Lit else_v)
+{
+    if (sel == trueLit())
+        return then_v;
+    if (sel == falseLit())
+        return else_v;
+    if (then_v == else_v)
+        return then_v;
+    const Lit c = freshBit();
+    solver_.addClause(~sel, ~then_v, c);
+    solver_.addClause(~sel, then_v, ~c);
+    solver_.addClause(sel, ~else_v, c);
+    solver_.addClause(sel, else_v, ~c);
+    return c;
+}
+
+Lit
+Gates::mkAndAll(const Bv &xs)
+{
+    Lit acc = trueLit();
+    for (Lit x : xs)
+        acc = mkAnd(acc, x);
+    return acc;
+}
+
+Lit
+Gates::mkOrAll(const Bv &xs)
+{
+    Lit acc = falseLit();
+    for (Lit x : xs)
+        acc = mkOr(acc, x);
+    return acc;
+}
+
+Bv
+Gates::bvConst(unsigned width, uint64_t value)
+{
+    Bv result(width);
+    for (unsigned i = 0; i < width; ++i)
+        result[i] = constBit(bit(value, i));
+    return result;
+}
+
+Bv
+Gates::bvNot(const Bv &a)
+{
+    Bv result(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        result[i] = ~a[i];
+    return result;
+}
+
+Bv
+Gates::bvAnd(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvAnd width mismatch");
+    Bv result(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        result[i] = mkAnd(a[i], b[i]);
+    return result;
+}
+
+Bv
+Gates::bvOr(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvOr width mismatch");
+    Bv result(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        result[i] = mkOr(a[i], b[i]);
+    return result;
+}
+
+Bv
+Gates::bvXor(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvXor width mismatch");
+    Bv result(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        result[i] = mkXor(a[i], b[i]);
+    return result;
+}
+
+Bv
+Gates::bvMux(Lit sel, const Bv &then_v, const Bv &else_v)
+{
+    panic_if(then_v.size() != else_v.size(), "bvMux width mismatch");
+    Bv result(then_v.size());
+    for (size_t i = 0; i < then_v.size(); ++i)
+        result[i] = mkMux(sel, then_v[i], else_v[i]);
+    return result;
+}
+
+Bv
+Gates::bvAdd(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvAdd width mismatch");
+    Bv result(a.size());
+    Lit carry = falseLit();
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Lit axb = mkXor(a[i], b[i]);
+        result[i] = mkXor(axb, carry);
+        carry = mkOr(mkAnd(a[i], b[i]), mkAnd(axb, carry));
+    }
+    return result;
+}
+
+Bv
+Gates::bvSub(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvSub width mismatch");
+    // a - b = a + ~b + 1 (carry-in 1).
+    Bv result(a.size());
+    Lit carry = trueLit();
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Lit nb = ~b[i];
+        const Lit axb = mkXor(a[i], nb);
+        result[i] = mkXor(axb, carry);
+        carry = mkOr(mkAnd(a[i], nb), mkAnd(axb, carry));
+    }
+    return result;
+}
+
+Lit
+Gates::bvEq(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvEq width mismatch");
+    Lit acc = trueLit();
+    for (size_t i = 0; i < a.size(); ++i)
+        acc = mkAnd(acc, ~mkXor(a[i], b[i]));
+    return acc;
+}
+
+Lit
+Gates::bvUlt(const Bv &a, const Bv &b)
+{
+    panic_if(a.size() != b.size(), "bvUlt width mismatch");
+    // Ripple from LSB: lt' = (a_i == b_i) ? lt : b_i.
+    Lit lt = falseLit();
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Lit eq = ~mkXor(a[i], b[i]);
+        lt = mkMux(eq, lt, b[i]);
+    }
+    return lt;
+}
+
+Bv
+Gates::bvShlC(const Bv &a, unsigned amount)
+{
+    Bv result(a.size(), falseLit());
+    for (size_t i = amount; i < a.size(); ++i)
+        result[i] = a[i - amount];
+    return result;
+}
+
+Bv
+Gates::bvShrC(const Bv &a, unsigned amount)
+{
+    Bv result(a.size(), falseLit());
+    for (size_t i = 0; i + amount < a.size(); ++i)
+        result[i] = a[i + amount];
+    return result;
+}
+
+Bv
+Gates::bvConcat(const Bv &hi, const Bv &lo)
+{
+    Bv result = lo;
+    result.insert(result.end(), hi.begin(), hi.end());
+    return result;
+}
+
+Bv
+Gates::bvSlice(const Bv &a, unsigned lo, unsigned width)
+{
+    panic_if(lo + width > a.size(), "bvSlice out of range");
+    return Bv(a.begin() + lo, a.begin() + lo + width);
+}
+
+uint64_t
+Gates::modelValue(const Bv &a) const
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (solver_.modelValue(a[i]))
+            value |= uint64_t{1} << i;
+    }
+    return value;
+}
+
+} // namespace autocc::formal

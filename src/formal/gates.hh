@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tseitin gate library: builds CNF for boolean gates and bit-vector
+ * operations on top of the CDCL solver.  Bit vectors are LSB-first
+ * vectors of literals; NOT is free (literal negation).
+ */
+
+#ifndef AUTOCC_FORMAL_GATES_HH
+#define AUTOCC_FORMAL_GATES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace autocc::formal
+{
+
+using sat::Lit;
+using Bv = std::vector<Lit>;
+
+/** CNF circuit builder over a solver. */
+class Gates
+{
+  public:
+    explicit Gates(sat::Solver &solver);
+
+    sat::Solver &solver() { return solver_; }
+
+    /** Literal that is constant true. */
+    Lit trueLit() const { return trueLit_; }
+    /** Literal that is constant false. */
+    Lit falseLit() const { return ~trueLit_; }
+    Lit constBit(bool b) const { return b ? trueLit() : falseLit(); }
+
+    /** Fresh unconstrained literal. */
+    Lit freshBit();
+    /** Fresh unconstrained bit vector. */
+    Bv fresh(unsigned width);
+
+    // --- single-bit gates ---------------------------------------------
+    Lit mkAnd(Lit a, Lit b);
+    Lit mkOr(Lit a, Lit b);
+    Lit mkXor(Lit a, Lit b);
+    Lit mkMux(Lit sel, Lit then_v, Lit else_v);
+    Lit mkAndAll(const Bv &xs);
+    Lit mkOrAll(const Bv &xs);
+
+    /** Force a literal true (unit clause). */
+    void assertTrue(Lit a) { solver_.addClause(a); }
+
+    // --- bit-vector operations ----------------------------------------
+    Bv bvConst(unsigned width, uint64_t value);
+    Bv bvNot(const Bv &a);
+    Bv bvAnd(const Bv &a, const Bv &b);
+    Bv bvOr(const Bv &a, const Bv &b);
+    Bv bvXor(const Bv &a, const Bv &b);
+    Bv bvMux(Lit sel, const Bv &then_v, const Bv &else_v);
+    Bv bvAdd(const Bv &a, const Bv &b);
+    Bv bvSub(const Bv &a, const Bv &b);
+    Lit bvEq(const Bv &a, const Bv &b);
+    Lit bvUlt(const Bv &a, const Bv &b);
+    Bv bvShlC(const Bv &a, unsigned amount);
+    Bv bvShrC(const Bv &a, unsigned amount);
+    Bv bvConcat(const Bv &hi, const Bv &lo);
+    Bv bvSlice(const Bv &a, unsigned lo, unsigned width);
+    Lit bvRedOr(const Bv &a) { return mkOrAll(a); }
+    Lit bvRedAnd(const Bv &a) { return mkAndAll(a); }
+
+    /** Value of a bit vector in the last model. */
+    uint64_t modelValue(const Bv &a) const;
+
+  private:
+    sat::Solver &solver_;
+    Lit trueLit_;
+};
+
+} // namespace autocc::formal
+
+#endif // AUTOCC_FORMAL_GATES_HH

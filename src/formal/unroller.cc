@@ -1,0 +1,217 @@
+#include "formal/unroller.hh"
+
+namespace autocc::formal
+{
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+Unroller::Unroller(const rtl::Netlist &netlist, Gates &gates,
+                   bool free_initial_state)
+    : netlist_(netlist), gates_(gates), freeInitialState_(free_initial_state)
+{
+    netlist_.validate();
+}
+
+Bv
+Unroller::readMux(const std::vector<Bv> &words, const Bv &addr, size_t lo,
+                  size_t count, unsigned bit_index)
+{
+    // Binary mux tree, MSB-first recursion over addr[0, bit_index).
+    if (bit_index == 0)
+        return words[lo];
+    const unsigned b = bit_index - 1;
+    const size_t half = count / 2;
+    const Bv low = readMux(words, addr, lo, half, b);
+    const Bv high = readMux(words, addr, lo + half, half, b);
+    return gates_.bvMux(addr[b], high, low);
+}
+
+void
+Unroller::addFrame()
+{
+    const size_t t = frames_.size();
+    frames_.emplace_back();
+    Frame &frame = frames_.back();
+    frame.nodes.resize(netlist_.numNodes());
+
+    // --- memory state for this frame ---------------------------------
+    const auto &mems = netlist_.mems();
+    frame.mems.resize(mems.size());
+    for (size_t m = 0; m < mems.size(); ++m) {
+        const auto &mem = mems[m];
+        frame.mems[m].resize(mem.size);
+        if (t == 0) {
+            for (uint32_t w = 0; w < mem.size; ++w) {
+                frame.mems[m][w] = freeInitialState_
+                    ? gates_.fresh(mem.dataWidth)
+                    : gates_.bvConst(mem.dataWidth, mem.initValue);
+            }
+        } else {
+            // Start from previous contents, apply write ports in order.
+            frame.mems[m] = frames_[t - 1].mems[m];
+        }
+    }
+    if (t > 0) {
+        const Frame &prev = frames_[t - 1];
+        for (const auto &write : netlist_.memWrites()) {
+            const auto &mem = mems[write.mem];
+            const Lit en = prev.nodes[write.enable][0];
+            const Bv addr = gates_.bvSlice(prev.nodes[write.addr], 0,
+                                           mem.addrWidth);
+            const Bv &data = prev.nodes[write.data];
+            auto &words = frame.mems[write.mem];
+            for (uint32_t w = 0; w < mem.size; ++w) {
+                const Lit sel = gates_.mkAnd(
+                    en, gates_.bvEq(addr, gates_.bvConst(mem.addrWidth, w)));
+                words[w] = gates_.bvMux(sel, data, words[w]);
+            }
+        }
+    }
+
+    // --- node evaluation ----------------------------------------------
+    for (NodeId id = 0; id < netlist_.numNodes(); ++id) {
+        const Node &node = netlist_.node(id);
+        const auto opv = [&](int i) -> const Bv & {
+            return frame.nodes[node.operands[i]];
+        };
+        Bv v;
+        switch (node.op) {
+          case Op::Input:
+            v = gates_.fresh(node.width);
+            break;
+          case Op::Const:
+            v = gates_.bvConst(node.width, node.value);
+            break;
+          case Op::Reg: {
+            const auto &reg = netlist_.regs()[node.aux];
+            if (t == 0) {
+                v = freeInitialState_
+                    ? gates_.fresh(node.width)
+                    : gates_.bvConst(node.width, reg.resetValue);
+            } else {
+                v = frames_[t - 1].nodes[reg.next];
+            }
+            break;
+          }
+          case Op::MemRead: {
+            const auto &mem = mems[node.aux];
+            const Bv addr = gates_.bvSlice(opv(0), 0, mem.addrWidth);
+            v = readMux(frame.mems[node.aux], addr, 0, mem.size,
+                        mem.addrWidth);
+            break;
+          }
+          case Op::Not:
+            v = gates_.bvNot(opv(0));
+            break;
+          case Op::And:
+            v = gates_.bvAnd(opv(0), opv(1));
+            break;
+          case Op::Or:
+            v = gates_.bvOr(opv(0), opv(1));
+            break;
+          case Op::Xor:
+            v = gates_.bvXor(opv(0), opv(1));
+            break;
+          case Op::Mux:
+            v = gates_.bvMux(opv(0)[0], opv(1), opv(2));
+            break;
+          case Op::Add:
+            v = gates_.bvAdd(opv(0), opv(1));
+            break;
+          case Op::Sub:
+            v = gates_.bvSub(opv(0), opv(1));
+            break;
+          case Op::Eq:
+            v = Bv{gates_.bvEq(opv(0), opv(1))};
+            break;
+          case Op::Ult:
+            v = Bv{gates_.bvUlt(opv(0), opv(1))};
+            break;
+          case Op::ShlC:
+            v = gates_.bvShlC(opv(0), node.aux);
+            break;
+          case Op::ShrC:
+            v = gates_.bvShrC(opv(0), node.aux);
+            break;
+          case Op::Concat:
+            v = gates_.bvConcat(/*hi=*/opv(0), /*lo=*/opv(1));
+            break;
+          case Op::Slice:
+            v = gates_.bvSlice(opv(0), node.aux, node.width);
+            break;
+          case Op::RedOr:
+            v = Bv{gates_.bvRedOr(opv(0))};
+            break;
+          case Op::RedAnd:
+            v = Bv{gates_.bvRedAnd(opv(0))};
+            break;
+        }
+        frame.nodes[id] = std::move(v);
+    }
+}
+
+Lit
+Unroller::assumeOk(size_t frame)
+{
+    Bv conj;
+    for (const auto &assume : netlist_.assumes())
+        conj.push_back(frames_[frame].nodes[assume.node][0]);
+    return gates_.mkAndAll(conj);
+}
+
+Lit
+Unroller::assertHolds(size_t frame, size_t index)
+{
+    const auto &assertion = netlist_.asserts()[index];
+    return frames_[frame].nodes[assertion.node][0];
+}
+
+Lit
+Unroller::statesEqual(size_t f1, size_t f2)
+{
+    Bv conj;
+    for (const auto &reg : netlist_.regs()) {
+        conj.push_back(gates_.bvEq(frames_[f1].nodes[reg.node],
+                                   frames_[f2].nodes[reg.node]));
+    }
+    for (size_t m = 0; m < netlist_.mems().size(); ++m) {
+        for (uint32_t w = 0; w < netlist_.mems()[m].size; ++w) {
+            conj.push_back(gates_.bvEq(frames_[f1].mems[m][w],
+                                       frames_[f2].mems[m][w]));
+        }
+    }
+    return gates_.mkAndAll(conj);
+}
+
+sim::Trace
+Unroller::extractTrace() const
+{
+    sim::Trace trace;
+    trace.inputs.resize(frames_.size());
+    trace.signals.resize(frames_.size());
+
+    for (size_t t = 0; t < frames_.size(); ++t) {
+        for (const auto &port : netlist_.ports()) {
+            if (port.dir == rtl::PortDir::In) {
+                trace.inputs[t][port.name] =
+                    gates_.modelValue(frames_[t].nodes[port.node]);
+            }
+        }
+        for (const auto &[name, node] : netlist_.signals()) {
+            trace.signals[t][name] =
+                gates_.modelValue(frames_[t].nodes[node]);
+        }
+        for (size_t m = 0; m < netlist_.mems().size(); ++m) {
+            const auto &mem = netlist_.mems()[m];
+            for (uint32_t w = 0; w < mem.size; ++w) {
+                trace.signals[t][mem.name + "[" + std::to_string(w) + "]"] =
+                    gates_.modelValue(frames_[t].mems[m][w]);
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace autocc::formal

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Time-frame expansion of a netlist into CNF.  Frame t holds the
+ * literals of every node evaluated at cycle t; registered state at
+ * frame t is derived from frame t-1 (or from reset constants / fresh
+ * variables at frame 0, for BMC / induction respectively).
+ */
+
+#ifndef AUTOCC_FORMAL_UNROLLER_HH
+#define AUTOCC_FORMAL_UNROLLER_HH
+
+#include <vector>
+
+#include "formal/gates.hh"
+#include "rtl/netlist.hh"
+#include "sim/trace.hh"
+
+namespace autocc::formal
+{
+
+/** Unrolls a netlist frame by frame into a Gates CNF builder. */
+class Unroller
+{
+  public:
+    /**
+     * @param free_initial_state false: frame-0 registers/memories take
+     *        their reset values (BMC from reset); true: they are fresh
+     *        variables (induction step).
+     */
+    Unroller(const rtl::Netlist &netlist, Gates &gates,
+             bool free_initial_state);
+
+    /** Append one time frame. */
+    void addFrame();
+
+    size_t numFrames() const { return frames_.size(); }
+
+    /** Literals of a node at a frame. */
+    const Bv &nodeLits(size_t frame, rtl::NodeId id) const
+    {
+        return frames_[frame].nodes[id];
+    }
+
+    /** Conjunction of all netlist assumptions at a frame. */
+    Lit assumeOk(size_t frame);
+
+    /** Literal of assertion `index` at a frame (1 = holds). */
+    Lit assertHolds(size_t frame, size_t index);
+
+    /** Literal "all register+memory state equal between two frames". */
+    Lit statesEqual(size_t f1, size_t f2);
+
+    /**
+     * Extract a full trace from the solver model: input stimulus and
+     * every named signal (plus memory words as "mem[w]") per frame.
+     */
+    sim::Trace extractTrace() const;
+
+    const rtl::Netlist &netlist() const { return netlist_; }
+
+  private:
+    struct Frame
+    {
+        std::vector<Bv> nodes;           ///< per node
+        std::vector<std::vector<Bv>> mems; ///< per mem, per word
+    };
+
+    Bv readMux(const std::vector<Bv> &words, const Bv &addr, size_t lo,
+               size_t count, unsigned bit_index);
+
+    const rtl::Netlist &netlist_;
+    Gates &gates_;
+    bool freeInitialState_;
+    std::vector<Frame> frames_;
+};
+
+} // namespace autocc::formal
+
+#endif // AUTOCC_FORMAL_UNROLLER_HH

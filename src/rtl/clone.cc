@@ -1,0 +1,154 @@
+#include "rtl/clone.hh"
+
+namespace autocc::rtl
+{
+
+CloneResult
+cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
+          std::unordered_map<std::string, NodeId> *shared_inputs)
+{
+    CloneResult result;
+    const std::string dot = prefix.empty() ? "" : prefix + ".";
+
+    // Port lookup by input node.
+    std::unordered_map<NodeId, const Port *> inputPorts;
+    for (const auto &port : src.ports()) {
+        if (port.dir == PortDir::In)
+            inputPorts[port.node] = &port;
+    }
+
+    // Clone memories first so read/write ports can refer to them.
+    std::vector<uint32_t> memMap(src.mems().size());
+    for (size_t i = 0; i < src.mems().size(); ++i) {
+        const MemInfo &mem = src.mems()[i];
+        memMap[i] = dst.memory(dot + mem.name, mem.size, mem.dataWidth,
+                               mem.initValue);
+    }
+
+    // Clone nodes in creation (= topological) order.
+    std::vector<NodeId> map(src.numNodes(), invalidNode);
+    for (NodeId id = 0; id < src.numNodes(); ++id) {
+        const Node &node = src.node(id);
+        const auto operand = [&](int i) { return map[node.operands[i]]; };
+        switch (node.op) {
+          case Op::Input: {
+            const Port *port = inputPorts.at(id);
+            if (port->common && shared_inputs) {
+                auto it = shared_inputs->find(port->name);
+                if (it == shared_inputs->end()) {
+                    const NodeId in = dst.input(port->name, node.width,
+                                                true);
+                    (*shared_inputs)[port->name] = in;
+                    map[id] = in;
+                } else {
+                    map[id] = it->second;
+                }
+            } else {
+                map[id] = dst.input(dot + port->name, node.width,
+                                    port->common);
+            }
+            break;
+          }
+          case Op::Const:
+            map[id] = dst.constant(node.width, node.value);
+            break;
+          case Op::Reg: {
+            const RegInfo &reg = src.regs()[node.aux];
+            map[id] = dst.reg(dot + reg.name, node.width, reg.resetValue);
+            break;
+          }
+          case Op::MemRead:
+            map[id] = dst.memRead(memMap[node.aux], operand(0));
+            break;
+          case Op::Not:
+            map[id] = dst.notOf(operand(0));
+            break;
+          case Op::And:
+            map[id] = dst.andOf(operand(0), operand(1));
+            break;
+          case Op::Or:
+            map[id] = dst.orOf(operand(0), operand(1));
+            break;
+          case Op::Xor:
+            map[id] = dst.xorOf(operand(0), operand(1));
+            break;
+          case Op::Mux:
+            map[id] = dst.mux(operand(0), operand(1), operand(2));
+            break;
+          case Op::Add:
+            map[id] = dst.add(operand(0), operand(1));
+            break;
+          case Op::Sub:
+            map[id] = dst.sub(operand(0), operand(1));
+            break;
+          case Op::Eq:
+            map[id] = dst.eq(operand(0), operand(1));
+            break;
+          case Op::Ult:
+            map[id] = dst.ult(operand(0), operand(1));
+            break;
+          case Op::ShlC:
+            map[id] = dst.shlC(operand(0), node.aux);
+            break;
+          case Op::ShrC:
+            map[id] = dst.shrC(operand(0), node.aux);
+            break;
+          case Op::Concat:
+            map[id] = dst.concat(operand(0), operand(1));
+            break;
+          case Op::Slice:
+            map[id] = dst.slice(operand(0), node.aux, node.width);
+            break;
+          case Op::RedOr:
+            map[id] = dst.redOr(operand(0));
+            break;
+          case Op::RedAnd:
+            map[id] = dst.redAnd(operand(0));
+            break;
+        }
+    }
+
+    // Register next-state connections.
+    for (const auto &reg : src.regs()) {
+        panic_if(reg.next == invalidNode, "cloning unconnected register '",
+                 reg.name, "'");
+        dst.connectReg(map[reg.node], map[reg.next]);
+    }
+
+    // Memory write ports.
+    for (const auto &write : src.memWrites()) {
+        dst.memWrite(memMap[write.mem], map[write.enable], map[write.addr],
+                     map[write.data]);
+    }
+
+    // Names: every named signal of the source is visible with a
+    // per-universe prefix (e.g. "ua.pipeline.regfile").
+    for (const auto &[name, node] : src.signals()) {
+        dst.nameNode(map[node], dot + name);
+        result.byName[name] = map[node];
+    }
+
+    // Ports (with remapped nodes, original names) for the caller.
+    for (const auto &port : src.ports()) {
+        Port p = port;
+        p.node = map[port.node];
+        result.ports.push_back(p);
+    }
+
+    // DUT-embedded environment assumptions constrain each universe.
+    for (const auto &assume : src.assumes()) {
+        dst.addAssume(dot + assume.name, map[assume.node]);
+        result.assumes.push_back(Property{dot + assume.name,
+                                          map[assume.node]});
+    }
+    // DUT-embedded assertions are returned but not auto-installed; the
+    // miter focuses on AutoCC's own equivalence assertions.
+    for (const auto &assertion : src.asserts()) {
+        result.asserts.push_back(Property{dot + assertion.name,
+                                          map[assertion.node]});
+    }
+
+    return result;
+}
+
+} // namespace autocc::rtl

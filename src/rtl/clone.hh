@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Netlist cloning — the mechanism behind AutoCC's two-universe
+ * wrapper generation (paper Sec. 3.3.1).  A DUT netlist is cloned
+ * twice into a fresh wrapper netlist with per-universe name prefixes
+ * (ua / ub); input ports marked `common` are shared between the two
+ * clones instead of being replicated, mirroring the `//AutoCC Common`
+ * annotation.
+ */
+
+#ifndef AUTOCC_RTL_CLONE_HH
+#define AUTOCC_RTL_CLONE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::rtl
+{
+
+/** What a clone produced, keyed by original (unprefixed) names. */
+struct CloneResult
+{
+    /** original signal name -> node in the destination netlist. */
+    std::unordered_map<std::string, NodeId> byName;
+    /** DUT ports with nodes remapped into the destination netlist. */
+    std::vector<Port> ports;
+    /** DUT-embedded assumptions, remapped. */
+    std::vector<Property> assumes;
+    /** DUT-embedded assertions, remapped. */
+    std::vector<Property> asserts;
+};
+
+/**
+ * Clone `src` into `dst`, prefixing every name with `prefix + "."`.
+ *
+ * @param shared_inputs cross-clone map for `common` input ports; the
+ *        first clone creates them (unprefixed) in dst, later clones
+ *        reuse them.  Pass nullptr to replicate everything.
+ */
+CloneResult cloneInto(const Netlist &src, Netlist &dst,
+                      const std::string &prefix,
+                      std::unordered_map<std::string, NodeId> *shared_inputs);
+
+} // namespace autocc::rtl
+
+#endif // AUTOCC_RTL_CLONE_HH

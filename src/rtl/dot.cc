@@ -1,0 +1,122 @@
+#include "rtl/dot.hh"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace autocc::rtl
+{
+
+namespace
+{
+
+const char *
+opLabel(Op op)
+{
+    switch (op) {
+      case Op::Input: return "input";
+      case Op::Const: return "const";
+      case Op::Reg: return "reg";
+      case Op::MemRead: return "memrd";
+      case Op::Not: return "~";
+      case Op::And: return "&";
+      case Op::Or: return "|";
+      case Op::Xor: return "^";
+      case Op::Mux: return "mux";
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Eq: return "==";
+      case Op::Ult: return "<";
+      case Op::ShlC: return "<<";
+      case Op::ShrC: return ">>";
+      case Op::Concat: return "cat";
+      case Op::Slice: return "slice";
+      case Op::RedOr: return "|red";
+      case Op::RedAnd: return "&red";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toDot(const Netlist &netlist, const DotOptions &options)
+{
+    // Mark reachable nodes (cone of the requested roots, or all).
+    std::vector<bool> keep(netlist.numNodes(), options.roots.empty());
+    if (!options.roots.empty()) {
+        std::vector<NodeId> stack;
+        for (const auto &name : options.roots)
+            stack.push_back(netlist.signal(name));
+        while (!stack.empty()) {
+            const NodeId id = stack.back();
+            stack.pop_back();
+            if (keep[id])
+                continue;
+            keep[id] = true;
+            const Node &node = netlist.node(id);
+            for (uint8_t i = 0; i < node.numOperands; ++i)
+                stack.push_back(node.operands[i]);
+            if (node.op == Op::Reg) {
+                const NodeId next = netlist.regs()[node.aux].next;
+                if (next != invalidNode)
+                    stack.push_back(next);
+            }
+        }
+    }
+
+    // Reverse names for labels.
+    std::unordered_map<NodeId, std::string> label;
+    for (const auto &[name, node] : netlist.signals()) {
+        auto &slot = label[node];
+        if (slot.empty() || name.size() < slot.size())
+            slot = name;
+    }
+
+    std::ostringstream os;
+    os << "digraph \"" << netlist.name() << "\" {\n"
+       << "  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+        if (!keep[id])
+            continue;
+        const Node &node = netlist.node(id);
+        if (node.op == Op::Const && options.foldConstants)
+            continue;
+        os << "  n" << id << " [label=\"" << opLabel(node.op);
+        if (node.op == Op::Const)
+            os << " 0x" << std::hex << node.value << std::dec;
+        if (node.op == Op::Slice || node.op == Op::ShlC ||
+            node.op == Op::ShrC) {
+            os << " @" << node.aux;
+        }
+        const auto it = label.find(id);
+        if (it != label.end())
+            os << "\\n" << it->second;
+        os << "\\n[" << node.width << "b]\"";
+        if (node.op == Op::Reg)
+            os << ", style=filled, fillcolor=lightblue";
+        else if (node.op == Op::Input)
+            os << ", style=filled, fillcolor=lightyellow";
+        os << "];\n";
+        for (uint8_t i = 0; i < node.numOperands; ++i) {
+            const NodeId src = node.operands[i];
+            if (netlist.node(src).op == Op::Const && options.foldConstants)
+                continue;
+            os << "  n" << src << " -> n" << id << ";\n";
+        }
+    }
+    // Register next-state edges (dashed).
+    for (const auto &reg : netlist.regs()) {
+        if (keep[reg.node] && reg.next != invalidNode &&
+            keep[reg.next] &&
+            !(netlist.node(reg.next).op == Op::Const &&
+              options.foldConstants)) {
+            os << "  n" << reg.next << " -> n" << reg.node
+               << " [style=dashed, color=gray];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace autocc::rtl

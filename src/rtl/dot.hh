@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Graphviz DOT export of a netlist — handy when debugging DUT models
+ * or inspecting what the miter generator produced.
+ */
+
+#ifndef AUTOCC_RTL_DOT_HH
+#define AUTOCC_RTL_DOT_HH
+
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::rtl
+{
+
+/** Options for the DOT rendering. */
+struct DotOptions
+{
+    /** Collapse constants into operand labels instead of nodes. */
+    bool foldConstants = true;
+    /** Only render the fan-in cone of named signals (empty = all). */
+    std::vector<std::string> roots;
+};
+
+/** Render the netlist as a DOT digraph. */
+std::string toDot(const Netlist &netlist, const DotOptions &options = {});
+
+} // namespace autocc::rtl
+
+#endif // AUTOCC_RTL_DOT_HH

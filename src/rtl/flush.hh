@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Flush plans: a named set of registers that a design clears when its
+ * flush signal fires.  DUT builders consult a plan so that the flush
+ * synthesis algorithms (paper Sec. 3.5) can rebuild the same design
+ * with different flush coverage without touching builder code.
+ */
+
+#ifndef AUTOCC_RTL_FLUSH_HH
+#define AUTOCC_RTL_FLUSH_HH
+
+#include <set>
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::rtl
+{
+
+/** The set of register names cleared by the flush mechanism. */
+struct FlushPlan
+{
+    std::set<std::string> flushed;
+
+    bool contains(const std::string &name) const
+    {
+        return flushed.count(name) > 0;
+    }
+    void insert(const std::string &name) { flushed.insert(name); }
+    void erase(const std::string &name) { flushed.erase(name); }
+    size_t size() const { return flushed.size(); }
+};
+
+/**
+ * Helper that builds registers honoring a flush plan: when the plan
+ * contains the register, its next-state input is muxed with the reset
+ * value under `flush_signal`.
+ */
+class FlushCtx
+{
+  public:
+    FlushCtx(Netlist &netlist, const FlushPlan &plan)
+        : netlist_(netlist), plan_(plan)
+    {
+    }
+
+    /** Set the flush signal (may be created after some registers). */
+    void setFlushSignal(NodeId flush_signal) { flush_ = flush_signal; }
+
+    /** Create a register (same contract as Netlist::reg). */
+    NodeId
+    reg(const std::string &name, unsigned width, uint64_t reset_value = 0)
+    {
+        return netlist_.reg(name, width, reset_value);
+    }
+
+    /**
+     * Connect a register's next state; if the register's full
+     * (scoped) name is in the plan, the connection is wrapped so the
+     * flush clears it to its reset value.
+     */
+    void
+    connect(NodeId reg_node, NodeId next)
+    {
+        const auto &info = netlist_.regs()[netlist_.node(reg_node).aux];
+        if (plan_.contains(info.name)) {
+            panic_if(flush_ == invalidNode,
+                     "FlushCtx: flush signal not set before connect of '",
+                     info.name, "'");
+            next = netlist_.mux(
+                flush_,
+                netlist_.constant(netlist_.width(reg_node), info.resetValue),
+                next);
+        }
+        netlist_.connectReg(reg_node, next);
+    }
+
+    const FlushPlan &plan() const { return plan_; }
+
+  private:
+    Netlist &netlist_;
+    const FlushPlan &plan_;
+    NodeId flush_ = invalidNode;
+};
+
+} // namespace autocc::rtl
+
+#endif // AUTOCC_RTL_FLUSH_HH

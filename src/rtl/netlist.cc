@@ -1,0 +1,434 @@
+#include "rtl/netlist.hh"
+
+#include <sstream>
+
+namespace autocc::rtl
+{
+
+void
+Netlist::checkId(NodeId id) const
+{
+    panic_if(id >= nodes_.size(), "dangling node id ", id, " in netlist '",
+             name_, "'");
+}
+
+NodeId
+Netlist::makeNode(Op op, unsigned width, std::initializer_list<NodeId> ops,
+                  uint32_t aux, uint64_t value)
+{
+    panic_if(width == 0 || width > maxWidth, "bad node width ", width);
+    Node node;
+    node.op = op;
+    node.width = width;
+    node.aux = aux;
+    node.value = truncate(value, width);
+    node.numOperands = static_cast<uint8_t>(ops.size());
+    size_t i = 0;
+    for (NodeId operand : ops) {
+        checkId(operand);
+        node.operands[i++] = operand;
+    }
+    nodes_.push_back(node);
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId
+Netlist::input(const std::string &name, unsigned width, bool common)
+{
+    const NodeId id = makeNode(Op::Input, width, {});
+    const std::string full = scopedName(name);
+    names_[full] = id;
+    ports_.push_back(Port{full, PortDir::In, id, common, false});
+    return id;
+}
+
+NodeId
+Netlist::constant(unsigned width, uint64_t value)
+{
+    return makeNode(Op::Const, width, {}, 0, value);
+}
+
+NodeId
+Netlist::reg(const std::string &name, unsigned width, uint64_t reset_value)
+{
+    const uint32_t index = static_cast<uint32_t>(regs_.size());
+    const NodeId id = makeNode(Op::Reg, width, {}, index);
+    const std::string full = scopedName(name);
+    regs_.push_back(RegInfo{id, invalidNode, truncate(reset_value, width),
+                            full});
+    names_[full] = id;
+    return id;
+}
+
+void
+Netlist::connectReg(NodeId reg_node, NodeId next)
+{
+    checkId(reg_node);
+    checkId(next);
+    const Node &r = nodes_[reg_node];
+    panic_if(r.op != Op::Reg, "connectReg on non-register node");
+    panic_if(nodes_[next].width != r.width, "register '",
+             regs_[r.aux].name, "' width ", r.width,
+             " != next-state width ", nodes_[next].width);
+    panic_if(regs_[r.aux].next != invalidNode, "register '",
+             regs_[r.aux].name, "' connected twice");
+    regs_[r.aux].next = next;
+}
+
+uint32_t
+Netlist::memory(const std::string &name, uint32_t size, unsigned data_width,
+                uint64_t init_value)
+{
+    panic_if(size < 2 || (size & (size - 1)) != 0,
+             "memory size must be a power of two >= 2, got ", size);
+    MemInfo info;
+    info.name = scopedName(name);
+    info.size = size;
+    info.dataWidth = data_width;
+    info.addrWidth = 0;
+    while ((uint32_t{1} << info.addrWidth) < size)
+        ++info.addrWidth;
+    info.initValue = truncate(init_value, data_width);
+    mems_.push_back(info);
+    return static_cast<uint32_t>(mems_.size() - 1);
+}
+
+NodeId
+Netlist::memRead(uint32_t mem, NodeId addr)
+{
+    panic_if(mem >= mems_.size(), "bad memory index");
+    panic_if(nodes_[addr].width < mems_[mem].addrWidth,
+             "memRead address too narrow for '", mems_[mem].name, "'");
+    return makeNode(Op::MemRead, mems_[mem].dataWidth, {addr}, mem);
+}
+
+void
+Netlist::memWrite(uint32_t mem, NodeId enable, NodeId addr, NodeId data)
+{
+    panic_if(mem >= mems_.size(), "bad memory index");
+    checkId(enable);
+    checkId(addr);
+    checkId(data);
+    panic_if(nodes_[enable].width != 1, "memWrite enable must be 1 bit");
+    panic_if(nodes_[data].width != mems_[mem].dataWidth,
+             "memWrite data width mismatch on '", mems_[mem].name, "'");
+    memWrites_.push_back(MemWrite{mem, enable, addr, data});
+}
+
+NodeId
+Netlist::notOf(NodeId a)
+{
+    return makeNode(Op::Not, nodes_[a].width, {a});
+}
+
+NodeId
+Netlist::andOf(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "and width mismatch");
+    return makeNode(Op::And, nodes_[a].width, {a, b});
+}
+
+NodeId
+Netlist::orOf(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "or width mismatch");
+    return makeNode(Op::Or, nodes_[a].width, {a, b});
+}
+
+NodeId
+Netlist::xorOf(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "xor width mismatch");
+    return makeNode(Op::Xor, nodes_[a].width, {a, b});
+}
+
+NodeId
+Netlist::mux(NodeId sel, NodeId then_v, NodeId else_v)
+{
+    panic_if(nodes_[sel].width != 1, "mux select must be 1 bit");
+    panic_if(nodes_[then_v].width != nodes_[else_v].width,
+             "mux arm width mismatch");
+    return makeNode(Op::Mux, nodes_[then_v].width, {sel, then_v, else_v});
+}
+
+NodeId
+Netlist::add(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "add width mismatch");
+    return makeNode(Op::Add, nodes_[a].width, {a, b});
+}
+
+NodeId
+Netlist::sub(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "sub width mismatch");
+    return makeNode(Op::Sub, nodes_[a].width, {a, b});
+}
+
+NodeId
+Netlist::eq(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "eq width mismatch");
+    return makeNode(Op::Eq, 1, {a, b});
+}
+
+NodeId
+Netlist::ult(NodeId a, NodeId b)
+{
+    panic_if(nodes_[a].width != nodes_[b].width, "ult width mismatch");
+    return makeNode(Op::Ult, 1, {a, b});
+}
+
+NodeId
+Netlist::shlC(NodeId a, unsigned amount)
+{
+    panic_if(amount >= nodes_[a].width, "shlC amount too large");
+    return makeNode(Op::ShlC, nodes_[a].width, {a}, amount);
+}
+
+NodeId
+Netlist::shrC(NodeId a, unsigned amount)
+{
+    panic_if(amount >= nodes_[a].width, "shrC amount too large");
+    return makeNode(Op::ShrC, nodes_[a].width, {a}, amount);
+}
+
+NodeId
+Netlist::concat(NodeId hi, NodeId lo)
+{
+    const unsigned width = nodes_[hi].width + nodes_[lo].width;
+    panic_if(width > maxWidth, "concat wider than ", maxWidth, " bits");
+    return makeNode(Op::Concat, width, {hi, lo});
+}
+
+NodeId
+Netlist::slice(NodeId a, unsigned lo, unsigned width)
+{
+    panic_if(lo + width > nodes_[a].width, "slice out of range");
+    return makeNode(Op::Slice, width, {a}, lo);
+}
+
+NodeId
+Netlist::redOr(NodeId a)
+{
+    return makeNode(Op::RedOr, 1, {a});
+}
+
+NodeId
+Netlist::redAnd(NodeId a)
+{
+    return makeNode(Op::RedAnd, 1, {a});
+}
+
+NodeId
+Netlist::zext(NodeId a, unsigned width)
+{
+    const unsigned aw = nodes_[a].width;
+    panic_if(width < aw, "zext to narrower width");
+    if (width == aw)
+        return a;
+    return concat(constant(width - aw, 0), a);
+}
+
+NodeId
+Netlist::eqConst(NodeId a, uint64_t value)
+{
+    return eq(a, constant(nodes_[a].width, value));
+}
+
+NodeId
+Netlist::andAll(const std::vector<NodeId> &xs)
+{
+    if (xs.empty())
+        return one();
+    NodeId acc = xs[0];
+    for (size_t i = 1; i < xs.size(); ++i)
+        acc = andOf(acc, xs[i]);
+    return acc;
+}
+
+NodeId
+Netlist::orAll(const std::vector<NodeId> &xs)
+{
+    if (xs.empty())
+        return zero();
+    NodeId acc = xs[0];
+    for (size_t i = 1; i < xs.size(); ++i)
+        acc = orOf(acc, xs[i]);
+    return acc;
+}
+
+NodeId
+Netlist::incr(NodeId a, uint64_t amount)
+{
+    return add(a, constant(nodes_[a].width, amount));
+}
+
+NodeId
+Netlist::decr(NodeId a, uint64_t amount)
+{
+    return sub(a, constant(nodes_[a].width, amount));
+}
+
+void
+Netlist::output(const std::string &name, NodeId node)
+{
+    checkId(node);
+    const std::string full = scopedName(name);
+    names_[full] = node;
+    ports_.push_back(Port{full, PortDir::Out, node, false, false});
+}
+
+void
+Netlist::nameNode(NodeId node, const std::string &name)
+{
+    checkId(node);
+    names_[scopedName(name)] = node;
+}
+
+void
+Netlist::pushScope(const std::string &scope)
+{
+    scopeStack_.push_back(scope);
+}
+
+void
+Netlist::popScope()
+{
+    panic_if(scopeStack_.empty(), "popScope with empty scope stack");
+    scopeStack_.pop_back();
+}
+
+std::string
+Netlist::scopedName(const std::string &name) const
+{
+    std::string full;
+    for (const auto &scope : scopeStack_)
+        full += scope + ".";
+    return full + name;
+}
+
+void
+Netlist::transaction(const std::string &name, const std::string &valid_port,
+                     std::vector<std::string> payload_ports)
+{
+    panic_if(!findPort(valid_port), "transaction valid port '", valid_port,
+             "' is not a port");
+    for (const auto &p : payload_ports)
+        panic_if(!findPort(p), "transaction payload '", p,
+                 "' is not a port");
+    transactions_.push_back(
+        Transaction{name, valid_port, std::move(payload_ports)});
+}
+
+void
+Netlist::markArch(const std::string &signal_name)
+{
+    panic_if(names_.find(signal_name) == names_.end(),
+             "markArch: unknown signal '", signal_name, "'");
+    archSignals_.push_back(signal_name);
+}
+
+void
+Netlist::addAssume(const std::string &name, NodeId node)
+{
+    checkId(node);
+    panic_if(nodes_[node].width != 1, "assume must be 1 bit");
+    assumes_.push_back(Property{scopedName(name), node});
+}
+
+void
+Netlist::addAssert(const std::string &name, NodeId node)
+{
+    checkId(node);
+    panic_if(nodes_[node].width != 1, "assert must be 1 bit");
+    asserts_.push_back(Property{scopedName(name), node});
+}
+
+void
+Netlist::setFlushDone(const std::string &signal_name)
+{
+    panic_if(names_.find(signal_name) == names_.end(),
+             "setFlushDone: unknown signal '", signal_name, "'");
+    flushDoneSignal_ = signal_name;
+}
+
+NodeId
+Netlist::signal(const std::string &name) const
+{
+    const auto it = names_.find(name);
+    panic_if(it == names_.end(), "unknown signal '", name,
+             "' in netlist '", name_, "'");
+    return it->second;
+}
+
+NodeId
+Netlist::findSignal(const std::string &name) const
+{
+    const auto it = names_.find(name);
+    return it == names_.end() ? invalidNode : it->second;
+}
+
+std::string
+Netlist::nodeName(NodeId id) const
+{
+    // Reverse lookup; used only for diagnostics.
+    for (const auto &[name, node] : names_) {
+        if (node == id)
+            return name;
+    }
+    return "";
+}
+
+const Port *
+Netlist::findPort(const std::string &name) const
+{
+    for (const auto &port : ports_) {
+        if (port.name == name)
+            return &port;
+    }
+    return nullptr;
+}
+
+void
+Netlist::validate() const
+{
+    for (const auto &reg : regs_) {
+        panic_if(reg.next == invalidNode, "register '", reg.name,
+                 "' has no next-state connection");
+    }
+    for (const auto &node : nodes_) {
+        for (uint8_t i = 0; i < node.numOperands; ++i) {
+            panic_if(node.operands[i] >= nodes_.size(),
+                     "node references out-of-range operand");
+        }
+    }
+    for (const auto &write : memWrites_) {
+        panic_if(nodes_[write.addr].width < mems_[write.mem].addrWidth,
+                 "memory '", mems_[write.mem].name,
+                 "' write address too narrow");
+    }
+}
+
+std::string
+Netlist::summary() const
+{
+    std::ostringstream os;
+    os << "netlist '" << name_ << "': " << nodes_.size() << " nodes, "
+       << regs_.size() << " regs, " << mems_.size() << " mems, "
+       << ports_.size() << " ports, " << stateBits() << " state bits";
+    return os.str();
+}
+
+uint64_t
+Netlist::stateBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &reg : regs_)
+        bits += nodes_[reg.node].width;
+    for (const auto &mem : mems_)
+        bits += uint64_t{mem.size} * mem.dataWidth;
+    return bits;
+}
+
+} // namespace autocc::rtl

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Word-level RTL netlist IR.
+ *
+ * A Netlist is a flat graph of typed nodes (inputs, constants,
+ * registers, memory read ports, and combinational operators) plus
+ * side tables describing registers, memories, ports, transactions and
+ * embedded safety properties.  Builders create nodes in dependency
+ * order, so node creation order is a valid topological order for
+ * combinational evaluation; combinational cycles are impossible by
+ * construction (registers are created before their next-state input
+ * is connected).
+ *
+ * All values are <= 64 bits wide.  There is a single implicit clock;
+ * reset is modeled as the initial state (each register starts at its
+ * reset value), matching how BMC from reset treats initial states.
+ *
+ * This IR stands in for the SystemVerilog sources the paper's flow
+ * parses: it carries exactly the objects AutoCC needs — flops,
+ * memories, hierarchy paths, interface ports and valid/payload
+ * transaction grouping.
+ */
+
+#ifndef AUTOCC_RTL_NETLIST_HH
+#define AUTOCC_RTL_NETLIST_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+
+namespace autocc::rtl
+{
+
+/** Index of a node within a Netlist. */
+using NodeId = uint32_t;
+constexpr NodeId invalidNode = 0xffffffffu;
+
+/** Node operator kinds. */
+enum class Op : uint8_t {
+    Input,   ///< primary input (free symbolic each cycle)
+    Const,   ///< constant (value in Node::value)
+    Reg,     ///< register output (Node::aux indexes Netlist regs table)
+    MemRead, ///< combinational memory read port (aux = memory index)
+    Not,     ///< bitwise not
+    And,     ///< bitwise and
+    Or,      ///< bitwise or
+    Xor,     ///< bitwise xor
+    Mux,     ///< operands: sel(1b), then-value, else-value
+    Add,     ///< modular add, same widths
+    Sub,     ///< modular subtract
+    Eq,      ///< equality, 1-bit result
+    Ult,     ///< unsigned less-than, 1-bit result
+    ShlC,    ///< shift left by constant (aux = amount)
+    ShrC,    ///< logical shift right by constant (aux = amount)
+    Concat,  ///< {hi, lo}; width = w(hi) + w(lo)
+    Slice,   ///< bits [aux, aux+width) of operand
+    RedOr,   ///< reduction or, 1-bit
+    RedAnd,  ///< reduction and, 1-bit
+};
+
+/** One netlist node. */
+struct Node
+{
+    Op op;
+    uint8_t numOperands;
+    unsigned width;
+    uint32_t aux = 0;     ///< reg index / mem index / shift amount / slice lo
+    uint64_t value = 0;   ///< constant value (Op::Const only)
+    std::array<NodeId, 3> operands = {invalidNode, invalidNode, invalidNode};
+};
+
+/** Register descriptor. */
+struct RegInfo
+{
+    NodeId node = invalidNode;   ///< the Op::Reg node
+    NodeId next = invalidNode;   ///< next-state input (connected later)
+    uint64_t resetValue = 0;
+    std::string name;            ///< hierarchical path
+};
+
+/** Memory descriptor (sync write, combinational read). */
+struct MemInfo
+{
+    std::string name;
+    unsigned addrWidth = 0;
+    unsigned dataWidth = 0;
+    uint32_t size = 0;           ///< number of words (<= 2^addrWidth)
+    uint64_t initValue = 0;      ///< every word resets to this value
+};
+
+/** A registered memory write port, applied at the clock edge. */
+struct MemWrite
+{
+    uint32_t mem = 0;
+    NodeId enable = invalidNode; ///< 1-bit
+    NodeId addr = invalidNode;
+    NodeId data = invalidNode;
+};
+
+/** Direction of a port. */
+enum class PortDir : uint8_t { In, Out };
+
+/** An interface port of the module. */
+struct Port
+{
+    std::string name;
+    PortDir dir;
+    NodeId node = invalidNode;
+    /** Common inputs are not replicated across miter universes. */
+    bool common = false;
+    /** Wire exposed by blackboxing rather than a real module pin. */
+    bool fromBlackbox = false;
+};
+
+/**
+ * A transaction groups payload ports under a governing valid port, as
+ * AutoSVA/AutoCC do: payload equality is only assumed/checked while
+ * the valid is asserted.
+ */
+struct Transaction
+{
+    std::string name;
+    std::string validPort;
+    std::vector<std::string> payloadPorts;
+};
+
+/** A named 1-bit property node embedded in the netlist. */
+struct Property
+{
+    std::string name;
+    NodeId node = invalidNode;
+};
+
+/** Word-level netlist; see file comment. */
+class Netlist
+{
+  public:
+    Netlist() = default;
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    // --- node construction ------------------------------------------
+
+    /** Create a primary input port. */
+    NodeId input(const std::string &name, unsigned width,
+                 bool common = false);
+
+    /** Create a constant. */
+    NodeId constant(unsigned width, uint64_t value);
+
+    /** 1-bit constant true. */
+    NodeId one() { return constant(1, 1); }
+    /** 1-bit constant false. */
+    NodeId zero() { return constant(1, 0); }
+
+    /**
+     * Create a register (its next-state input is connected later with
+     * connectReg()). Name is prefixed with the current scope.
+     */
+    NodeId reg(const std::string &name, unsigned width,
+               uint64_t reset_value = 0);
+
+    /** Connect a register's next-state input. */
+    void connectReg(NodeId reg_node, NodeId next);
+
+    /** Create a memory; returns the memory index. */
+    uint32_t memory(const std::string &name, uint32_t size,
+                    unsigned data_width, uint64_t init_value = 0);
+
+    /** Combinational memory read port. */
+    NodeId memRead(uint32_t mem, NodeId addr);
+
+    /** Registered memory write port (applied in creation order). */
+    void memWrite(uint32_t mem, NodeId enable, NodeId addr, NodeId data);
+
+    // primitive operators
+    NodeId notOf(NodeId a);
+    NodeId andOf(NodeId a, NodeId b);
+    NodeId orOf(NodeId a, NodeId b);
+    NodeId xorOf(NodeId a, NodeId b);
+    NodeId mux(NodeId sel, NodeId then_v, NodeId else_v);
+    NodeId add(NodeId a, NodeId b);
+    NodeId sub(NodeId a, NodeId b);
+    NodeId eq(NodeId a, NodeId b);
+    NodeId ult(NodeId a, NodeId b);
+    NodeId shlC(NodeId a, unsigned amount);
+    NodeId shrC(NodeId a, unsigned amount);
+    NodeId concat(NodeId hi, NodeId lo);
+    NodeId slice(NodeId a, unsigned lo, unsigned width);
+    NodeId redOr(NodeId a);
+    NodeId redAnd(NodeId a);
+
+    // derived operators (sugar over primitives)
+    NodeId ne(NodeId a, NodeId b) { return notOf(eq(a, b)); }
+    NodeId ule(NodeId a, NodeId b) { return notOf(ult(b, a)); }
+    NodeId ugt(NodeId a, NodeId b) { return ult(b, a); }
+    NodeId uge(NodeId a, NodeId b) { return notOf(ult(a, b)); }
+    NodeId bit(NodeId a, unsigned pos) { return slice(a, pos, 1); }
+    NodeId zext(NodeId a, unsigned width);
+    NodeId eqConst(NodeId a, uint64_t value);
+    NodeId andAll(const std::vector<NodeId> &xs);
+    NodeId orAll(const std::vector<NodeId> &xs);
+    NodeId incr(NodeId a, uint64_t amount = 1);
+    NodeId decr(NodeId a, uint64_t amount = 1);
+
+    // --- ports, names, metadata --------------------------------------
+
+    /** Declare an output port driven by `node`. */
+    void output(const std::string &name, NodeId node);
+
+    /** Attach/override a diagnostic name for a node. */
+    void nameNode(NodeId node, const std::string &name);
+
+    /** Hierarchical scope management for generated names. */
+    void pushScope(const std::string &scope);
+    void popScope();
+    std::string scopedName(const std::string &name) const;
+
+    /** Declare a valid/payload transaction over existing ports. */
+    void transaction(const std::string &name, const std::string &valid_port,
+                     std::vector<std::string> payload_ports);
+
+    /**
+     * Mark a named signal as architecturally visible (readable via the
+     * ISA and swapped by the OS on a context switch).
+     */
+    void markArch(const std::string &signal_name);
+
+    /** Declare that `node` must be 1 in every reachable cycle. */
+    void addAssume(const std::string &name, NodeId node);
+
+    /** Declare a safety property: `node` must be 1 every cycle. */
+    void addAssert(const std::string &name, NodeId node);
+
+    /**
+     * Name the DUT's flush-completion signal (1-bit). AutoCC leaves it
+     * free when unset, matching Listing 1's `wire flush_done = 'x`.
+     */
+    void setFlushDone(const std::string &signal_name);
+    const std::optional<std::string> &flushDoneSignal() const
+    {
+        return flushDoneSignal_;
+    }
+
+    // --- accessors ----------------------------------------------------
+
+    const Node &node(NodeId id) const { return nodes_[id]; }
+    size_t numNodes() const { return nodes_.size(); }
+
+    const std::vector<RegInfo> &regs() const { return regs_; }
+    const std::vector<MemInfo> &mems() const { return mems_; }
+    const std::vector<MemWrite> &memWrites() const { return memWrites_; }
+    const std::vector<Port> &ports() const { return ports_; }
+    const std::vector<Transaction> &transactions() const
+    {
+        return transactions_;
+    }
+    const std::vector<std::string> &archSignals() const
+    {
+        return archSignals_;
+    }
+    const std::vector<Property> &assumes() const { return assumes_; }
+    const std::vector<Property> &asserts() const { return asserts_; }
+
+    /** Look up a named signal; panics if missing. */
+    NodeId signal(const std::string &name) const;
+
+    /** Look up a named signal; invalidNode if missing. */
+    NodeId findSignal(const std::string &name) const;
+
+    /** Name of a node if one was attached, else "". */
+    std::string nodeName(NodeId id) const;
+
+    /** All named signals (name -> node). */
+    const std::unordered_map<std::string, NodeId> &signals() const
+    {
+        return names_;
+    }
+
+    /** Find a port by name; nullptr if missing. */
+    const Port *findPort(const std::string &name) const;
+
+    /** Width of a node. */
+    unsigned width(NodeId id) const { return nodes_[id].width; }
+
+    /** Structural sanity checks; panics on violation. */
+    void validate() const;
+
+    /** Human-readable statistics line. */
+    std::string summary() const;
+
+    /** Total register state bits (including memories). */
+    uint64_t stateBits() const;
+
+  private:
+    NodeId makeNode(Op op, unsigned width, std::initializer_list<NodeId> ops,
+                    uint32_t aux = 0, uint64_t value = 0);
+    void checkId(NodeId id) const;
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<RegInfo> regs_;
+    std::vector<MemInfo> mems_;
+    std::vector<MemWrite> memWrites_;
+    std::vector<Port> ports_;
+    std::vector<Transaction> transactions_;
+    std::vector<std::string> archSignals_;
+    std::vector<Property> assumes_;
+    std::vector<Property> asserts_;
+    std::optional<std::string> flushDoneSignal_;
+    std::unordered_map<std::string, NodeId> names_;
+    std::vector<std::string> scopeStack_;
+};
+
+/** RAII helper for hierarchical name scopes. */
+class Scope
+{
+  public:
+    Scope(Netlist &netlist, const std::string &name) : netlist_(netlist)
+    {
+        netlist_.pushScope(name);
+    }
+    ~Scope() { netlist_.popScope(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Netlist &netlist_;
+};
+
+} // namespace autocc::rtl
+
+#endif // AUTOCC_RTL_NETLIST_HH

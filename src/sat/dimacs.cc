@@ -1,0 +1,80 @@
+#include "sat/dimacs.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "sat/solver.hh"
+
+namespace autocc::sat
+{
+
+Cnf
+parseDimacs(std::istream &in)
+{
+    Cnf cnf;
+    std::string token;
+    int declaredClauses = -1;
+    std::vector<Lit> clause;
+
+    while (in >> token) {
+        if (token == "c") {
+            std::string line;
+            std::getline(in, line);
+        } else if (token == "p") {
+            std::string fmt;
+            in >> fmt >> cnf.numVars >> declaredClauses;
+            fatal_if(fmt != "cnf", "unsupported DIMACS format: ", fmt);
+        } else {
+            int lit = 0;
+            try {
+                lit = std::stoi(token);
+            } catch (...) {
+                fatal("bad DIMACS token: ", token);
+            }
+            if (lit == 0) {
+                cnf.clauses.push_back(clause);
+                clause.clear();
+            } else {
+                const int v = std::abs(lit) - 1;
+                fatal_if(v >= cnf.numVars,
+                         "DIMACS literal ", lit, " exceeds declared vars");
+                clause.push_back(mkLit(v, lit < 0));
+            }
+        }
+    }
+    fatal_if(!clause.empty(), "DIMACS clause missing terminating 0");
+    return cnf;
+}
+
+Cnf
+parseDimacsString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseDimacs(is);
+}
+
+std::string
+toDimacs(const Cnf &cnf)
+{
+    std::ostringstream os;
+    os << "p cnf " << cnf.numVars << " " << cnf.clauses.size() << "\n";
+    for (const auto &clause : cnf.clauses) {
+        for (Lit lit : clause)
+            os << (sign(lit) ? -(var(lit) + 1) : (var(lit) + 1)) << " ";
+        os << "0\n";
+    }
+    return os.str();
+}
+
+bool
+loadCnf(Solver &solver, const Cnf &cnf)
+{
+    while (solver.numVars() < cnf.numVars)
+        solver.newVar();
+    bool ok = true;
+    for (const auto &clause : cnf.clauses)
+        ok = solver.addClause(clause) && ok;
+    return ok;
+}
+
+} // namespace autocc::sat

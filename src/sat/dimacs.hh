@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DIMACS CNF import/export — lets the solver interoperate with
+ * standard SAT tooling and lets tests ship textual fixtures.
+ */
+
+#ifndef AUTOCC_SAT_DIMACS_HH
+#define AUTOCC_SAT_DIMACS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace autocc::sat
+{
+
+class Solver;
+
+/** A parsed CNF: number of variables plus clause list. */
+struct Cnf
+{
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/**
+ * Parse DIMACS CNF text.
+ *
+ * @throws via fatal() on malformed input.
+ */
+Cnf parseDimacs(std::istream &in);
+
+/** Parse DIMACS CNF from a string. */
+Cnf parseDimacsString(const std::string &text);
+
+/** Render a CNF in DIMACS format. */
+std::string toDimacs(const Cnf &cnf);
+
+/**
+ * Load a CNF into a solver (creating variables as needed).
+ *
+ * @return false if the formula is trivially unsatisfiable.
+ */
+bool loadCnf(Solver &solver, const Cnf &cnf);
+
+} // namespace autocc::sat
+
+#endif // AUTOCC_SAT_DIMACS_HH

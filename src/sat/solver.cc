@@ -1,0 +1,625 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace autocc::sat
+{
+
+// --------------------------------------------------------------------
+// VarOrderHeap
+// --------------------------------------------------------------------
+
+void
+Solver::VarOrderHeap::percolateUp(int i)
+{
+    Var v = heap[i];
+    int parent = (i - 1) >> 1;
+    while (i > 0 && less(heap[parent], v)) {
+        heap[i] = heap[parent];
+        position[heap[i]] = i;
+        i = parent;
+        parent = (i - 1) >> 1;
+    }
+    heap[i] = v;
+    position[v] = i;
+}
+
+void
+Solver::VarOrderHeap::percolateDown(int i)
+{
+    Var v = heap[i];
+    const int n = static_cast<int>(heap.size());
+    while (2 * i + 1 < n) {
+        int child = 2 * i + 1;
+        if (child + 1 < n && less(heap[child], heap[child + 1]))
+            ++child;
+        if (!less(v, heap[child]))
+            break;
+        heap[i] = heap[child];
+        position[heap[i]] = i;
+        i = child;
+    }
+    heap[i] = v;
+    position[v] = i;
+}
+
+void
+Solver::VarOrderHeap::insert(Var v)
+{
+    if (v >= (int)position.size())
+        position.resize(v + 1, -1);
+    if (inHeap(v))
+        return;
+    position[v] = static_cast<int>(heap.size());
+    heap.push_back(v);
+    percolateUp(position[v]);
+}
+
+void
+Solver::VarOrderHeap::update(Var v)
+{
+    if (inHeap(v))
+        percolateUp(position[v]);
+}
+
+Var
+Solver::VarOrderHeap::removeMax()
+{
+    Var v = heap[0];
+    heap[0] = heap.back();
+    position[heap[0]] = 0;
+    heap.pop_back();
+    position[v] = -1;
+    if (!heap.empty())
+        percolateDown(0);
+    return v;
+}
+
+// --------------------------------------------------------------------
+// Solver
+// --------------------------------------------------------------------
+
+Solver::Solver()
+{
+    order_.activity = &activity_;
+}
+
+Var
+Solver::newVar()
+{
+    const Var v = numVars();
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(1); // default phase: false (like MiniSat)
+    activity_.push_back(0.0);
+    reason_.push_back(crefUndef);
+    level_.push_back(0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    order_.insert(v);
+    return v;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (!ok_)
+        return false;
+    panic_if(decisionLevel() != 0, "clauses must be added at level 0");
+
+    // Sort, dedup, drop false literals, detect tautology/satisfied.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = litUndef;
+    for (Lit lit : lits) {
+        panic_if(var(lit) < 0 || var(lit) >= numVars(),
+                 "literal over unknown variable");
+        if (value(lit) == LBool::True || lit == ~prev)
+            return true; // satisfied or tautology
+        if (value(lit) != LBool::False && lit != prev)
+            out.push_back(lit);
+        prev = lit;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], crefUndef);
+        ok_ = (propagate() == crefUndef);
+        return ok_;
+    }
+
+    clauses_.push_back(Clause{std::move(out), 0.0, false, false});
+    ++numProblemClauses_;
+    attachClause(static_cast<CRef>(clauses_.size() - 1));
+    return true;
+}
+
+bool
+Solver::addClause(Lit a)
+{
+    return addClause(std::vector<Lit>{a});
+}
+
+bool
+Solver::addClause(Lit a, Lit b)
+{
+    return addClause(std::vector<Lit>{a, b});
+}
+
+bool
+Solver::addClause(Lit a, Lit b, Lit c)
+{
+    return addClause(std::vector<Lit>{a, b, c});
+}
+
+void
+Solver::attachClause(CRef cref)
+{
+    const Clause &c = clauses_[cref];
+    watches_[(~c.lits[0]).x].push_back({cref, c.lits[1]});
+    watches_[(~c.lits[1]).x].push_back({cref, c.lits[0]});
+}
+
+void
+Solver::uncheckedEnqueue(Lit lit, CRef from)
+{
+    assigns_[var(lit)] = sign(lit) ? LBool::False : LBool::True;
+    reason_[var(lit)] = from;
+    level_[var(lit)] = decisionLevel();
+    trail_.push_back(lit);
+}
+
+Solver::CRef
+Solver::propagate()
+{
+    CRef confl = crefUndef;
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        std::vector<Watcher> &ws = watches_[p.x];
+        size_t i = 0, j = 0;
+        const size_t end = ws.size();
+        while (i != end) {
+            Watcher w = ws[i++];
+            // Quick check via the blocker literal.
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = w;
+                continue;
+            }
+
+            Clause &c = clauses_[w.cref];
+            if (c.deleted)
+                continue;
+            // Normalize: false watched literal at position 1.
+            const Lit notP = ~p;
+            if (c.lits[0] == notP)
+                std::swap(c.lits[0], c.lits[1]);
+
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = {w.cref, first};
+                continue;
+            }
+
+            // Find a new literal to watch.
+            bool foundWatch = false;
+            for (size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).x].push_back({w.cref, first});
+                    foundWatch = true;
+                    break;
+                }
+            }
+            if (foundWatch)
+                continue;
+
+            // Clause is unit or conflicting.
+            ws[j++] = {w.cref, first};
+            if (value(first) == LBool::False) {
+                confl = w.cref;
+                qhead_ = trail_.size();
+                while (i != end)
+                    ws[j++] = ws[i++];
+            } else {
+                uncheckedEnqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (confl != crefUndef)
+            break;
+    }
+    return confl;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (auto &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    order_.update(v);
+}
+
+void
+Solver::varDecayActivity()
+{
+    varInc_ /= varDecay_;
+}
+
+void
+Solver::claBumpActivity(Clause &c)
+{
+    c.activity += claInc_;
+    if (c.activity > 1e20) {
+        for (CRef cref : learntRefs_)
+            clauses_[cref].activity *= 1e-20;
+        claInc_ *= 1e-20;
+    }
+}
+
+void
+Solver::claDecayActivity()
+{
+    claInc_ /= claDecay_;
+}
+
+void
+Solver::analyze(CRef confl, std::vector<Lit> &outLearnt, int &outBtLevel)
+{
+    int pathCount = 0;
+    Lit p = litUndef;
+    outLearnt.clear();
+    outLearnt.push_back(litUndef); // slot for the asserting literal
+    size_t index = trail_.size() - 1;
+
+    do {
+        Clause &c = clauses_[confl];
+        if (c.learnt)
+            claBumpActivity(c);
+
+        const size_t start = (p == litUndef) ? 0 : 1;
+        for (size_t k = start; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            const Var vq = var(q);
+            if (!seen_[vq] && level_[vq] > 0) {
+                varBumpActivity(vq);
+                seen_[vq] = 1;
+                if (level_[vq] >= decisionLevel())
+                    ++pathCount;
+                else
+                    outLearnt.push_back(q);
+            }
+        }
+
+        // Next clause to look at: walk back the trail.
+        while (!seen_[var(trail_[index])])
+            --index;
+        p = trail_[index];
+        --index;
+        confl = reason_[var(p)];
+        seen_[var(p)] = 0;
+        --pathCount;
+    } while (pathCount > 0);
+    outLearnt[0] = ~p;
+
+    // Conflict clause minimization (recursive, abstraction-guarded).
+    analyzeToClear_ = outLearnt;
+    uint32_t abstractLevels = 0;
+    for (size_t i = 1; i < outLearnt.size(); ++i)
+        abstractLevels |= 1u << (level_[var(outLearnt[i])] & 31);
+    size_t j = 1;
+    for (size_t i = 1; i < outLearnt.size(); ++i) {
+        const Lit lit = outLearnt[i];
+        if (reason_[var(lit)] == crefUndef ||
+            !litRedundant(lit, abstractLevels)) {
+            outLearnt[j++] = lit;
+        }
+    }
+    outLearnt.resize(j);
+    stats_.learntLiterals += outLearnt.size();
+
+    // Find backtrack level: the max level among lits[1..].
+    if (outLearnt.size() == 1) {
+        outBtLevel = 0;
+    } else {
+        size_t maxIdx = 1;
+        for (size_t i = 2; i < outLearnt.size(); ++i) {
+            if (level_[var(outLearnt[i])] > level_[var(outLearnt[maxIdx])])
+                maxIdx = i;
+        }
+        std::swap(outLearnt[1], outLearnt[maxIdx]);
+        outBtLevel = level_[var(outLearnt[1])];
+    }
+
+    for (Lit lit : analyzeToClear_)
+        seen_[var(lit)] = 0;
+}
+
+bool
+Solver::litRedundant(Lit lit, uint32_t abstractLevels)
+{
+    // Iterative DFS over the implication graph; lit is redundant if every
+    // path terminates in literals already in the learnt clause.
+    std::vector<Lit> stack{lit};
+    const size_t clearTop = analyzeToClear_.size();
+    while (!stack.empty()) {
+        const Lit cur = stack.back();
+        stack.pop_back();
+        const Clause &c = clauses_[reason_[var(cur)]];
+        for (size_t k = 1; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            const Var vq = var(q);
+            if (seen_[vq] || level_[vq] == 0)
+                continue;
+            if (reason_[vq] == crefUndef ||
+                ((1u << (level_[vq] & 31)) & abstractLevels) == 0) {
+                // Not removable: undo marks made during this check.
+                for (size_t i = clearTop; i < analyzeToClear_.size(); ++i)
+                    seen_[var(analyzeToClear_[i])] = 0;
+                analyzeToClear_.resize(clearTop);
+                return false;
+            }
+            seen_[vq] = 1;
+            analyzeToClear_.push_back(q);
+            stack.push_back(q);
+        }
+    }
+    return true;
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (size_t i = trail_.size(); i > (size_t)trailLim_[level];) {
+        --i;
+        const Var v = var(trail_[i]);
+        assigns_[v] = LBool::Undef;
+        polarity_[v] = sign(trail_[i]);
+        if (!order_.inHeap(v))
+            order_.insert(v);
+    }
+    trail_.resize(trailLim_[level]);
+    trailLim_.resize(level);
+    qhead_ = trail_.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    // Occasional random decisions (MiniSat's random_var_freq) break
+    // heavy-tailed runs caused by unlucky variable orderings; the
+    // xorshift seed is fixed, so solving stays deterministic.
+    rngState_ ^= rngState_ << 13;
+    rngState_ ^= rngState_ >> 7;
+    rngState_ ^= rngState_ << 17;
+    if ((rngState_ & 63) == 0 && !order_.empty()) {
+        const Var v = order_.heap[rngState_ % order_.heap.size()];
+        if (value(v) == LBool::Undef) {
+            ++stats_.decisions;
+            return mkLit(v, polarity_[v]);
+        }
+    }
+    while (!order_.empty()) {
+        const Var v = order_.heap[0];
+        if (value(v) == LBool::Undef) {
+            order_.removeMax();
+            ++stats_.decisions;
+            return mkLit(v, polarity_[v]);
+        }
+        order_.removeMax();
+    }
+    return litUndef;
+}
+
+void
+Solver::reduceDB()
+{
+    // Remove the less active half of the learnt clauses (binary clauses
+    // and current reasons are kept).
+    std::sort(learntRefs_.begin(), learntRefs_.end(),
+              [&](CRef a, CRef b) {
+                  return clauses_[a].activity < clauses_[b].activity;
+              });
+
+    std::vector<uint8_t> isReason(clauses_.size(), 0);
+    for (Lit lit : trail_) {
+        if (reason_[var(lit)] != crefUndef)
+            isReason[reason_[var(lit)]] = 1;
+    }
+
+    std::vector<CRef> kept;
+    kept.reserve(learntRefs_.size());
+    const size_t half = learntRefs_.size() / 2;
+    for (size_t i = 0; i < learntRefs_.size(); ++i) {
+        const CRef cref = learntRefs_[i];
+        Clause &c = clauses_[cref];
+        if (i < half && c.lits.size() > 2 && !isReason[cref]) {
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            ++stats_.removedClauses;
+        } else {
+            kept.push_back(cref);
+        }
+    }
+    learntRefs_ = std::move(kept);
+    rebuildWatches();
+}
+
+void
+Solver::rebuildWatches()
+{
+    for (auto &w : watches_)
+        w.clear();
+    for (CRef cref = 0; cref < clauses_.size(); ++cref) {
+        if (!clauses_[cref].deleted)
+            attachClause(cref);
+    }
+}
+
+void
+Solver::analyzeFinal(Lit p)
+{
+    // Compute the subset of assumptions responsible for ~p.
+    conflictCore_.clear();
+    conflictCore_.push_back(p);
+    if (decisionLevel() == 0)
+        return;
+
+    seen_[var(p)] = 1;
+    for (size_t i = trail_.size(); i > (size_t)trailLim_[0];) {
+        --i;
+        const Var v = var(trail_[i]);
+        if (!seen_[v])
+            continue;
+        if (reason_[v] == crefUndef) {
+            if (level_[v] > 0)
+                conflictCore_.push_back(~trail_[i]);
+        } else {
+            const Clause &c = clauses_[reason_[v]];
+            for (size_t k = 1; k < c.lits.size(); ++k) {
+                if (level_[var(c.lits[k])] > 0)
+                    seen_[var(c.lits[k])] = 1;
+            }
+        }
+        seen_[v] = 0;
+    }
+    seen_[var(p)] = 0;
+}
+
+SolveResult
+Solver::search(uint64_t conflictLimit, const std::vector<Lit> &assumptions)
+{
+    uint64_t conflicts = 0;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        const CRef confl = propagate();
+        if (confl != crefUndef) {
+            // Conflict.
+            ++conflicts;
+            ++stats_.conflicts;
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                return SolveResult::Unsat;
+            }
+
+            int btLevel = 0;
+            analyze(confl, learnt, btLevel);
+            cancelUntil(btLevel);
+
+            // The asserting literal is unassigned after backtracking;
+            // assumption levels get re-established in the decision phase.
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], crefUndef);
+            } else {
+                clauses_.push_back(Clause{learnt, claInc_, true, false});
+                const CRef cref = static_cast<CRef>(clauses_.size() - 1);
+                learntRefs_.push_back(cref);
+                attachClause(cref);
+                uncheckedEnqueue(learnt[0], cref);
+            }
+            varDecayActivity();
+            claDecayActivity();
+        } else {
+            // No conflict.
+            if (conflicts >= conflictLimit) {
+                cancelUntil(0);
+                return SolveResult::Unknown;
+            }
+            if (maxLearnts_ > 0 && learntRefs_.size() >= maxLearnts_)
+                reduceDB();
+
+            Lit next = litUndef;
+            while (decisionLevel() < (int)assumptions.size()) {
+                const Lit p = assumptions[decisionLevel()];
+                if (value(p) == LBool::True) {
+                    trailLim_.push_back(static_cast<int>(trail_.size()));
+                } else if (value(p) == LBool::False) {
+                    analyzeFinal(~p);
+                    cancelUntil(0);
+                    return SolveResult::Unsat;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+
+            if (next == litUndef) {
+                next = pickBranchLit();
+                if (next == litUndef) {
+                    // All variables assigned: model found.
+                    model_.assign(assigns_.begin(), assigns_.end());
+                    cancelUntil(0);
+                    return SolveResult::Sat;
+                }
+            }
+            trailLim_.push_back(static_cast<int>(trail_.size()));
+            uncheckedEnqueue(next, crefUndef);
+        }
+    }
+}
+
+uint64_t
+Solver::luby(uint64_t i)
+{
+    // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    uint64_t k = 1;
+    while ((uint64_t{1} << k) - 1 < i + 1)
+        ++k;
+    while ((uint64_t{1} << k) - 1 != i + 1) {
+        --k;
+        i = i - ((uint64_t{1} << k) - 1);
+    }
+    return uint64_t{1} << (k - 1);
+}
+
+SolveResult
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    if (!ok_)
+        return SolveResult::Unsat;
+    conflictCore_.clear();
+
+    maxLearnts_ = std::max<double>(numProblemClauses_ * 0.3, 4000.0);
+    uint64_t totalConflicts = 0;
+
+    for (uint64_t restart = 0;; ++restart) {
+        const uint64_t limit = luby(restart) * 100;
+        const SolveResult result = search(limit, assumptions);
+        if (result != SolveResult::Unknown)
+            return result;
+        totalConflicts += limit;
+        ++stats_.restarts;
+        if (conflictBudget_ && totalConflicts >= conflictBudget_)
+            return SolveResult::Unknown;
+        maxLearnts_ *= 1.05;
+    }
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    panic_if(v < 0 || v >= (int)model_.size(), "model query out of range");
+    return model_[v] == LBool::True;
+}
+
+bool
+Solver::modelValue(Lit lit) const
+{
+    return modelValue(var(lit)) != sign(lit);
+}
+
+} // namespace autocc::sat

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * CDCL SAT solver in the MiniSat lineage.
+ *
+ * Features: two-watched-literal propagation, first-UIP conflict
+ * analysis with clause minimization, VSIDS decision heuristic with
+ * phase saving, Luby restarts, learnt-clause database reduction, and
+ * solving under assumptions (the building block used by the BMC and
+ * flush-synthesis loops).
+ *
+ * This is the FPV "engine" substrate of the AutoCC reproduction,
+ * standing in for the solver engines inside JasperGold / SBY.
+ */
+
+#ifndef AUTOCC_SAT_SOLVER_HH
+#define AUTOCC_SAT_SOLVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace autocc::sat
+{
+
+/** Statistics collected over the lifetime of a solver. */
+struct SolverStats
+{
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learntLiterals = 0;
+    uint64_t removedClauses = 0;
+};
+
+/** CDCL SAT solver. */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable and return its index. */
+    Var newVar();
+
+    /** Current number of variables. */
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /** Number of problem (non-learnt) clauses added and still active. */
+    uint64_t numClauses() const { return numProblemClauses_; }
+
+    /**
+     * Add a clause (disjunction of literals).
+     *
+     * @return false if the formula is now trivially unsatisfiable.
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    /** Convenience overloads. */
+    bool addClause(Lit a);
+    bool addClause(Lit a, Lit b);
+    bool addClause(Lit a, Lit b, Lit c);
+
+    /**
+     * Solve the formula under the given assumptions.
+     *
+     * @param assumptions literals that must hold in any model.
+     * @return Sat, Unsat, or Unknown if the conflict budget is exhausted.
+     */
+    SolveResult solve(const std::vector<Lit> &assumptions = {});
+
+    /** Value of a variable in the last Sat model. */
+    bool modelValue(Var v) const;
+
+    /** Value of a literal in the last Sat model. */
+    bool modelValue(Lit lit) const;
+
+    /**
+     * After an Unsat result under assumptions, the subset of the
+     * assumptions (negated) that was sufficient for unsatisfiability.
+     */
+    const std::vector<Lit> &conflictCore() const { return conflictCore_; }
+
+    /** Limit on conflicts per solve() call; 0 means unlimited. */
+    void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
+
+    /** Cumulative statistics. */
+    const SolverStats &stats() const { return stats_; }
+
+    /** False once the clause database is known unsatisfiable. */
+    bool okay() const { return ok_; }
+
+  private:
+    using CRef = uint32_t;
+    static constexpr CRef crefUndef = std::numeric_limits<CRef>::max();
+
+    struct Clause
+    {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        bool learnt = false;
+        bool deleted = false;
+    };
+
+    struct Watcher
+    {
+        CRef cref;
+        Lit blocker;
+    };
+
+    struct VarOrderHeap
+    {
+        std::vector<Var> heap;       // binary max-heap of vars
+        std::vector<int> position;   // var -> index in heap, -1 if absent
+        const std::vector<double> *activity = nullptr;
+
+        bool less(Var a, Var b) const
+        {
+            return (*activity)[a] < (*activity)[b];
+        }
+        bool inHeap(Var v) const
+        {
+            return v < (int)position.size() && position[v] >= 0;
+        }
+        bool empty() const { return heap.empty(); }
+        void insert(Var v);
+        void update(Var v);
+        Var removeMax();
+        void percolateUp(int i);
+        void percolateDown(int i);
+    };
+
+    // --- state ------------------------------------------------------
+    bool ok_ = true;
+    std::vector<Clause> clauses_;
+    std::vector<CRef> learntRefs_;
+    uint64_t numProblemClauses_ = 0;
+
+    std::vector<LBool> assigns_;         // per var
+    std::vector<uint8_t> polarity_;      // saved phase per var
+    std::vector<double> activity_;       // VSIDS activity per var
+    std::vector<CRef> reason_;           // per var
+    std::vector<int> level_;             // per var
+    std::vector<std::vector<Watcher>> watches_; // per literal index
+
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    size_t qhead_ = 0;
+
+    VarOrderHeap order_;
+    double varInc_ = 1.0;
+    double varDecay_ = 0.95;
+    double claInc_ = 1.0;
+    double claDecay_ = 0.999;
+
+    std::vector<uint8_t> seen_;
+    std::vector<Lit> analyzeToClear_;
+
+    std::vector<LBool> model_;
+    std::vector<Lit> conflictCore_;
+
+    uint64_t conflictBudget_ = 0;
+    double maxLearnts_ = 0;
+    uint64_t rngState_ = 0x123456789abcdefull; ///< decision diversification
+    SolverStats stats_;
+
+    // --- helpers ----------------------------------------------------
+    LBool value(Var v) const { return assigns_[v]; }
+    LBool
+    value(Lit lit) const
+    {
+        LBool b = assigns_[var(lit)];
+        return sign(lit) ? ~b : b;
+    }
+
+    int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+
+    void attachClause(CRef cref);
+    void uncheckedEnqueue(Lit lit, CRef from);
+    CRef propagate();
+    void analyze(CRef confl, std::vector<Lit> &outLearnt, int &outBtLevel);
+    bool litRedundant(Lit lit, uint32_t abstractLevels);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    void varBumpActivity(Var v);
+    void varDecayActivity();
+    void claBumpActivity(Clause &c);
+    void claDecayActivity();
+    void reduceDB();
+    void rebuildWatches();
+    SolveResult search(uint64_t conflictLimit,
+                       const std::vector<Lit> &assumptions);
+    void analyzeFinal(Lit p);
+    static uint64_t luby(uint64_t i);
+};
+
+} // namespace autocc::sat
+
+#endif // AUTOCC_SAT_SOLVER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Core types for the CDCL SAT solver: variables, literals, and the
+ * three-valued logic used during search.
+ */
+
+#ifndef AUTOCC_SAT_TYPES_HH
+#define AUTOCC_SAT_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace autocc::sat
+{
+
+/** Variable index, 0-based. */
+using Var = int32_t;
+
+/**
+ * A literal encodes a variable and a sign in one integer:
+ * lit = 2*var + (negated ? 1 : 0).
+ */
+struct Lit
+{
+    int32_t x = -2;
+
+    Lit() = default;
+    constexpr Lit(Var var, bool negated) : x(var * 2 + (negated ? 1 : 0)) {}
+
+    constexpr bool operator==(const Lit &other) const { return x == other.x; }
+    constexpr bool operator!=(const Lit &other) const { return x != other.x; }
+    constexpr bool operator<(const Lit &other) const { return x < other.x; }
+};
+
+/** Negate a literal. */
+constexpr Lit
+operator~(Lit lit)
+{
+    Lit result;
+    result.x = lit.x ^ 1;
+    return result;
+}
+
+/** Variable of a literal. */
+constexpr Var
+var(Lit lit)
+{
+    return lit.x >> 1;
+}
+
+/** True iff the literal is the negated polarity. */
+constexpr bool
+sign(Lit lit)
+{
+    return lit.x & 1;
+}
+
+/** Positive literal for a variable. */
+constexpr Lit
+mkLit(Var v, bool negated = false)
+{
+    return Lit(v, negated);
+}
+
+constexpr Lit litUndef{};
+
+/** Three-valued logic: true, false, or unassigned. */
+enum class LBool : uint8_t { True = 0, False = 1, Undef = 2 };
+
+/** Negate an LBool (Undef stays Undef). */
+constexpr LBool
+operator~(LBool b)
+{
+    if (b == LBool::Undef)
+        return LBool::Undef;
+    return b == LBool::True ? LBool::False : LBool::True;
+}
+
+/** LBool from a concrete bool. */
+constexpr LBool
+toLBool(bool b)
+{
+    return b ? LBool::True : LBool::False;
+}
+
+/** Result of a solve() call. */
+enum class SolveResult { Sat, Unsat, Unknown };
+
+} // namespace autocc::sat
+
+#endif // AUTOCC_SAT_TYPES_HH

@@ -1,0 +1,202 @@
+#include "sim/simulator.hh"
+
+namespace autocc::sim
+{
+
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+Simulator::Simulator(const Netlist &netlist) : netlist_(netlist)
+{
+    netlist_.validate();
+    values_.resize(netlist_.numNodes(), 0);
+    inputValues_.resize(netlist_.numNodes(), 0);
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    regState_.clear();
+    for (const auto &reg : netlist_.regs())
+        regState_.push_back(reg.resetValue);
+    memState_.clear();
+    for (const auto &mem : netlist_.mems())
+        memState_.emplace_back(mem.size, mem.initValue);
+    cycle_ = 0;
+    evaluated_ = false;
+}
+
+void
+Simulator::poke(NodeId input, uint64_t value)
+{
+    const Node &node = netlist_.node(input);
+    panic_if(node.op != Op::Input, "poke on non-input node");
+    inputValues_[input] = truncate(value, node.width);
+    evaluated_ = false;
+}
+
+void
+Simulator::poke(const std::string &input_name, uint64_t value)
+{
+    poke(netlist_.signal(input_name), value);
+}
+
+void
+Simulator::eval()
+{
+    const size_t n = netlist_.numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = netlist_.node(id);
+        const auto opv = [&](int i) { return values_[node.operands[i]]; };
+        uint64_t v = 0;
+        switch (node.op) {
+          case Op::Input:
+            v = inputValues_[id];
+            break;
+          case Op::Const:
+            v = node.value;
+            break;
+          case Op::Reg:
+            v = regState_[node.aux];
+            break;
+          case Op::MemRead: {
+            const auto &mem = netlist_.mems()[node.aux];
+            v = memState_[node.aux][opv(0) & (mem.size - 1)];
+            break;
+          }
+          case Op::Not:
+            v = ~opv(0);
+            break;
+          case Op::And:
+            v = opv(0) & opv(1);
+            break;
+          case Op::Or:
+            v = opv(0) | opv(1);
+            break;
+          case Op::Xor:
+            v = opv(0) ^ opv(1);
+            break;
+          case Op::Mux:
+            v = opv(0) ? opv(1) : opv(2);
+            break;
+          case Op::Add:
+            v = opv(0) + opv(1);
+            break;
+          case Op::Sub:
+            v = opv(0) - opv(1);
+            break;
+          case Op::Eq:
+            v = opv(0) == opv(1);
+            break;
+          case Op::Ult:
+            v = opv(0) < opv(1);
+            break;
+          case Op::ShlC:
+            v = opv(0) << node.aux;
+            break;
+          case Op::ShrC:
+            v = opv(0) >> node.aux;
+            break;
+          case Op::Concat:
+            v = (opv(0) << netlist_.node(node.operands[1]).width) | opv(1);
+            break;
+          case Op::Slice:
+            v = opv(0) >> node.aux;
+            break;
+          case Op::RedOr:
+            v = opv(0) != 0;
+            break;
+          case Op::RedAnd:
+            v = opv(0) ==
+                mask64(netlist_.node(node.operands[0]).width);
+            break;
+        }
+        values_[id] = truncate(v, node.width);
+    }
+    evaluated_ = true;
+}
+
+void
+Simulator::step()
+{
+    if (!evaluated_)
+        eval();
+
+    // Commit memory writes (in declaration order), then registers.
+    for (const auto &write : netlist_.memWrites()) {
+        if (values_[write.enable] & 1) {
+            const auto &mem = netlist_.mems()[write.mem];
+            memState_[write.mem][values_[write.addr] & (mem.size - 1)] =
+                truncate(values_[write.data], mem.dataWidth);
+        }
+    }
+    const auto &regs = netlist_.regs();
+    for (size_t i = 0; i < regs.size(); ++i)
+        regState_[i] = values_[regs[i].next];
+
+    ++cycle_;
+    evaluated_ = false;
+}
+
+void
+Simulator::run(unsigned cycles)
+{
+    for (unsigned i = 0; i < cycles; ++i)
+        step();
+}
+
+uint64_t
+Simulator::peek(NodeId node) const
+{
+    panic_if(!evaluated_, "peek before eval()");
+    return values_[node];
+}
+
+uint64_t
+Simulator::peek(const std::string &signal_name) const
+{
+    return peek(netlist_.signal(signal_name));
+}
+
+uint64_t
+Simulator::regValue(size_t reg_index) const
+{
+    return regState_.at(reg_index);
+}
+
+uint64_t
+Simulator::memValue(size_t mem_index, uint64_t addr) const
+{
+    const auto &mem = netlist_.mems().at(mem_index);
+    return memState_.at(mem_index)[addr & (mem.size - 1)];
+}
+
+void
+Simulator::replay(const Trace &trace, const std::vector<std::string> &capture,
+                  Trace *out)
+{
+    reset();
+    for (size_t c = 0; c < trace.depth(); ++c) {
+        for (const auto &[name, value] : trace.inputs[c]) {
+            const rtl::NodeId node = netlist_.findSignal(name);
+            if (node != rtl::invalidNode &&
+                netlist_.node(node).op == Op::Input) {
+                poke(node, value);
+            }
+        }
+        eval();
+        if (out) {
+            CycleValues cv;
+            for (const auto &name : capture)
+                cv[name] = peek(name);
+            out->signals.push_back(std::move(cv));
+            out->inputs.push_back(trace.inputs[c]);
+        }
+        step();
+    }
+}
+
+} // namespace autocc::sim

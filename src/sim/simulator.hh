@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cycle-accurate two-phase simulator for the RTL IR — the Verilator
+ * stand-in of this reproduction.  Phase 1 evaluates combinational
+ * logic in node-creation (= topological) order; phase 2 commits
+ * registered state (memory writes, then register updates).
+ */
+
+#ifndef AUTOCC_SIM_SIMULATOR_HH
+#define AUTOCC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+#include "sim/trace.hh"
+
+namespace autocc::sim
+{
+
+/** Interpreting simulator over a Netlist. */
+class Simulator
+{
+  public:
+    /** The netlist must outlive the simulator and must validate(). */
+    explicit Simulator(const rtl::Netlist &netlist);
+
+    /** Return to the reset state (registers/memories to reset values). */
+    void reset();
+
+    /** Set an input port value (persists across cycles until re-poked). */
+    void poke(rtl::NodeId input, uint64_t value);
+    void poke(const std::string &input_name, uint64_t value);
+
+    /** Evaluate combinational logic for the current cycle. */
+    void eval();
+
+    /** Evaluate and advance one clock edge. */
+    void step();
+
+    /** Advance n clock edges. */
+    void run(unsigned cycles);
+
+    /**
+     * Value of any node after the last eval()/step(). peek() after
+     * step() reflects the *pre-edge* combinational values; call eval()
+     * to see post-edge values without advancing.
+     */
+    uint64_t peek(rtl::NodeId node) const;
+    uint64_t peek(const std::string &signal_name) const;
+
+    /** Current value of a register (post-commit state). */
+    uint64_t regValue(size_t reg_index) const;
+
+    /** Current contents of a memory word. */
+    uint64_t memValue(size_t mem_index, uint64_t addr) const;
+
+    /** Cycles advanced since reset. */
+    uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Apply a trace: for each cycle, poke its inputs and step.
+     * Signals listed in `capture` are recorded into `out` (which may
+     * be the same object as `trace`... it is not; pass nullptr to skip).
+     */
+    void replay(const Trace &trace, const std::vector<std::string> &capture,
+                Trace *out);
+
+    const rtl::Netlist &netlist() const { return netlist_; }
+
+  private:
+    const rtl::Netlist &netlist_;
+    std::vector<uint64_t> values_;       ///< per-node comb values
+    std::vector<uint64_t> inputValues_;  ///< per-node poked inputs
+    std::vector<uint64_t> regState_;
+    std::vector<std::vector<uint64_t>> memState_;
+    uint64_t cycle_ = 0;
+    bool evaluated_ = false;
+};
+
+} // namespace autocc::sim
+
+#endif // AUTOCC_SIM_SIMULATOR_HH

@@ -1,0 +1,72 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace autocc::sim
+{
+
+namespace
+{
+
+uint64_t
+lookup(const std::vector<CycleValues> &values, size_t cycle,
+       const std::string &name)
+{
+    if (cycle >= values.size())
+        return 0;
+    const auto it = values[cycle].find(name);
+    return it == values[cycle].end() ? 0 : it->second;
+}
+
+} // namespace
+
+uint64_t
+Trace::inputAt(size_t cycle, const std::string &name) const
+{
+    return lookup(inputs, cycle, name);
+}
+
+uint64_t
+Trace::signalAt(size_t cycle, const std::string &name) const
+{
+    return lookup(signals, cycle, name);
+}
+
+std::string
+Trace::render(const std::vector<std::string> &signal_names) const
+{
+    const size_t cycles = std::max(inputs.size(), signals.size());
+    size_t nameWidth = 5;
+    for (const auto &name : signal_names)
+        nameWidth = std::max(nameWidth, name.size());
+
+    std::ostringstream os;
+    os << std::string(nameWidth, ' ') << " |";
+    for (size_t c = 0; c < cycles; ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %6zu", c);
+        os << buf;
+    }
+    os << "\n" << std::string(nameWidth + 2 + 7 * cycles, '-') << "\n";
+
+    for (const auto &name : signal_names) {
+        os << name << std::string(nameWidth - name.size(), ' ') << " |";
+        for (size_t c = 0; c < cycles; ++c) {
+            uint64_t v = 0;
+            if (c < signals.size() && signals[c].count(name))
+                v = signals[c].at(name);
+            else
+                v = inputAt(c, name);
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), " %6llx",
+                          static_cast<unsigned long long>(v));
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace autocc::sim

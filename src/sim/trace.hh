@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Execution traces: per-cycle input stimulus plus (optionally) the
+ * values of named signals.  Traces are produced by the formal engine
+ * (counterexamples) and by the simulator (captures), and a formal CEX
+ * can be replayed on the simulator for cross-engine validation — the
+ * reproduction's analogue of validating a channel "in system-level RTL
+ * simulation".
+ */
+
+#ifndef AUTOCC_SIM_TRACE_HH
+#define AUTOCC_SIM_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autocc::sim
+{
+
+/** Values observed/applied in one clock cycle, keyed by signal name. */
+using CycleValues = std::map<std::string, uint64_t>;
+
+/** A finite execution: stimulus and observations per cycle. */
+struct Trace
+{
+    /** Input port values per cycle (what to poke when replaying). */
+    std::vector<CycleValues> inputs;
+
+    /** Named signal values per cycle (observations; may be empty). */
+    std::vector<CycleValues> signals;
+
+    /** Number of cycles. */
+    size_t depth() const { return inputs.size(); }
+
+    /** Value of an input at a cycle (0 when the trace omits it). */
+    uint64_t inputAt(size_t cycle, const std::string &name) const;
+
+    /** Value of an observed signal at a cycle (0 when omitted). */
+    uint64_t signalAt(size_t cycle, const std::string &name) const;
+
+    /**
+     * Render a waveform-style ASCII table for the given signals, one
+     * row per signal, one column per cycle.
+     */
+    std::string render(const std::vector<std::string> &signal_names) const;
+};
+
+} // namespace autocc::sim
+
+#endif // AUTOCC_SIM_TRACE_HH

@@ -1,0 +1,102 @@
+#include "sim/vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/bits.hh"
+
+namespace autocc::sim
+{
+
+namespace
+{
+
+/** Short printable VCD identifier for signal index i. */
+std::string
+vcdId(size_t i)
+{
+    std::string id;
+    do {
+        id += static_cast<char>('!' + (i % 94));
+        i /= 94;
+    } while (i);
+    return id;
+}
+
+/** Binary rendering of a value (MSB first, no leading zeros trimmed). */
+std::string
+binary(uint64_t value, unsigned width)
+{
+    std::string out(width, '0');
+    for (unsigned i = 0; i < width; ++i) {
+        if (bit(value, width - 1 - i))
+            out[i] = '1';
+    }
+    return out;
+}
+
+uint64_t
+valueAt(const Trace &trace, size_t cycle, const std::string &name)
+{
+    if (cycle < trace.signals.size() && trace.signals[cycle].count(name))
+        return trace.signals[cycle].at(name);
+    return trace.inputAt(cycle, name);
+}
+
+} // namespace
+
+std::string
+toVcd(const Trace &trace, const std::vector<VcdSignal> &signals,
+      const std::string &module_name)
+{
+    std::ostringstream os;
+    os << "$date autocc reproduction $end\n";
+    os << "$timescale 1ns $end\n";
+    os << "$scope module " << module_name << " $end\n";
+    for (size_t i = 0; i < signals.size(); ++i) {
+        std::string flat = signals[i].name;
+        for (auto &c : flat) {
+            if (c == '.')
+                c = '_';
+        }
+        os << "$var wire " << signals[i].width << " " << vcdId(i) << " "
+           << flat << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    const size_t cycles =
+        std::max(trace.inputs.size(), trace.signals.size());
+    std::vector<uint64_t> last(signals.size());
+    std::vector<bool> dumped(signals.size(), false);
+    for (size_t t = 0; t < cycles; ++t) {
+        os << "#" << t << "\n";
+        for (size_t i = 0; i < signals.size(); ++i) {
+            const uint64_t v = valueAt(trace, t, signals[i].name);
+            if (!dumped[i] || v != last[i]) {
+                if (signals[i].width == 1)
+                    os << (v & 1) << vcdId(i) << "\n";
+                else
+                    os << "b" << binary(v, signals[i].width) << " "
+                       << vcdId(i) << "\n";
+                last[i] = v;
+                dumped[i] = true;
+            }
+        }
+    }
+    os << "#" << cycles << "\n";
+    return os.str();
+}
+
+bool
+writeVcdFile(const std::string &path, const Trace &trace,
+             const std::vector<VcdSignal> &signals,
+             const std::string &module_name)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toVcd(trace, signals, module_name);
+    return static_cast<bool>(out);
+}
+
+} // namespace autocc::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * VCD (Value Change Dump) export for traces, so counterexamples and
+ * simulation captures can be inspected in GTKWave & friends — the
+ * reproduction's analogue of loading a CEX into the JasperGold
+ * waveform viewer with a .sig list (paper A.5.1).
+ */
+
+#ifndef AUTOCC_SIM_VCD_HH
+#define AUTOCC_SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace autocc::sim
+{
+
+/** One signal to dump: its trace key and bit width. */
+struct VcdSignal
+{
+    std::string name;
+    unsigned width = 1;
+};
+
+/**
+ * Render a trace as VCD text.
+ *
+ * @param trace        the trace (signals preferred, inputs as fallback).
+ * @param signals      which signals to dump; hierarchical dots in names
+ *                     become scopes.
+ * @param module_name  top scope name.
+ */
+std::string toVcd(const Trace &trace, const std::vector<VcdSignal> &signals,
+                  const std::string &module_name = "autocc");
+
+/** Write VCD text to a file; returns false on I/O failure. */
+bool writeVcdFile(const std::string &path, const Trace &trace,
+                  const std::vector<VcdSignal> &signals,
+                  const std::string &module_name = "autocc");
+
+} // namespace autocc::sim
+
+#endif // AUTOCC_SIM_VCD_HH

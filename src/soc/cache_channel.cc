@@ -1,0 +1,139 @@
+#include "soc/cache_channel.hh"
+
+#include "sim/simulator.hh"
+
+namespace autocc::soc
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+Netlist
+buildProbeCache(const CacheChannelConfig &config)
+{
+    panic_if(config.lines < 2 || (config.lines & (config.lines - 1)),
+             "cache lines must be a power of two >= 2");
+    Netlist nl("probe_cache");
+    unsigned idxW = 0;
+    while ((1u << idxW) < config.lines)
+        ++idxW;
+    const unsigned tagW = 8 - idxW;
+
+    const NodeId reqValid = nl.input("req_valid", 1);
+    const NodeId reqAddr = nl.input("req_addr", 8);
+
+    const NodeId pending = nl.reg("pending", 1, 0);
+    const NodeId cnt = nl.reg("cnt", 3, 0);
+    const NodeId pendAddr = nl.reg("pend_addr", 8, 0);
+
+    const NodeId idx = nl.slice(reqAddr, 0, idxW);
+    const NodeId tag = nl.slice(reqAddr, idxW, tagW);
+
+    std::vector<NodeId> valids(config.lines), tags(config.lines);
+    for (unsigned i = 0; i < config.lines; ++i) {
+        valids[i] = nl.reg("v" + std::to_string(i), 1, 0);
+        tags[i] = nl.reg("tag" + std::to_string(i), tagW, 0);
+    }
+
+    // Line select (current request).
+    NodeId lineV = nl.zero();
+    NodeId lineTag = nl.constant(tagW, 0);
+    for (unsigned i = 0; i < config.lines; ++i) {
+        const NodeId sel = nl.eqConst(idx, i);
+        lineV = nl.mux(sel, valids[i], lineV);
+        lineTag = nl.mux(sel, tags[i], lineTag);
+    }
+
+    const NodeId accept = nl.andOf(reqValid, nl.notOf(pending));
+    const NodeId hit =
+        nl.andAll({accept, lineV, nl.eq(lineTag, tag)});
+    const NodeId miss = nl.andOf(accept, nl.notOf(hit));
+
+    const NodeId refillDone =
+        nl.andOf(pending, nl.eqConst(cnt, 0));
+
+    nl.connectReg(pending,
+                  nl.mux(miss, nl.one(),
+                         nl.mux(refillDone, nl.zero(), pending)));
+    nl.connectReg(pendAddr, nl.mux(miss, reqAddr, pendAddr));
+    nl.connectReg(cnt,
+                  nl.mux(miss, nl.constant(3, config.missPenalty - 1),
+                         nl.mux(pending, nl.decr(cnt), cnt)));
+
+    const NodeId fillIdx = nl.slice(pendAddr, 0, idxW);
+    const NodeId fillTag = nl.slice(pendAddr, idxW, tagW);
+    for (unsigned i = 0; i < config.lines; ++i) {
+        const NodeId fillsThis =
+            nl.andOf(refillDone, nl.eqConst(fillIdx, i));
+        nl.connectReg(valids[i],
+                      nl.mux(fillsThis, nl.one(), valids[i]));
+        nl.connectReg(tags[i], nl.mux(fillsThis, fillTag, tags[i]));
+    }
+
+    nl.output("resp_valid", nl.orOf(hit, refillDone));
+    nl.output("resp_hit", hit);
+    nl.transaction("req", "req_valid", {"req_addr"});
+
+    nl.validate();
+    return nl;
+}
+
+namespace
+{
+
+/** Access one address; returns the number of cycles it took. */
+uint64_t
+access(sim::Simulator &sim, uint8_t addr)
+{
+    sim.poke("req_addr", addr);
+    sim.poke("req_valid", 1);
+    uint64_t cycles = 0;
+    for (;;) {
+        ++cycles;
+        sim.eval();
+        const bool done = sim.peek("resp_valid");
+        sim.step();
+        sim.poke("req_valid", 0);
+        if (done)
+            return cycles;
+        panic_if(cycles > 32, "cache access never completed");
+    }
+}
+
+} // namespace
+
+std::vector<ProbeSample>
+runCacheChannel(const CacheChannelConfig &config)
+{
+    const Netlist nl = buildProbeCache(config);
+    std::vector<ProbeSample> samples;
+
+    for (unsigned secret = 0; secret <= config.lines; ++secret) {
+        sim::Simulator sim(nl);
+        sim.poke("req_valid", 0);
+        sim.poke("req_addr", 0);
+
+        // Spy: prime the whole cache with its buffer (tag 0).
+        for (unsigned i = 0; i < config.lines; ++i)
+            access(sim, static_cast<uint8_t>(i));
+
+        // Victim's Trojan: evict `secret` lines with conflicting tags.
+        for (unsigned j = 0; j < secret; ++j)
+            access(sim, static_cast<uint8_t>(0x80 | j));
+
+        // Spy: probe the prime buffer and time it.
+        uint64_t probe = 0;
+        for (unsigned i = 0; i < config.lines; ++i)
+            probe += access(sim, static_cast<uint8_t>(i));
+
+        ProbeSample sample;
+        sample.secret = secret;
+        sample.probeCycles = probe;
+        sample.inferred = static_cast<unsigned>(
+            (probe - config.lines) / config.missPenalty);
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+} // namespace autocc::soc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The motivating prime-and-probe cache covert channel (paper Fig. 1 /
+ * Sec. 2.1), demonstrated on a small RTL cache in simulation: the spy
+ * primes a direct-mapped cache with its buffer, the victim's Trojan
+ * evicts S lines to encode the secret S, and the spy re-probes the
+ * buffer, measuring an access latency that is linear in S.
+ */
+
+#ifndef AUTOCC_SOC_CACHE_CHANNEL_HH
+#define AUTOCC_SOC_CACHE_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::soc
+{
+
+/** One measurement of the prime-and-probe channel. */
+struct ProbeSample
+{
+    unsigned secret = 0;      ///< lines the Trojan evicted (the message)
+    uint64_t probeCycles = 0; ///< spy's probe latency
+    unsigned inferred = 0;    ///< secret the spy decodes from the latency
+};
+
+/** Geometry and timing of the demo cache. */
+struct CacheChannelConfig
+{
+    unsigned lines = 8;       ///< direct-mapped lines
+    unsigned missPenalty = 3; ///< extra cycles per miss
+};
+
+/**
+ * Build a small direct-mapped cache netlist: req_valid/req_addr in,
+ * resp_valid/resp_hit out; a miss self-refills after `missPenalty`
+ * cycles.  Exposed for reuse in tests and the Fig. 1 bench.
+ */
+rtl::Netlist buildProbeCache(const CacheChannelConfig &config = {});
+
+/**
+ * Run the full prime -> Trojan-evict -> probe sequence for every
+ * secret value 0..lines and return one sample per secret.
+ */
+std::vector<ProbeSample> runCacheChannel(
+    const CacheChannelConfig &config = {});
+
+} // namespace autocc::soc
+
+#endif // AUTOCC_SOC_CACHE_CHANNEL_HH

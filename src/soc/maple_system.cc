@@ -1,0 +1,93 @@
+#include "soc/maple_system.hh"
+
+namespace autocc::soc
+{
+
+using duts::MapleOp;
+
+MapleSystem::MapleSystem(const duts::MapleConfig &config)
+    : netlist_(duts::buildMaple(config)), sim_(netlist_)
+{
+    driveIdle();
+    sim_.poke("noc_req_ready", 1);
+}
+
+void
+MapleSystem::driveIdle()
+{
+    sim_.poke("cmd_valid", 0);
+    sim_.poke("cmd_op", 0);
+    sim_.poke("cmd_data", 0);
+    sim_.poke("noc_resp_valid", 0);
+    sim_.poke("noc_resp_data", 0);
+}
+
+void
+MapleSystem::tick()
+{
+    // Deliver a completed read, if any.
+    if (!inflight_.empty() && inflight_.front().first == 0) {
+        sim_.poke("noc_resp_valid", 1);
+        sim_.poke("noc_resp_data", memory[inflight_.front().second]);
+        inflight_.pop_front();
+    } else {
+        sim_.poke("noc_resp_valid", 0);
+    }
+
+    // Sample an outgoing request before the edge.
+    sim_.eval();
+    if (sim_.peek("noc_req_valid")) {
+        inflight_.emplace_back(nocLatency,
+                               static_cast<uint8_t>(
+                                   sim_.peek("noc_req_addr")));
+    }
+
+    sim_.step();
+    for (auto &entry : inflight_) {
+        if (entry.first > 0)
+            --entry.first;
+    }
+}
+
+void
+MapleSystem::tick(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        tick();
+}
+
+void
+MapleSystem::command(MapleOp op, uint8_t data)
+{
+    sim_.poke("cmd_valid", 1);
+    sim_.poke("cmd_op", static_cast<uint64_t>(op));
+    sim_.poke("cmd_data", data);
+    tick();
+    driveIdle();
+}
+
+ConsumeResult
+MapleSystem::consume()
+{
+    sim_.poke("cmd_valid", 1);
+    sim_.poke("cmd_op", static_cast<uint64_t>(MapleOp::Consume));
+    sim_.poke("cmd_data", 0);
+    sim_.eval();
+    ConsumeResult result;
+    result.valid = sim_.peek("resp_valid");
+    result.fault = sim_.peek("resp_fault");
+    result.data = static_cast<uint8_t>(sim_.peek("resp_data"));
+    tick();
+    driveIdle();
+    return result;
+}
+
+void
+MapleSystem::cleanup()
+{
+    command(MapleOp::Cleanup);
+    // RUN cycle + done pulse.
+    tick(2);
+}
+
+} // namespace autocc::soc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for src/base: bit helpers, RNG determinism, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hh"
+#include "base/rng.hh"
+#include "base/table.hh"
+
+namespace autocc
+{
+
+TEST(Bits, Mask64)
+{
+    EXPECT_EQ(mask64(1), 0x1u);
+    EXPECT_EQ(mask64(8), 0xffu);
+    EXPECT_EQ(mask64(32), 0xffffffffull);
+    EXPECT_EQ(mask64(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask64(64), ~uint64_t{0});
+}
+
+TEST(Bits, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0x0u);
+    EXPECT_EQ(truncate(~uint64_t{0}, 64), ~uint64_t{0});
+}
+
+TEST(Bits, BitAndBits)
+{
+    EXPECT_TRUE(bit(0b1010, 1));
+    EXPECT_FALSE(bit(0b1010, 0));
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bits(0xabcd, 0, 16), 0xabcdu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), ~uint64_t{0x7f});
+    EXPECT_EQ(signExtend(0x7f, 8), 0x7fu);
+    EXPECT_EQ(signExtend(0xfff, 12), ~uint64_t{0});
+}
+
+TEST(Bits, Clog2)
+{
+    EXPECT_EQ(clog2(1), 1u);
+    EXPECT_EQ(clog2(2), 2u);
+    EXPECT_EQ(clog2(3), 2u);
+    EXPECT_EQ(clog2(4), 3u);
+    EXPECT_EQ(clog2(15), 4u);
+    EXPECT_EQ(clog2(16), 5u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BitsMasked)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.bits(5), 31u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= (v == 3);
+        sawHi |= (v == 6);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Table, RendersAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, SeparatorCounts)
+{
+    Table t({"a"});
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    const std::string out = t.render();
+    // header rule + separator + bottom rule + top rule = 4 rules
+    size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(0.0123), "12.3 ms");
+    EXPECT_EQ(formatSeconds(2.5), "2.50 s");
+}
+
+} // namespace autocc

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for auxiliary features: flush-latency checking (Sec. 3.2,
+ * "Measuring Context Switch Latency" — synchronizing the universes at
+ * the *start* of the flush so latency differences become CEXs), VCD
+ * export, DOT export, and the SVA artifacts on richer DUTs.
+ */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/autocc.hh"
+#include "duts/maple.hh"
+#include "duts/vscale.hh"
+#include "rtl/dot.hh"
+#include "sim/simulator.hh"
+#include "sim/vcd.hh"
+
+namespace autocc::core
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+namespace
+{
+
+/**
+ * A DUT whose flush *latency* depends on a secret: flushing takes one
+ * extra cycle when the secret register is non-zero (think: a dirty
+ * write-back).  The flush itself clears the secret, so with the
+ * default end-of-flush synchronization there is no residual state
+ * difference — the only channel is the latency of the flush event.
+ */
+Netlist
+buildSlowFlushDut()
+{
+    Netlist nl("slowflush");
+    const NodeId flush = nl.input("flush", 1);
+    const NodeId inValid = nl.input("in_valid", 1);
+    const NodeId inData = nl.input("in_data", 4);
+
+    const NodeId secret = nl.reg("secret", 4, 0);
+    const NodeId cnt = nl.reg("flush_cnt", 2, 0);
+    const NodeId doneQ = nl.reg("done_q", 1, 0);
+
+    const NodeId idle = nl.eqConst(cnt, 0);
+    const NodeId start = nl.andOf(flush, idle);
+    nl.nameNode(start, "flush_start");
+    // Latency: 1 cycle if the secret is clear, 2 if it is set.
+    const NodeId duration =
+        nl.mux(nl.eqConst(secret, 0), nl.constant(2, 1),
+               nl.constant(2, 2));
+    nl.connectReg(cnt, nl.mux(start, duration,
+                              nl.mux(idle, cnt, nl.decr(cnt))));
+    const NodeId finishing =
+        nl.andOf(nl.notOf(idle), nl.eqConst(cnt, 1));
+    nl.connectReg(doneQ, finishing);
+    nl.nameNode(doneQ, "flush_done_sig");
+    nl.setFlushDone("flush_done_sig");
+
+    // The flush clears the secret (so no *stale state* remains).
+    nl.connectReg(secret,
+                  nl.mux(nl.notOf(idle), nl.constant(4, 0),
+                         nl.mux(nl.andOf(inValid, nl.notOf(start)),
+                                inData, secret)));
+
+    // Observable: a busy flag.
+    nl.output("busy", nl.notOf(idle));
+    nl.validate();
+    return nl;
+}
+
+} // namespace
+
+TEST(FlushLatency, EndOfFlushSyncHidesTheLatencyChannel)
+{
+    // Default AutoCC blind spot (Sec. 3.2): with the end of the flush
+    // as the synchronization point, a secret-dependent flush latency
+    // is invisible.
+    AutoccOptions opts;
+    opts.threshold = 2;
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const RunResult run = runAutocc(buildSlowFlushDut(), opts, engine);
+    EXPECT_FALSE(run.foundCex()) << formal::describe(run.check);
+}
+
+TEST(FlushLatency, StartOfFlushSyncExposesIt)
+{
+    // Re-verifying with the start of the flush as the convergence
+    // point turns the latency difference into a CEX, as the paper
+    // prescribes.
+    AutoccOptions opts;
+    opts.threshold = 2;
+    opts.syncAtFlushStart = true;
+    opts.flushStartSignal = "flush_start";
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const RunResult run = runAutocc(buildSlowFlushDut(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    EXPECT_EQ(run.check.cex->failedAssert, "as__busy_eq");
+    bool blamesSecret = false;
+    for (const auto &name : run.cause.uarchNames())
+        blamesSecret |= name == "secret" || name == "flush_cnt";
+    EXPECT_TRUE(blamesSecret) << run.cause.render();
+}
+
+TEST(FlushLatency, ConstantLatencyFlushSurvivesStartSync)
+{
+    // Pad the flush to a constant 2 cycles: re-running with
+    // start-of-flush sync must now find nothing (the microreset
+    // design rule).
+    Netlist nl("padded");
+    const NodeId flush = nl.input("flush", 1);
+    const NodeId inValid = nl.input("in_valid", 1);
+    const NodeId inData = nl.input("in_data", 4);
+    const NodeId secret = nl.reg("secret", 4, 0);
+    const NodeId cnt = nl.reg("flush_cnt", 2, 0);
+    const NodeId doneQ = nl.reg("done_q", 1, 0);
+    const NodeId idle = nl.eqConst(cnt, 0);
+    const NodeId start = nl.andOf(flush, idle);
+    nl.nameNode(start, "flush_start");
+    nl.connectReg(cnt, nl.mux(start, nl.constant(2, 2),
+                              nl.mux(idle, cnt, nl.decr(cnt))));
+    nl.connectReg(doneQ, nl.andOf(nl.notOf(idle), nl.eqConst(cnt, 1)));
+    nl.nameNode(doneQ, "flush_done_sig");
+    nl.setFlushDone("flush_done_sig");
+    nl.connectReg(secret,
+                  nl.mux(nl.notOf(idle), nl.constant(4, 0),
+                         nl.mux(nl.andOf(inValid, nl.notOf(start)),
+                                inData, secret)));
+    nl.output("busy", nl.notOf(idle));
+
+    AutoccOptions opts;
+    opts.threshold = 2;
+    opts.syncAtFlushStart = true;
+    opts.flushStartSignal = "flush_start";
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const RunResult run = runAutocc(nl, opts, engine);
+    EXPECT_FALSE(run.foundCex()) << formal::describe(run.check);
+}
+
+// ----------------------------------------------------------------------
+// VCD export
+// ----------------------------------------------------------------------
+
+TEST(Vcd, ContainsHeaderAndChanges)
+{
+    sim::Trace trace;
+    trace.signals.push_back({{"a", 1}, {"bus", 0x2a}});
+    trace.signals.push_back({{"a", 1}, {"bus", 0x2a}});
+    trace.signals.push_back({{"a", 0}, {"bus", 0x15}});
+
+    const std::string vcd =
+        sim::toVcd(trace, {{"a", 1}, {"bus", 8}}, "top");
+    EXPECT_NE(vcd.find("$scope module top $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 8 \" bus $end"), std::string::npos);
+    EXPECT_NE(vcd.find("b00101010 \""), std::string::npos);
+    EXPECT_NE(vcd.find("b00010101 \""), std::string::npos);
+    // No redundant dump at cycle 1 (values unchanged).
+    const size_t first = vcd.find("#1\n");
+    const size_t second = vcd.find("#2\n");
+    EXPECT_EQ(vcd.substr(first, second - first), "#1\n");
+}
+
+TEST(Vcd, DotsBecomeUnderscores)
+{
+    sim::Trace trace;
+    trace.signals.push_back({{"ua.cfg", 3}});
+    const std::string vcd = sim::toVcd(trace, {{"ua.cfg", 8}});
+    EXPECT_NE(vcd.find("ua_cfg"), std::string::npos);
+}
+
+TEST(Vcd, CexTraceRoundTripsToFile)
+{
+    AutoccOptions opts;
+    opts.threshold = 2;
+    formal::EngineOptions engine;
+    engine.maxDepth = 12;
+    const RunResult run = runAutocc(buildSlowFlushDut(), opts, engine);
+    // Even without a CEX we can dump any simulated trace; use a
+    // simulator capture of the DUT.
+    (void)run;
+    const Netlist dut = buildSlowFlushDut();
+    sim::Simulator sim(dut);
+    sim.poke("flush", 0);
+    sim.poke("in_valid", 1);
+    sim.poke("in_data", 5);
+    sim::Trace stim;
+    for (int i = 0; i < 4; ++i)
+        stim.inputs.push_back({{"in_valid", 1}, {"in_data", 5u + i}});
+    sim::Trace captured;
+    sim.replay(stim, {"secret", "busy"}, &captured);
+    const std::string path = "/tmp/autocc_test_trace.vcd";
+    ASSERT_TRUE(sim::writeVcdFile(path, captured,
+                                  {{"secret", 4}, {"busy", 1}}));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("$enddefinitions"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// DOT export
+// ----------------------------------------------------------------------
+
+TEST(Dot, RendersNodesAndEdges)
+{
+    const Netlist dut = buildSlowFlushDut();
+    const std::string dot = rtl::toDot(dut);
+    EXPECT_NE(dot.find("digraph \"slowflush\""), std::string::npos);
+    EXPECT_NE(dot.find("secret"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos); // regs
+}
+
+TEST(Dot, ConeRestrictionShrinksOutput)
+{
+    const Netlist dut = duts::buildVscale();
+    const std::string full = rtl::toDot(dut);
+    rtl::DotOptions options;
+    options.roots = {"pipeline.wb_irq_pending"};
+    const std::string cone = rtl::toDot(dut, options);
+    // Register next-state edges pull most of the pipeline into the
+    // cone, but the output-port logic is excluded.
+    EXPECT_LT(cone.size(), full.size());
+    EXPECT_NE(cone.find("wb_irq_pending"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// SVA artifacts on richer DUTs
+// ----------------------------------------------------------------------
+
+TEST(SvaArtifacts, MapleWrapperAndProperties)
+{
+    const Netlist dut = duts::buildMaple();
+    const Miter miter = buildMiter(dut, {});
+    const std::string wrapper = emitSvaWrapper(miter, dut);
+    EXPECT_NE(wrapper.find("maple ua ("), std::string::npos);
+    EXPECT_NE(wrapper.find("cmd_data_ub"), std::string::npos);
+    const std::string props = emitSvaPropertyFile(miter);
+    // The declared flush-done signal is used, not left free.
+    EXPECT_NE(props.find("ua.inv.done && ub.inv.done"),
+              std::string::npos);
+    // Transaction gating for the command payload.
+    EXPECT_NE(props.find("!ua.cmd_valid || (ua.cmd_op == ub.cmd_op)"),
+              std::string::npos);
+}
+
+} // namespace autocc::core

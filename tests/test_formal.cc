@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the formal engine: bit-blaster semantics cross-checked
+ * against the simulator on random netlists, BMC depth behaviour,
+ * assumptions, memories, k-induction proofs, and CEX trace replay on
+ * the simulator (the cross-engine validation DESIGN.md promises).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "formal/engine.hh"
+#include "rtl/netlist.hh"
+#include "sim/simulator.hh"
+
+namespace autocc::formal
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+// ----------------------------------------------------------------------
+// BMC basics
+// ----------------------------------------------------------------------
+
+TEST(Bmc, CounterReachesValueAtExactDepth)
+{
+    Netlist nl("counter");
+    const NodeId c = nl.reg("count", 4, 0);
+    nl.connectReg(c, nl.incr(c));
+    nl.addAssert("not_five", nl.ne(c, nl.constant(4, 5)));
+
+    const CheckResult r = checkSafety(nl, {.maxDepth = 10});
+    ASSERT_EQ(r.status, CheckStatus::Cex);
+    // count==5 first happens at frame 5, i.e. a 6-cycle trace.
+    EXPECT_EQ(r.cex->depth, 6u);
+    EXPECT_EQ(r.cex->failedAssert, "not_five");
+    EXPECT_EQ(r.cex->trace.signalAt(5, "count"), 5u);
+}
+
+TEST(Bmc, BoundedProofWhenUnreachable)
+{
+    Netlist nl("counter");
+    const NodeId c = nl.reg("count", 4, 0);
+    // Saturating counter that stops at 3: 5 is unreachable.
+    nl.connectReg(c, nl.mux(nl.ult(c, nl.constant(4, 3)), nl.incr(c), c));
+    nl.addAssert("not_five", nl.ne(c, nl.constant(4, 5)));
+
+    const CheckResult r = checkSafety(nl, {.maxDepth = 12});
+    EXPECT_EQ(r.status, CheckStatus::BoundedProof);
+    EXPECT_EQ(r.bound, 12u);
+}
+
+TEST(Bmc, InductionProvesInvariant)
+{
+    Netlist nl("hold");
+    const NodeId c = nl.reg("count", 4, 0);
+    nl.connectReg(c, nl.mux(nl.ult(c, nl.constant(4, 3)), nl.incr(c), c));
+    nl.addAssert("le_three", nl.ule(c, nl.constant(4, 3)));
+
+    const CheckResult r = checkSafety(
+        nl, {.maxDepth = 8, .tryInduction = true, .maxInductionK = 8});
+    ASSERT_EQ(r.status, CheckStatus::Proved);
+    EXPECT_GE(r.inductionK, 1u);
+}
+
+TEST(Bmc, InputDrivenCexAndShallowest)
+{
+    // Output goes bad only if the input supplies a magic value.
+    Netlist nl("magic");
+    const NodeId in = nl.input("in", 8);
+    const NodeId seen = nl.reg("seen", 1, 0);
+    nl.connectReg(seen, nl.orOf(seen, nl.eqConst(in, 0xa5)));
+    nl.addAssert("never_seen", nl.notOf(seen));
+
+    const CheckResult r = checkSafety(nl, {.maxDepth = 10});
+    ASSERT_EQ(r.status, CheckStatus::Cex);
+    EXPECT_EQ(r.cex->depth, 2u); // poke at frame 0, register set at frame 1
+    EXPECT_EQ(r.cex->trace.inputAt(0, "in"), 0xa5u);
+}
+
+TEST(Bmc, AssumptionsBlockCex)
+{
+    Netlist nl("guarded");
+    const NodeId in = nl.input("in", 8);
+    const NodeId seen = nl.reg("seen", 1, 0);
+    nl.connectReg(seen, nl.orOf(seen, nl.eqConst(in, 0xa5)));
+    nl.addAssume("env.no_magic", nl.ne(in, nl.constant(8, 0xa5)));
+    nl.addAssert("never_seen", nl.notOf(seen));
+
+    const CheckResult r = checkSafety(
+        nl, {.maxDepth = 8, .tryInduction = true, .maxInductionK = 4});
+    EXPECT_EQ(r.status, CheckStatus::Proved);
+}
+
+TEST(Bmc, MemorySemantics)
+{
+    // Memory initialized to 0; a write of 0x7 to address `in` at cycle
+    // 0 must be readable at cycle 1.
+    Netlist nl("mem");
+    const uint32_t m = nl.memory("ram", 4, 8, 0);
+    const NodeId addr = nl.input("addr", 2);
+    const NodeId first = nl.reg("first", 1, 1);
+    nl.connectReg(first, nl.zero());
+    nl.memWrite(m, first, addr, nl.constant(8, 0x7));
+    const NodeId rd = nl.memRead(m, addr);
+    nl.addAssert("never_seven", nl.ne(rd, nl.constant(8, 0x7)));
+
+    const CheckResult r = checkSafety(nl, {.maxDepth = 6});
+    ASSERT_EQ(r.status, CheckStatus::Cex);
+    EXPECT_EQ(r.cex->depth, 2u);
+    // Same address both cycles in the CEX.
+    EXPECT_EQ(r.cex->trace.inputAt(0, "addr"),
+              r.cex->trace.inputAt(1, "addr"));
+}
+
+TEST(Bmc, NoAssertsPanics)
+{
+    Netlist nl("none");
+    const NodeId r = nl.reg("r", 1);
+    nl.connectReg(r, r);
+    EXPECT_DEATH(checkSafety(nl), "no assertions");
+}
+
+// ----------------------------------------------------------------------
+// Cross-engine validation: formal semantics == simulator semantics
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Build a random combinational+sequential netlist.  Returns the
+ * netlist; `probe` is a named 8-bit signal computed from the random
+ * graph, and "in0".."in2" are inputs.
+ */
+Netlist
+randomNetlist(Rng &rng, unsigned depth)
+{
+    Netlist nl("random");
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 3; ++i)
+        pool.push_back(nl.input("in" + std::to_string(i), 8));
+    // A couple of registers seeded into the pool.
+    std::vector<NodeId> regs;
+    for (int i = 0; i < 2; ++i) {
+        const NodeId r = nl.reg("r" + std::to_string(i), 8,
+                                rng.bits(8));
+        regs.push_back(r);
+        pool.push_back(r);
+    }
+    const auto pick = [&]() { return pool[rng.below(pool.size())]; };
+    for (unsigned i = 0; i < depth; ++i) {
+        const NodeId a = pick(), b = pick();
+        NodeId n = rtl::invalidNode;
+        switch (rng.below(10)) {
+          case 0: n = nl.andOf(a, b); break;
+          case 1: n = nl.orOf(a, b); break;
+          case 2: n = nl.xorOf(a, b); break;
+          case 3: n = nl.add(a, b); break;
+          case 4: n = nl.sub(a, b); break;
+          case 5: n = nl.notOf(a); break;
+          case 6: n = nl.mux(nl.bit(a, rng.below(8)), a, b); break;
+          case 7: n = nl.shlC(a, 1 + rng.below(7)); break;
+          case 8: n = nl.shrC(a, 1 + rng.below(7)); break;
+          case 9:
+            n = nl.zext(nl.concat(nl.slice(a, rng.below(4), 4),
+                                  nl.slice(b, 4, 4)),
+                        8);
+            break;
+        }
+        pool.push_back(n);
+    }
+    nl.connectReg(regs[0], pool[pool.size() - 1]);
+    nl.connectReg(regs[1], pool[pool.size() - 2]);
+    nl.nameNode(pool.back(), "probe");
+    nl.output("probe_out", pool.back());
+    return nl;
+}
+
+} // namespace
+
+TEST(CrossCheck, RandomNetlistsBmcTraceMatchesSimulator)
+{
+    Rng rng(0x5eed);
+    for (int iter = 0; iter < 40; ++iter) {
+        Netlist nl = randomNetlist(rng, 12 + rng.below(20));
+
+        // Ask BMC for an execution where probe hits a random target at
+        // some depth; if one exists, the simulator must agree exactly.
+        const uint64_t target = rng.bits(8);
+        nl.addAssert("probe_ne",
+                     nl.ne(nl.signal("probe"), nl.constant(8, target)));
+
+        const CheckResult r = checkSafety(nl, {.maxDepth = 5});
+        if (r.status != CheckStatus::Cex)
+            continue;
+
+        // Replay the CEX stimulus on the simulator.
+        sim::Simulator simulator(nl);
+        const auto &trace = r.cex->trace;
+        for (size_t t = 0; t < trace.depth(); ++t) {
+            for (const auto &[name, value] : trace.inputs[t])
+                simulator.poke(name, value);
+            simulator.eval();
+            // Every named signal the formal engine reported must match
+            // the simulator, every cycle.
+            for (const auto &[name, value] : trace.signals[t]) {
+                if (nl.findSignal(name) == rtl::invalidNode)
+                    continue; // memory-word pseudo signals
+                EXPECT_EQ(simulator.peek(name), value)
+                    << "signal " << name << " cycle " << t << " iter "
+                    << iter;
+            }
+            simulator.step();
+        }
+        // The violation itself must reproduce: probe == target at the
+        // last cycle.
+        EXPECT_EQ(trace.signalAt(trace.depth() - 1, "probe"), target);
+    }
+}
+
+TEST(CrossCheck, OperatorLevelAgreement)
+{
+    // For each primitive op, compare formal and simulator semantics on
+    // random constants by asserting the op output differs from the
+    // simulator-computed value — the engine must find no CEX.
+    Rng rng(0xcafe);
+    for (int iter = 0; iter < 60; ++iter) {
+        Netlist nl("op");
+        const NodeId a = nl.input("a", 8);
+        const NodeId b = nl.input("b", 8);
+        const uint64_t av = rng.bits(8), bv = rng.bits(8);
+        nl.addAssume("fix_a", nl.eqConst(a, av));
+        nl.addAssume("fix_b", nl.eqConst(b, bv));
+
+        std::vector<NodeId> outs = {
+            nl.andOf(a, b), nl.orOf(a, b), nl.xorOf(a, b),
+            nl.add(a, b), nl.sub(a, b), nl.zext(nl.eq(a, b), 8),
+            nl.zext(nl.ult(a, b), 8), nl.shlC(a, 2), nl.shrC(a, 5),
+            nl.zext(nl.redOr(a), 8), nl.zext(nl.redAnd(a), 8),
+            nl.slice(nl.concat(a, b), 4, 8),
+        };
+        for (size_t i = 0; i < outs.size(); ++i)
+            nl.nameNode(outs[i], "o" + std::to_string(i));
+
+        // Compute expectations with the simulator.
+        sim::Simulator simulator(nl);
+        simulator.poke(a, av);
+        simulator.poke(b, bv);
+        simulator.eval();
+        for (size_t i = 0; i < outs.size(); ++i) {
+            nl.addAssert("op" + std::to_string(i),
+                         nl.eqConst(outs[i], simulator.peek(outs[i])));
+        }
+        const CheckResult r = checkSafety(nl, {.maxDepth = 2});
+        EXPECT_EQ(r.status, CheckStatus::BoundedProof)
+            << "op semantics disagree at iter " << iter
+            << (r.cex ? " assert " + r.cex->failedAssert : "");
+    }
+}
+
+TEST(Induction, SimplePathProvesMutualExclusion)
+{
+    // Two one-hot FSM bits that can never both be 1.  Plain k-induction
+    // proves this quickly; exercise the simple-path option too.
+    Netlist nl("fsm");
+    const NodeId go = nl.input("go", 1);
+    const NodeId s0 = nl.reg("s0", 1, 1);
+    const NodeId s1 = nl.reg("s1", 1, 0);
+    nl.connectReg(s0, nl.mux(go, s1, s0));
+    nl.connectReg(s1, nl.mux(go, s0, s1));
+    nl.addAssert("not_both", nl.notOf(nl.andOf(s0, s1)));
+
+    const CheckResult r = checkSafety(nl, {.maxDepth = 6,
+                                           .tryInduction = true,
+                                           .maxInductionK = 6,
+                                           .simplePath = true});
+    EXPECT_EQ(r.status, CheckStatus::Proved);
+}
+
+TEST(Engine, DescribeFormats)
+{
+    Netlist nl("c");
+    const NodeId c = nl.reg("c", 3, 0);
+    nl.connectReg(c, nl.incr(c));
+    nl.addAssert("lt", nl.ult(c, nl.constant(3, 6)));
+    const CheckResult r = checkSafety(nl, {.maxDepth = 10});
+    ASSERT_TRUE(r.foundCex());
+    EXPECT_NE(describe(r).find("CEX at depth"), std::string::npos);
+}
+
+} // namespace autocc::formal

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Parameterized property-style sweeps (TEST_P): AutoCC structural
+ * invariants over every built-in DUT, threshold sweeps of the
+ * transfer period, AES geometry sweeps, cache-channel geometry
+ * sweeps, and SAT solver seed sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+#include "sat/solver.hh"
+#include "sim/simulator.hh"
+#include "soc/cache_channel.hh"
+
+namespace autocc
+{
+
+// ----------------------------------------------------------------------
+// Miter structural invariants over every DUT
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+struct NamedDut
+{
+    const char *name;
+    rtl::Netlist (*build)();
+};
+
+rtl::Netlist buildCva6Default() { return duts::buildCva6(); }
+rtl::Netlist buildMapleDefault() { return duts::buildMaple(); }
+rtl::Netlist buildAesDefault() { return duts::buildAes(); }
+rtl::Netlist buildVscaleDefault() { return duts::buildVscale(); }
+
+const NamedDut allDuts[] = {
+    {"toy", duts::buildToyAccelShipped},
+    {"toy_fixed", duts::buildToyAccelFixed},
+    {"vscale", buildVscaleDefault},
+    {"cva6", buildCva6Default},
+    {"maple", buildMapleDefault},
+    {"aes", buildAesDefault},
+};
+
+} // namespace
+
+class MiterInvariants : public ::testing::TestWithParam<NamedDut>
+{
+};
+
+TEST_P(MiterInvariants, OnePropertyPerReplicatedPort)
+{
+    const rtl::Netlist dut = GetParam().build();
+    const core::Miter miter = core::buildMiter(dut, {});
+
+    size_t inputs = 0, outputs = 0;
+    for (const auto &port : dut.ports()) {
+        if (port.common)
+            continue;
+        (port.dir == rtl::PortDir::In ? inputs : outputs) += 1;
+    }
+    EXPECT_EQ(miter.netlist.assumes().size(), inputs);
+    EXPECT_EQ(miter.netlist.asserts().size(), outputs);
+    EXPECT_EQ(miter.handling.size(), inputs + outputs);
+}
+
+TEST_P(MiterInvariants, EveryDutSignalExistsPerUniverse)
+{
+    const rtl::Netlist dut = GetParam().build();
+    const core::Miter miter = core::buildMiter(dut, {});
+    for (const auto &reg : dut.regs()) {
+        EXPECT_NE(miter.netlist.findSignal("ua." + reg.name),
+                  rtl::invalidNode)
+            << reg.name;
+        EXPECT_NE(miter.netlist.findSignal("ub." + reg.name),
+                  rtl::invalidNode)
+            << reg.name;
+    }
+}
+
+TEST_P(MiterInvariants, MiterStateIsTwoDutsPlusBookkeeping)
+{
+    const rtl::Netlist dut = GetParam().build();
+    const core::Miter miter = core::buildMiter(dut, {});
+    // eq_cnt + spy_mode are the only extra registers.
+    EXPECT_EQ(miter.netlist.regs().size(), 2 * dut.regs().size() + 2);
+    EXPECT_EQ(miter.netlist.mems().size(), 2 * dut.mems().size());
+}
+
+TEST_P(MiterInvariants, SvaArtifactsMentionEveryPort)
+{
+    const rtl::Netlist dut = GetParam().build();
+    const core::Miter miter = core::buildMiter(dut, {});
+    const std::string props = core::emitSvaPropertyFile(miter);
+    const std::string wrapper = core::emitSvaWrapper(miter, dut);
+    for (const auto &port : dut.ports()) {
+        EXPECT_NE(wrapper.find(port.name), std::string::npos) << port.name;
+        if (!port.common) {
+            EXPECT_NE(props.find(port.name + "_eq"), std::string::npos)
+                << port.name;
+        }
+    }
+}
+
+TEST_P(MiterInvariants, FreshMiterSimulatesFromEqualReset)
+{
+    // Both universes start from reset: with arbitrary-but-shared
+    // stimulus the transfer condition holds on cycle 0.
+    const rtl::Netlist dut = GetParam().build();
+    const core::Miter miter = core::buildMiter(dut, {});
+    sim::Simulator sim(miter.netlist);
+    for (const auto &port : miter.netlist.ports()) {
+        if (port.dir == rtl::PortDir::In)
+            sim.poke(port.node, 0);
+    }
+    sim.eval();
+    EXPECT_EQ(sim.peek("arch_eq"), 1u);
+    EXPECT_EQ(sim.peek("transfer_cond"), 1u);
+    EXPECT_EQ(sim.peek("spy_mode"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDuts, MiterInvariants,
+                         ::testing::ValuesIn(allDuts),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// ----------------------------------------------------------------------
+// Transfer-period threshold sweep
+// ----------------------------------------------------------------------
+
+class ThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThresholdSweep, ShippedToyLeaksAtEveryThreshold)
+{
+    core::AutoccOptions opts;
+    opts.threshold = GetParam();
+    formal::EngineOptions engine;
+    engine.maxDepth = 14;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    // The trace cannot be shorter than the transfer period itself.
+    EXPECT_GE(run.check.cex->depth, GetParam() + 2);
+}
+
+TEST_P(ThresholdSweep, FixedToyProvesAtEveryThreshold)
+{
+    core::AutoccOptions opts;
+    opts.threshold = GetParam();
+    formal::EngineOptions engine;
+    engine.maxDepth = 14;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelFixed(), opts, engine);
+    EXPECT_FALSE(run.foundCex());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ----------------------------------------------------------------------
+// AES geometry sweep
+// ----------------------------------------------------------------------
+
+class AesGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(AesGeometry, SimulationMatchesReference)
+{
+    const auto [stages, width] = GetParam();
+    duts::AesConfig config;
+    config.stages = stages;
+    config.width = width;
+    const rtl::Netlist nl = duts::buildAes(config);
+    sim::Simulator sim(nl);
+    Rng rng(stages * 1000 + width);
+    for (int iter = 0; iter < 5; ++iter) {
+        const uint64_t data = rng.bits(width), key = rng.bits(width);
+        sim.reset();
+        sim.poke("req_valid", 1);
+        sim.poke("req_data", data);
+        sim.poke("req_key", key);
+        sim.step();
+        sim.poke("req_valid", 0);
+        sim.run(stages - 1);
+        sim.eval();
+        ASSERT_EQ(sim.peek("resp_valid"), 1u);
+        EXPECT_EQ(sim.peek("resp_data"),
+                  duts::aesReference(data, key, stages, width));
+    }
+}
+
+TEST_P(AesGeometry, A1FoundAtEveryGeometry)
+{
+    const auto [stages, width] = GetParam();
+    // An in-flight request can only hide if the pipeline is deeper
+    // than the (minimum) transfer period — the paper's Sec. 3.3.2
+    // observation that a transfer period of n cycles eliminates CEXs
+    // exercising only the first n cycles.  A 2-deep pipeline drains
+    // before any spy can start: correctly no CEX there.
+    if (stages < 3)
+        GTEST_SKIP() << "pipeline drains within the transfer period";
+    duts::AesConfig config;
+    config.stages = stages;
+    config.width = width;
+    core::AutoccOptions opts;
+    opts.threshold = stages > 3 ? 2 : 1;
+    formal::EngineOptions engine;
+    engine.maxDepth = stages + 4;
+    const core::RunResult run =
+        core::runAutocc(duts::buildAes(config), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    EXPECT_GE(run.check.cex->depth, stages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AesGeometry,
+    ::testing::Values(std::pair{2u, 8u}, std::pair{4u, 8u},
+                      std::pair{4u, 16u}, std::pair{6u, 12u}),
+    [](const auto &info) {
+        return "s" + std::to_string(info.param.first) + "w" +
+               std::to_string(info.param.second);
+    });
+
+// ----------------------------------------------------------------------
+// Cache-channel geometry sweep
+// ----------------------------------------------------------------------
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, DecodesExactly)
+{
+    soc::CacheChannelConfig config;
+    config.lines = GetParam().first;
+    config.missPenalty = GetParam().second;
+    for (const auto &sample : soc::runCacheChannel(config))
+        EXPECT_EQ(sample.inferred, sample.secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::pair{2u, 2u}, std::pair{4u, 3u},
+                      std::pair{8u, 4u}, std::pair{16u, 7u}),
+    [](const auto &info) {
+        return "l" + std::to_string(info.param.first) + "p" +
+               std::to_string(info.param.second);
+    });
+
+// ----------------------------------------------------------------------
+// SAT solver seed sweep (brute-force cross-check per seed)
+// ----------------------------------------------------------------------
+
+class SatSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SatSeeds, AgreesWithBruteForce)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 150; ++iter) {
+        const int numVars = 3 + static_cast<int>(rng.below(9));
+        std::vector<std::vector<sat::Lit>> clauses;
+        const int numClauses = 2 + static_cast<int>(rng.below(35));
+        for (int c = 0; c < numClauses; ++c) {
+            std::vector<sat::Lit> clause;
+            const int len = 1 + static_cast<int>(rng.below(3));
+            for (int i = 0; i < len; ++i) {
+                clause.push_back(
+                    sat::mkLit(static_cast<sat::Var>(rng.below(numVars)),
+                               rng.chance(50)));
+            }
+            clauses.push_back(std::move(clause));
+        }
+
+        bool expected = false;
+        for (uint64_t assign = 0;
+             assign < (uint64_t{1} << numVars) && !expected; ++assign) {
+            bool all = true;
+            for (const auto &clause : clauses) {
+                bool any = false;
+                for (sat::Lit lit : clause)
+                    any |= (((assign >> sat::var(lit)) & 1) !=
+                            sat::sign(lit));
+                all &= any;
+            }
+            expected = all;
+        }
+
+        sat::Solver solver;
+        for (int v = 0; v < numVars; ++v)
+            solver.newVar();
+        bool ok = true;
+        for (const auto &clause : clauses)
+            ok = solver.addClause(clause) && ok;
+        const bool got =
+            ok && solver.solve() == sat::SolveResult::Sat;
+        EXPECT_EQ(got, expected) << "seed " << GetParam() << " iter "
+                                 << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatSeeds,
+                         ::testing::Values(1ull, 7ull, 1234ull,
+                                           0xfeedfaceull, 99999ull));
+
+} // namespace autocc

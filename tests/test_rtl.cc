@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the RTL netlist IR: construction, metadata, scopes,
+ * validation, and the two-universe cloning used by the miter builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/clone.hh"
+#include "rtl/netlist.hh"
+
+namespace autocc::rtl
+{
+
+TEST(Netlist, BasicConstruction)
+{
+    Netlist nl("unit");
+    const NodeId a = nl.input("a", 8);
+    const NodeId b = nl.input("b", 8);
+    const NodeId sum = nl.add(a, b);
+    nl.output("sum", sum);
+
+    EXPECT_EQ(nl.width(sum), 8u);
+    EXPECT_EQ(nl.ports().size(), 3u);
+    EXPECT_EQ(nl.signal("sum"), sum);
+    EXPECT_EQ(nl.findSignal("nope"), invalidNode);
+    nl.validate();
+}
+
+TEST(Netlist, RegisterLifecycle)
+{
+    Netlist nl("regs");
+    const NodeId r = nl.reg("count", 4, 3);
+    nl.connectReg(r, nl.incr(r));
+    EXPECT_EQ(nl.regs().size(), 1u);
+    EXPECT_EQ(nl.regs()[0].resetValue, 3u);
+    EXPECT_EQ(nl.regs()[0].name, "count");
+    nl.validate();
+}
+
+TEST(NetlistDeath, UnconnectedRegisterFailsValidate)
+{
+    Netlist nl("bad");
+    nl.reg("r", 4);
+    EXPECT_DEATH(nl.validate(), "no next-state connection");
+}
+
+TEST(NetlistDeath, DoubleConnectPanics)
+{
+    Netlist nl("bad");
+    const NodeId r = nl.reg("r", 4);
+    nl.connectReg(r, nl.constant(4, 0));
+    EXPECT_DEATH(nl.connectReg(r, nl.constant(4, 1)), "connected twice");
+}
+
+TEST(NetlistDeath, WidthMismatchPanics)
+{
+    Netlist nl("bad");
+    const NodeId a = nl.input("a", 8);
+    const NodeId b = nl.input("b", 4);
+    EXPECT_DEATH(nl.add(a, b), "width mismatch");
+}
+
+TEST(Netlist, Scopes)
+{
+    Netlist nl("scoped");
+    {
+        Scope outer(nl, "core");
+        Scope inner(nl, "alu");
+        const NodeId r = nl.reg("acc", 8);
+        nl.connectReg(r, r);
+        EXPECT_EQ(nl.regs()[0].name, "core.alu.acc");
+    }
+    const NodeId top = nl.reg("t", 1);
+    nl.connectReg(top, top);
+    EXPECT_EQ(nl.regs()[1].name, "t");
+}
+
+TEST(Netlist, MemoryMetadata)
+{
+    Netlist nl("mem");
+    const uint32_t m = nl.memory("cache", 16, 32, 0xdead);
+    EXPECT_EQ(nl.mems()[m].addrWidth, 4u);
+    EXPECT_EQ(nl.mems()[m].size, 16u);
+    const NodeId addr = nl.input("addr", 4);
+    const NodeId rd = nl.memRead(m, addr);
+    EXPECT_EQ(nl.width(rd), 32u);
+    nl.memWrite(m, nl.input("we", 1), addr, nl.input("wd", 32));
+    nl.validate();
+}
+
+TEST(NetlistDeath, NonPowerOfTwoMemoryPanics)
+{
+    Netlist nl("mem");
+    EXPECT_DEATH(nl.memory("bad", 12, 8), "power of two");
+}
+
+TEST(Netlist, DerivedOps)
+{
+    Netlist nl("sugar");
+    const NodeId a = nl.input("a", 4);
+    EXPECT_EQ(nl.width(nl.zext(a, 9)), 9u);
+    EXPECT_EQ(nl.zext(a, 4), a);
+    EXPECT_EQ(nl.width(nl.bit(a, 2)), 1u);
+    EXPECT_EQ(nl.width(nl.eqConst(a, 5)), 1u);
+    EXPECT_EQ(nl.width(nl.andAll({})), 1u);
+}
+
+TEST(Netlist, TransactionsAndArch)
+{
+    Netlist nl("meta");
+    const NodeId v = nl.input("req_valid", 1);
+    const NodeId d = nl.input("req_data", 8);
+    (void)v;
+    (void)d;
+    nl.output("resp_valid", nl.constant(1, 0));
+    nl.transaction("req", "req_valid", {"req_data"});
+    EXPECT_EQ(nl.transactions().size(), 1u);
+
+    const NodeId r = nl.reg("pc", 8);
+    nl.connectReg(r, r);
+    nl.markArch("pc");
+    EXPECT_EQ(nl.archSignals().size(), 1u);
+}
+
+TEST(Netlist, PropertiesAndFlushDone)
+{
+    Netlist nl("props");
+    const NodeId ok = nl.input("ok", 1);
+    nl.addAssume("env", ok);
+    nl.addAssert("safe", ok);
+    EXPECT_EQ(nl.assumes().size(), 1u);
+    EXPECT_EQ(nl.asserts().size(), 1u);
+
+    const NodeId fd = nl.input("flush_done", 1);
+    (void)fd;
+    nl.setFlushDone("flush_done");
+    EXPECT_TRUE(nl.flushDoneSignal().has_value());
+}
+
+TEST(Netlist, StateBits)
+{
+    Netlist nl("bits");
+    const NodeId r = nl.reg("r", 7);
+    nl.connectReg(r, r);
+    nl.memory("m", 4, 5);
+    EXPECT_EQ(nl.stateBits(), 7u + 4 * 5);
+}
+
+// ----------------------------------------------------------------------
+// Cloning
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** A little DUT with one input, one output, a register and a memory. */
+Netlist
+makeDut()
+{
+    Netlist dut("dut");
+    const NodeId in = dut.input("in", 8);
+    const NodeId clkEn = dut.input("tick", 1, /*common=*/true);
+    const NodeId acc = dut.reg("acc", 8, 1);
+    dut.connectReg(acc, dut.mux(clkEn, dut.add(acc, in), acc));
+    const uint32_t m = dut.memory("scratch", 4, 8);
+    dut.memWrite(m, clkEn, dut.slice(in, 0, 2), acc);
+    const NodeId out = dut.memRead(m, dut.slice(in, 0, 2));
+    dut.output("out", out);
+    dut.addAssume("env.small", dut.ult(in, dut.constant(8, 200)));
+    return dut;
+}
+
+} // namespace
+
+TEST(Clone, TwoUniverseClone)
+{
+    const Netlist dut = makeDut();
+    Netlist miter("miter");
+    std::unordered_map<std::string, NodeId> shared;
+    const CloneResult a = cloneInto(dut, miter, "ua", &shared);
+    const CloneResult b = cloneInto(dut, miter, "ub", &shared);
+
+    // Prefixed names exist.
+    EXPECT_NE(miter.findSignal("ua.acc"), invalidNode);
+    EXPECT_NE(miter.findSignal("ub.acc"), invalidNode);
+    EXPECT_NE(miter.findSignal("ua.in"), invalidNode);
+
+    // Common input is shared: both clones map "tick" to the same node.
+    EXPECT_EQ(a.byName.at("tick"), b.byName.at("tick"));
+    // Non-common input is replicated.
+    EXPECT_NE(a.byName.at("in"), b.byName.at("in"));
+
+    // Registers and memories duplicated.
+    EXPECT_EQ(miter.regs().size(), 2u);
+    EXPECT_EQ(miter.mems().size(), 2u);
+    EXPECT_EQ(miter.memWrites().size(), 2u);
+
+    // Assumptions were installed for both universes.
+    EXPECT_EQ(miter.assumes().size(), 2u);
+
+    // Ports were reported with original names.
+    EXPECT_EQ(a.ports.size(), dut.ports().size());
+    miter.validate();
+}
+
+TEST(Clone, ReportsDutAsserts)
+{
+    Netlist dut("d");
+    const NodeId in = dut.input("x", 1);
+    dut.addAssert("never_x", dut.notOf(in));
+    Netlist wrap("w");
+    const CloneResult r = cloneInto(dut, wrap, "u", nullptr);
+    ASSERT_EQ(r.asserts.size(), 1u);
+    EXPECT_EQ(r.asserts[0].name, "u.never_x");
+    // Not auto-installed in the wrapper.
+    EXPECT_TRUE(wrap.asserts().empty());
+}
+
+} // namespace autocc::rtl

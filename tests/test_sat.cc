@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT solver.  The key property
+ * test cross-checks the solver against a brute-force enumerator on
+ * thousands of random CNFs — any disagreement is a solver bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "sat/dimacs.hh"
+#include "sat/solver.hh"
+
+namespace autocc::sat
+{
+
+namespace
+{
+
+/** Brute-force satisfiability over <= 20 variables. */
+bool
+bruteForceSat(int num_vars, const std::vector<std::vector<Lit>> &clauses)
+{
+    for (uint64_t assign = 0; assign < (uint64_t{1} << num_vars); ++assign) {
+        bool all = true;
+        for (const auto &clause : clauses) {
+            bool any = false;
+            for (Lit lit : clause) {
+                const bool value = (assign >> var(lit)) & 1;
+                if (value != sign(lit)) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return true;
+    }
+    return false;
+}
+
+/** Check that a model satisfies all clauses. */
+bool
+modelSatisfies(const Solver &solver,
+               const std::vector<std::vector<Lit>> &clauses)
+{
+    for (const auto &clause : clauses) {
+        bool any = false;
+        for (Lit lit : clause)
+            any |= solver.modelValue(lit);
+        if (!any)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::vector<Lit>>
+randomCnf(Rng &rng, int num_vars, int num_clauses, int max_len)
+{
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < num_clauses; ++c) {
+        const int len = 1 + static_cast<int>(rng.below(max_len));
+        std::vector<Lit> clause;
+        for (int i = 0; i < len; ++i) {
+            clause.push_back(mkLit(static_cast<Var>(rng.below(num_vars)),
+                                   rng.chance(50)));
+        }
+        clauses.push_back(std::move(clause));
+    }
+    return clauses;
+}
+
+} // namespace
+
+TEST(Lit, Encoding)
+{
+    const Lit p = mkLit(3, false);
+    const Lit n = mkLit(3, true);
+    EXPECT_EQ(var(p), 3);
+    EXPECT_EQ(var(n), 3);
+    EXPECT_FALSE(sign(p));
+    EXPECT_TRUE(sign(n));
+    EXPECT_EQ(~p, n);
+    EXPECT_EQ(~n, p);
+}
+
+TEST(Solver, TrivialSat)
+{
+    Solver s;
+    const Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(a)));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Solver, TrivialUnsat)
+{
+    Solver s;
+    const Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(a)));
+    EXPECT_FALSE(s.addClause(mkLit(a, true)));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, EmptyClauseUnsat)
+{
+    Solver s;
+    s.newVar();
+    EXPECT_FALSE(s.addClause(std::vector<Lit>{}));
+    EXPECT_FALSE(s.okay());
+}
+
+TEST(Solver, TautologyIgnored)
+{
+    Solver s;
+    const Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(a), mkLit(a, true)));
+    EXPECT_EQ(s.numClauses(), 0u);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, XorChainSat)
+{
+    // x0 xor x1 = 1, x1 xor x2 = 1, ... satisfiable alternating chain.
+    Solver s;
+    constexpr int n = 20;
+    std::vector<Var> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(s.newVar());
+    for (int i = 0; i + 1 < n; ++i) {
+        s.addClause(mkLit(v[i]), mkLit(v[i + 1]));
+        s.addClause(mkLit(v[i], true), mkLit(v[i + 1], true));
+    }
+    s.addClause(mkLit(v[0]));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(s.modelValue(v[i]), i % 2 == 0);
+}
+
+TEST(Solver, PigeonholeUnsat)
+{
+    // 4 pigeons, 3 holes: classic small UNSAT instance.
+    Solver s;
+    constexpr int pigeons = 4, holes = 3;
+    Var x[pigeons][holes];
+    for (auto &row : x)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> atLeastOne;
+        for (int h = 0; h < holes; ++h)
+            atLeastOne.push_back(mkLit(x[p][h]));
+        s.addClause(atLeastOne);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(x[p1][h], true), mkLit(x[p2][h], true));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, AssumptionsSatThenUnsat)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b)); // a | b
+    EXPECT_EQ(s.solve({mkLit(a, true)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    EXPECT_EQ(s.solve({mkLit(a, true), mkLit(b, true)}), SolveResult::Unsat);
+    // Solver is still usable and satisfiable without assumptions.
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, ConflictCoreContainsGuiltyAssumption)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a));
+    (void)b;
+    EXPECT_EQ(s.solve({mkLit(a, true)}), SolveResult::Unsat);
+    bool found = false;
+    for (Lit lit : s.conflictCore())
+        found |= (var(lit) == a);
+    EXPECT_TRUE(found);
+}
+
+TEST(Solver, IncrementalAddAfterSolve)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    s.addClause(mkLit(a, true));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    s.addClause(mkLit(b, true));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(SolverProperty, RandomCnfAgainstBruteForce)
+{
+    Rng rng(0xacc);
+    int satCount = 0, unsatCount = 0;
+    for (int iter = 0; iter < 1500; ++iter) {
+        const int numVars = 3 + static_cast<int>(rng.below(10));
+        const int numClauses = 2 + static_cast<int>(rng.below(40));
+        const auto clauses = randomCnf(rng, numVars, numClauses, 4);
+
+        Solver s;
+        for (int v = 0; v < numVars; ++v)
+            s.newVar();
+        bool ok = true;
+        for (const auto &clause : clauses)
+            ok = s.addClause(clause) && ok;
+
+        const bool expected = bruteForceSat(numVars, clauses);
+        if (!ok) {
+            EXPECT_FALSE(expected) << "addClause said unsat, brute says sat "
+                                   << "(iter " << iter << ")";
+            ++unsatCount;
+            continue;
+        }
+        const SolveResult result = s.solve();
+        ASSERT_NE(result, SolveResult::Unknown);
+        EXPECT_EQ(result == SolveResult::Sat, expected)
+            << "disagreement at iter " << iter;
+        if (result == SolveResult::Sat) {
+            EXPECT_TRUE(modelSatisfies(s, clauses))
+                << "bogus model at iter " << iter;
+            ++satCount;
+        } else {
+            ++unsatCount;
+        }
+    }
+    // Sanity: the generator produces a healthy mix.
+    EXPECT_GT(satCount, 100);
+    EXPECT_GT(unsatCount, 100);
+}
+
+TEST(SolverProperty, RandomCnfUnderAssumptions)
+{
+    Rng rng(0xbeef);
+    for (int iter = 0; iter < 500; ++iter) {
+        const int numVars = 4 + static_cast<int>(rng.below(8));
+        const auto clauses =
+            randomCnf(rng, numVars, 3 + static_cast<int>(rng.below(25)), 3);
+
+        // Random assumptions over distinct vars.
+        std::vector<Lit> assumptions;
+        for (int v = 0; v < numVars; ++v) {
+            if (rng.chance(25))
+                assumptions.push_back(mkLit(v, rng.chance(50)));
+        }
+
+        // Brute force with assumptions folded in as unit clauses.
+        auto augmented = clauses;
+        for (Lit lit : assumptions)
+            augmented.push_back({lit});
+
+        Solver s;
+        for (int v = 0; v < numVars; ++v)
+            s.newVar();
+        bool ok = true;
+        for (const auto &clause : clauses)
+            ok = s.addClause(clause) && ok;
+        if (!ok)
+            continue;
+
+        const bool expected = bruteForceSat(numVars, augmented);
+        const SolveResult result = s.solve(assumptions);
+        EXPECT_EQ(result == SolveResult::Sat, expected)
+            << "assumption disagreement at iter " << iter;
+        // Solver must remain reusable: re-solve without assumptions
+        // must be at least as satisfiable.
+        if (s.okay()) {
+            const bool plain = bruteForceSat(numVars, clauses);
+            EXPECT_EQ(s.solve() == SolveResult::Sat, plain);
+        }
+    }
+}
+
+TEST(Dimacs, RoundTrip)
+{
+    const std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+    const Cnf cnf = parseDimacsString(text);
+    EXPECT_EQ(cnf.numVars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[0][0], mkLit(0));
+    EXPECT_EQ(cnf.clauses[0][1], mkLit(1, true));
+
+    const Cnf again = parseDimacsString(toDimacs(cnf));
+    EXPECT_EQ(again.numVars, cnf.numVars);
+    EXPECT_EQ(again.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, LoadIntoSolver)
+{
+    const Cnf cnf = parseDimacsString("p cnf 2 2\n1 0\n-1 2 0\n");
+    Solver s;
+    EXPECT_TRUE(loadCnf(s, cnf));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(0));
+    EXPECT_TRUE(s.modelValue(1));
+}
+
+TEST(Solver, StatsPopulated)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(mkLit(a, true), mkLit(c));
+    s.addClause(mkLit(b, true), mkLit(c, true));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_GT(s.stats().propagations + s.stats().decisions, 0u);
+}
+
+} // namespace autocc::sat

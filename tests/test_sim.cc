@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit and property tests for the cycle simulator: operator
+ * semantics, register/memory behaviour, trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "rtl/netlist.hh"
+#include "sim/simulator.hh"
+
+namespace autocc::sim
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+TEST(Simulator, CombinationalOps)
+{
+    Netlist nl("comb");
+    const NodeId a = nl.input("a", 8);
+    const NodeId b = nl.input("b", 8);
+    nl.output("and", nl.andOf(a, b));
+    nl.output("or", nl.orOf(a, b));
+    nl.output("xor", nl.xorOf(a, b));
+    nl.output("not", nl.notOf(a));
+    nl.output("add", nl.add(a, b));
+    nl.output("sub", nl.sub(a, b));
+    nl.output("eq", nl.eq(a, b));
+    nl.output("ult", nl.ult(a, b));
+    nl.output("shl", nl.shlC(a, 3));
+    nl.output("shr", nl.shrC(a, 3));
+    nl.output("cat", nl.concat(a, b));
+    nl.output("sl", nl.slice(a, 2, 4));
+    nl.output("ror", nl.redOr(a));
+    nl.output("rand", nl.redAnd(a));
+
+    Simulator sim(nl);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t av = rng.bits(8), bv = rng.bits(8);
+        sim.poke(a, av);
+        sim.poke(b, bv);
+        sim.eval();
+        EXPECT_EQ(sim.peek("and"), av & bv);
+        EXPECT_EQ(sim.peek("or"), av | bv);
+        EXPECT_EQ(sim.peek("xor"), av ^ bv);
+        EXPECT_EQ(sim.peek("not"), (~av) & 0xff);
+        EXPECT_EQ(sim.peek("add"), (av + bv) & 0xff);
+        EXPECT_EQ(sim.peek("sub"), (av - bv) & 0xff);
+        EXPECT_EQ(sim.peek("eq"), av == bv ? 1u : 0u);
+        EXPECT_EQ(sim.peek("ult"), av < bv ? 1u : 0u);
+        EXPECT_EQ(sim.peek("shl"), (av << 3) & 0xff);
+        EXPECT_EQ(sim.peek("shr"), av >> 3);
+        EXPECT_EQ(sim.peek("cat"), (av << 8) | bv);
+        EXPECT_EQ(sim.peek("sl"), (av >> 2) & 0xf);
+        EXPECT_EQ(sim.peek("ror"), av != 0 ? 1u : 0u);
+        EXPECT_EQ(sim.peek("rand"), av == 0xff ? 1u : 0u);
+    }
+}
+
+TEST(Simulator, MuxSemantics)
+{
+    Netlist nl("mux");
+    const NodeId s = nl.input("s", 1);
+    const NodeId a = nl.input("a", 4);
+    const NodeId b = nl.input("b", 4);
+    nl.output("m", nl.mux(s, a, b));
+    Simulator sim(nl);
+    sim.poke(a, 5);
+    sim.poke(b, 9);
+    sim.poke(s, 1);
+    sim.eval();
+    EXPECT_EQ(sim.peek("m"), 5u);
+    sim.poke(s, 0);
+    sim.eval();
+    EXPECT_EQ(sim.peek("m"), 9u);
+}
+
+TEST(Simulator, CounterSteps)
+{
+    Netlist nl("counter");
+    const NodeId c = nl.reg("count", 4, 2);
+    nl.connectReg(c, nl.incr(c));
+    nl.output("value", c);
+
+    Simulator sim(nl);
+    sim.eval();
+    EXPECT_EQ(sim.peek("value"), 2u);
+    sim.run(3);
+    sim.eval();
+    EXPECT_EQ(sim.peek("value"), 5u);
+    sim.run(11); // wraps at 16
+    sim.eval();
+    EXPECT_EQ(sim.peek("value"), 0u);
+    EXPECT_EQ(sim.cycle(), 14u);
+}
+
+TEST(Simulator, ResetRestoresState)
+{
+    Netlist nl("reset");
+    const NodeId c = nl.reg("c", 8, 7);
+    nl.connectReg(c, nl.incr(c));
+    Simulator sim(nl);
+    sim.run(5);
+    EXPECT_EQ(sim.regValue(0), 12u);
+    sim.reset();
+    EXPECT_EQ(sim.regValue(0), 7u);
+    EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Simulator, MemoryWriteThenRead)
+{
+    Netlist nl("mem");
+    const uint32_t m = nl.memory("ram", 8, 16, 0xaaaa);
+    const NodeId we = nl.input("we", 1);
+    const NodeId addr = nl.input("addr", 3);
+    const NodeId wd = nl.input("wd", 16);
+    nl.memWrite(m, we, addr, wd);
+    nl.output("rd", nl.memRead(m, addr));
+
+    Simulator sim(nl);
+    sim.poke(addr, 3);
+    sim.eval();
+    EXPECT_EQ(sim.peek("rd"), 0xaaaau); // init value
+
+    sim.poke(we, 1);
+    sim.poke(wd, 0x1234);
+    sim.step(); // write commits at the edge
+    sim.poke(we, 0);
+    sim.eval();
+    EXPECT_EQ(sim.peek("rd"), 0x1234u);
+    EXPECT_EQ(sim.memValue(m, 3), 0x1234u);
+    EXPECT_EQ(sim.memValue(m, 4), 0xaaaau);
+}
+
+TEST(Simulator, MemoryWritePortOrder)
+{
+    // Two write ports to the same address in the same cycle: the later
+    // declaration wins (declaration order semantics).
+    Netlist nl("mem2");
+    const uint32_t m = nl.memory("ram", 4, 8);
+    const NodeId addr = nl.constant(2, 1);
+    nl.memWrite(m, nl.one(), addr, nl.constant(8, 0x11));
+    nl.memWrite(m, nl.one(), addr, nl.constant(8, 0x22));
+    nl.output("rd", nl.memRead(m, nl.zext(addr, 2)));
+    Simulator sim(nl);
+    sim.step();
+    sim.eval();
+    EXPECT_EQ(sim.peek("rd"), 0x22u);
+}
+
+TEST(Simulator, RegisterChainPipelining)
+{
+    Netlist nl("pipe");
+    const NodeId in = nl.input("in", 8);
+    const NodeId s1 = nl.reg("s1", 8);
+    const NodeId s2 = nl.reg("s2", 8);
+    nl.connectReg(s1, in);
+    nl.connectReg(s2, s1);
+    nl.output("out", s2);
+
+    Simulator sim(nl);
+    sim.poke(in, 0x42);
+    sim.step();
+    sim.poke(in, 0x43);
+    sim.step();
+    sim.eval();
+    EXPECT_EQ(sim.peek("out"), 0x42u);
+    sim.step();
+    sim.eval();
+    EXPECT_EQ(sim.peek("out"), 0x43u);
+}
+
+TEST(Simulator, ReplayCapturesSignals)
+{
+    Netlist nl("replay");
+    const NodeId in = nl.input("in", 8);
+    const NodeId acc = nl.reg("acc", 8);
+    nl.connectReg(acc, nl.add(acc, in));
+    nl.output("out", acc);
+
+    Trace stim;
+    stim.inputs.push_back({{"in", 1}});
+    stim.inputs.push_back({{"in", 2}});
+    stim.inputs.push_back({{"in", 3}});
+
+    Simulator sim(nl);
+    Trace observed;
+    sim.replay(stim, {"out"}, &observed);
+    ASSERT_EQ(observed.signals.size(), 3u);
+    EXPECT_EQ(observed.signalAt(0, "out"), 0u);
+    EXPECT_EQ(observed.signalAt(1, "out"), 1u);
+    EXPECT_EQ(observed.signalAt(2, "out"), 3u);
+}
+
+TEST(Trace, RenderContainsSignals)
+{
+    Trace t;
+    t.inputs.push_back({{"a", 1}});
+    t.inputs.push_back({{"a", 2}});
+    t.signals.push_back({{"x", 0xff}});
+    t.signals.push_back({{"x", 0x10}});
+    const std::string out = t.render({"a", "x"});
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("ff"), std::string::npos);
+}
+
+TEST(SimulatorDeath, PeekBeforeEvalPanics)
+{
+    Netlist nl("p");
+    const NodeId in = nl.input("in", 1);
+    nl.output("out", in);
+    Simulator sim(nl);
+    sim.step(); // step() leaves evaluated_ false
+    EXPECT_DEATH(sim.peek("out"), "peek before eval");
+}
+
+} // namespace autocc::sim

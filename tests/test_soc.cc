@@ -1,0 +1,168 @@
+/**
+ * @file
+ * System-level tests: the MapleSystem harness, the M3 exploit
+ * (Listing 2 / A.5.3) on buggy and fixed RTL, and the Fig. 1
+ * prime-and-probe cache channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/cache_channel.hh"
+#include "soc/exploit.hh"
+#include "soc/maple_system.hh"
+
+namespace autocc::soc
+{
+
+using duts::MapleConfig;
+using duts::MapleOp;
+
+TEST(MapleSystem, LoadRoundTripReturnsMemory)
+{
+    MapleSystem system;
+    system.memory[0x25] = 0x5d;
+    system.command(MapleOp::TlbFill, 0x22); // identity page 2
+    system.command(MapleOp::SetBase, 0x20);
+    system.command(MapleOp::LoadWord, 0x05);
+    system.tick(MapleSystem::nocLatency + 2);
+    const ConsumeResult r = system.consume();
+    EXPECT_TRUE(r.valid);
+    EXPECT_FALSE(r.fault);
+    EXPECT_EQ(r.data, 0x5d);
+}
+
+TEST(MapleSystem, UnmappedLoadFaults)
+{
+    MapleSystem system;
+    system.command(MapleOp::LoadWord, 0x05); // empty TLB -> fault
+    system.tick(2);
+    const ConsumeResult r = system.consume();
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(r.fault);
+    EXPECT_EQ(r.data, 0u);
+}
+
+TEST(MapleSystem, CleanupInvalidatesMappings)
+{
+    MapleSystem system;
+    system.command(MapleOp::TlbFill, 0x22);
+    system.cleanup();
+    system.command(MapleOp::LoadWord, 0x05);
+    system.tick(2);
+    EXPECT_TRUE(system.consume().fault);
+}
+
+// ----------------------------------------------------------------------
+// The A.5.3 headline results
+// ----------------------------------------------------------------------
+
+TEST(M3Exploit, RecoversSecretOnBuggyRtl)
+{
+    const ExploitResult r = runM3Exploit();
+    EXPECT_EQ(r.secret, 0xdeadbeefu);
+    EXPECT_EQ(r.recovered, 0xdeadbeefu)
+        << "spy failed to reconstruct the secret";
+    // Paper: a 32-bit secret in < 6000 cycles.
+    EXPECT_LT(r.cycles, 6000u);
+}
+
+TEST(M3Exploit, FixedRtlRecoversZero)
+{
+    const ExploitResult r = runM3Exploit(duts::MapleConfig{
+        .fixTlbEnable = true, .fixArrayBase = true});
+    EXPECT_EQ(r.recovered, 0x00000000u)
+        << "channel still open after the fix";
+}
+
+TEST(M3Exploit, ArbitrarySecretsTransferExactly)
+{
+    for (uint32_t secret : {0x00000000u, 0xffffffffu, 0x12345678u,
+                            0xa5a5a5a5u, 0x0badf00du}) {
+        const ExploitResult r = runM3Exploit({}, secret);
+        EXPECT_EQ(r.recovered, secret);
+    }
+}
+
+TEST(M3Exploit, LeaksFourBitsPerIteration)
+{
+    const ExploitResult r = runM3Exploit();
+    ASSERT_EQ(r.nibbles.size(), 8u);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(r.nibbles[i], (0xdeadbeefu >> (i * 4)) & 0xf);
+}
+
+// ----------------------------------------------------------------------
+// Fig. 1: prime-and-probe latency channel
+// ----------------------------------------------------------------------
+
+TEST(CacheChannel, ProbeLatencyIsLinearInSecret)
+{
+    const CacheChannelConfig config;
+    const auto samples = runCacheChannel(config);
+    ASSERT_EQ(samples.size(), config.lines + 1);
+    for (const auto &s : samples) {
+        EXPECT_EQ(s.probeCycles,
+                  config.lines + uint64_t{s.secret} * config.missPenalty)
+            << "secret " << s.secret;
+    }
+}
+
+TEST(CacheChannel, SpyDecodesEverySecretExactly)
+{
+    for (const auto &s : runCacheChannel())
+        EXPECT_EQ(s.inferred, s.secret);
+}
+
+TEST(CacheChannel, WorksAcrossGeometries)
+{
+    for (unsigned lines : {4u, 16u}) {
+        for (unsigned penalty : {2u, 5u}) {
+            CacheChannelConfig config;
+            config.lines = lines;
+            config.missPenalty = penalty;
+            for (const auto &s : runCacheChannel(config))
+                EXPECT_EQ(s.inferred, s.secret);
+        }
+    }
+}
+
+TEST(CacheChannel, FlushBetweenProcessesClosesTheChannel)
+{
+    // With a (software-simulated) flush of the cache between victim
+    // and spy, the probe latency is all-miss regardless of the secret
+    // — the temporal-partitioning defence the paper evaluates.
+    const CacheChannelConfig config;
+    const rtl::Netlist nl = buildProbeCache(config);
+    for (unsigned secret : {0u, 3u, 8u}) {
+        sim::Simulator sim(nl);
+        sim.poke("req_valid", 0);
+        sim.poke("req_addr", 0);
+        auto access = [&](uint8_t addr) {
+            sim.poke("req_addr", addr);
+            sim.poke("req_valid", 1);
+            uint64_t cycles = 0;
+            for (;;) {
+                ++cycles;
+                sim.eval();
+                const bool done = sim.peek("resp_valid");
+                sim.step();
+                sim.poke("req_valid", 0);
+                if (done)
+                    return cycles;
+            }
+        };
+        for (unsigned i = 0; i < config.lines; ++i)
+            access(static_cast<uint8_t>(i));
+        for (unsigned j = 0; j < secret; ++j)
+            access(static_cast<uint8_t>(0x80 | j));
+        sim.reset(); // the flush: all valid bits cleared
+        sim.poke("req_valid", 0);
+        uint64_t probe = 0;
+        for (unsigned i = 0; i < config.lines; ++i)
+            probe += access(static_cast<uint8_t>(i));
+        EXPECT_EQ(probe,
+                  uint64_t{config.lines} * (1 + config.missPenalty));
+    }
+}
+
+} // namespace autocc::soc

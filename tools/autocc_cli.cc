@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Command-line driver for the AutoCC flow — the reproduction of the
+ * paper's `autocc.py` entry point.  Point it at a built-in DUT to
+ * generate the FPV testbench artifacts, run the exhaustive check,
+ * root-cause counterexamples (with a VCD dump for waveform viewers),
+ * or attempt an unbounded proof.
+ *
+ *   autocc_cli list
+ *   autocc_cli gen   <dut> [--out DIR]
+ *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
+ *                          [--vcd FILE]
+ *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
+ *   autocc_cli exploit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+#include "rtl/dot.hh"
+#include "sim/vcd.hh"
+#include "soc/exploit.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+using DutFactory = std::function<rtl::Netlist()>;
+
+const std::map<std::string, std::pair<const char *, DutFactory>> &
+dutRegistry()
+{
+    static const std::map<std::string, std::pair<const char *, DutFactory>>
+        registry = {
+            {"toy",
+             {"small accelerator, leaky flush (quickstart DUT)",
+              [] { return duts::buildToyAccelShipped(); }}},
+            {"toy-fixed",
+             {"small accelerator, repaired flush",
+              [] { return duts::buildToyAccelFixed(); }}},
+            {"vscale",
+             {"Vscale-style RV32 core (no temporal fence)",
+              [] { return duts::buildVscale(); }}},
+            {"vscale-bb",
+             {"Vscale with the CSR module blackboxed",
+              [] {
+                  duts::VscaleConfig config;
+                  config.blackboxCsr = true;
+                  return duts::buildVscale(config);
+              }}},
+            {"cva6",
+             {"CVA6 memory subsystem, microreset fence.t, bugs C1-C3",
+              [] { return duts::buildCva6(); }}},
+            {"cva6-fullflush",
+             {"CVA6 memory subsystem, full-flush fence.t",
+              [] {
+                  duts::Cva6Config config;
+                  config.flush = duts::Cva6Flush::FullFlush;
+                  return duts::buildCva6(config);
+              }}},
+            {"cva6-fixed",
+             {"CVA6 memory subsystem with C1-C3 fixed",
+              [] { return duts::buildCva6(duts::cva6Fixed()); }}},
+            {"maple",
+             {"MAPLE memory-access engine (M1-M3 present)",
+              [] { return duts::buildMaple(); }}},
+            {"maple-fixed",
+             {"MAPLE with the upstream M2/M3 fixes",
+              [] { return duts::buildMapleFixed(); }}},
+            {"aes",
+             {"pipelined AES accelerator, no flush declared (A1)",
+              [] { return duts::buildAes(); }}},
+            {"aes-idleflush",
+             {"AES with the idle-pipeline flush refinement",
+              [] {
+                  duts::AesConfig config;
+                  config.declareIdleFlushDone = true;
+                  return duts::buildAes(config);
+              }}},
+        };
+    return registry;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: autocc_cli <list|gen|check|prove|exploit> [args]\n"
+        "  list                      show built-in DUTs\n"
+        "  gen   <dut> [--out DIR]   emit wrapper.sv / properties.sv / "
+        "netlist.dot\n"
+        "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
+        "[--vcd F]\n"
+        "  prove <dut> [--depth N] [--threshold N] [--arch a,b]\n"
+        "  exploit                   run the Listing-2 M3 attack\n");
+    return 2;
+}
+
+struct Args
+{
+    std::string dut;
+    unsigned depth = 14;
+    unsigned threshold = 2;
+    std::set<std::string> arch;
+    std::string outDir = ".";
+    std::string vcdPath;
+};
+
+bool
+parseArgs(int argc, char **argv, int start, Args &args)
+{
+    if (start < argc && argv[start][0] != '-')
+        args.dut = argv[start++];
+    for (int i = start; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--depth") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.depth = static_cast<unsigned>(std::atoi(v));
+        } else if (flag == "--threshold") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.threshold = static_cast<unsigned>(std::atoi(v));
+        } else if (flag == "--arch") {
+            const char *v = next();
+            if (!v)
+                return false;
+            std::string list = v;
+            size_t pos = 0;
+            while (pos != std::string::npos) {
+                const size_t comma = list.find(',', pos);
+                args.arch.insert(list.substr(
+                    pos, comma == std::string::npos ? comma : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (flag == "--out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.outDir = v;
+        } else if (flag == "--vcd") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.vcdPath = v;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+rtl::Netlist
+buildDut(const std::string &name)
+{
+    const auto it = dutRegistry().find(name);
+    if (it == dutRegistry().end()) {
+        std::fprintf(stderr, "unknown DUT '%s'; try `autocc_cli list`\n",
+                     name.c_str());
+        std::exit(2);
+    }
+    return it->second.second();
+}
+
+bool
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    const bool ok = static_cast<bool>(out);
+    std::printf("  %s %s\n", ok ? "wrote" : "FAILED to write",
+                path.c_str());
+    return ok;
+}
+
+int
+cmdList()
+{
+    std::printf("built-in DUTs:\n");
+    for (const auto &[name, entry] : dutRegistry()) {
+        const rtl::Netlist dut = entry.second();
+        std::printf("  %-15s %-55s (%llu state bits)\n", name.c_str(),
+                    entry.first,
+                    static_cast<unsigned long long>(dut.stateBits()));
+    }
+    return 0;
+}
+
+int
+cmdGen(const Args &args)
+{
+    const rtl::Netlist dut = buildDut(args.dut);
+    core::AutoccOptions opts;
+    opts.threshold = args.threshold;
+    opts.archEq = args.arch;
+    const core::Miter miter = core::buildMiter(dut, opts);
+    std::printf("generated FT for '%s': %s\n", args.dut.c_str(),
+                miter.netlist.summary().c_str());
+    bool ok = true;
+    ok &= writeText(args.outDir + "/" + args.dut + "_wrapper.sv",
+                    core::emitSvaWrapper(miter, dut));
+    ok &= writeText(args.outDir + "/" + args.dut + "_properties.sv",
+                    core::emitSvaPropertyFile(miter));
+    ok &= writeText(args.outDir + "/" + args.dut + "_netlist.dot",
+                    rtl::toDot(dut));
+    return ok ? 0 : 1;
+}
+
+int
+cmdCheck(const Args &args, bool prove)
+{
+    const rtl::Netlist dut = buildDut(args.dut);
+    core::AutoccOptions opts;
+    opts.threshold = args.threshold;
+    opts.archEq = args.arch;
+    formal::EngineOptions engine;
+    engine.maxDepth = args.depth;
+    engine.maxInductionK = args.depth + 4;
+
+    const core::RunResult run = prove
+        ? core::proveAutocc(dut, opts, engine)
+        : core::runAutocc(dut, opts, engine);
+    std::printf("%s: %s\n", args.dut.c_str(),
+                formal::describe(run.check).c_str());
+    if (run.foundCex()) {
+        std::printf("\n%s", run.cause.render().c_str());
+        if (!args.vcdPath.empty()) {
+            std::vector<sim::VcdSignal> signals;
+            signals.push_back({"spy_mode", 1});
+            signals.push_back({"eq_cnt", 8});
+            signals.push_back({"transfer_cond", 1});
+            for (const auto &regName : run.miter.dutRegNames) {
+                const unsigned width = run.miter.netlist.width(
+                    run.miter.netlist.signal("ua." + regName));
+                signals.push_back({"ua." + regName, width});
+                signals.push_back({"ub." + regName, width});
+            }
+            if (sim::writeVcdFile(args.vcdPath, run.check.cex->trace,
+                                  signals)) {
+                std::printf("\nCEX waveform written to %s\n",
+                            args.vcdPath.c_str());
+            }
+        }
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdExploit()
+{
+    const soc::ExploitResult buggy = soc::runM3Exploit();
+    std::printf("buggy RTL:  leaked 0x%08x, recovered 0x%08x in %llu "
+                "cycles\n",
+                buggy.secret, buggy.recovered,
+                static_cast<unsigned long long>(buggy.cycles));
+    const soc::ExploitResult fixed = soc::runM3Exploit(duts::MapleConfig{
+        .fixTlbEnable = true, .fixArrayBase = true});
+    std::printf("fixed RTL:  recovered 0x%08x (channel closed)\n",
+                fixed.recovered);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "exploit")
+        return cmdExploit();
+
+    Args args;
+    if (!parseArgs(argc, argv, 2, args) || args.dut.empty())
+        return usage();
+    if (command == "gen")
+        return cmdGen(args);
+    if (command == "check")
+        return cmdCheck(args, false);
+    if (command == "prove")
+        return cmdCheck(args, true);
+    return usage();
+}
