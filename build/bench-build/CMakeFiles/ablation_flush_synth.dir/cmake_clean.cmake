@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flush_synth"
+  "../bench/ablation_flush_synth.pdb"
+  "CMakeFiles/ablation_flush_synth.dir/ablation_flush_synth.cc.o"
+  "CMakeFiles/ablation_flush_synth.dir/ablation_flush_synth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_modularity"
+  "../bench/ablation_modularity.pdb"
+  "CMakeFiles/ablation_modularity.dir/ablation_modularity.cc.o"
+  "CMakeFiles/ablation_modularity.dir/ablation_modularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/aes_proof"
+  "../bench/aes_proof.pdb"
+  "CMakeFiles/aes_proof.dir/aes_proof.cc.o"
+  "CMakeFiles/aes_proof.dir/aes_proof.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_cache_channel"
+  "../bench/fig1_cache_channel.pdb"
+  "CMakeFiles/fig1_cache_channel.dir/fig1_cache_channel.cc.o"
+  "CMakeFiles/fig1_cache_channel.dir/fig1_cache_channel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cache_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_convergence"
+  "../bench/fig3_convergence.pdb"
+  "CMakeFiles/fig3_convergence.dir/fig3_convergence.cc.o"
+  "CMakeFiles/fig3_convergence.dir/fig3_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

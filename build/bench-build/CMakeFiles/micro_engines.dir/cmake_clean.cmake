@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_engines"
+  "../bench/micro_engines.pdb"
+  "CMakeFiles/micro_engines.dir/micro_engines.cc.o"
+  "CMakeFiles/micro_engines.dir/micro_engines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

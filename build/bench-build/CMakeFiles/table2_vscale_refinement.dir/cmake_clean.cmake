@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vscale_refinement"
+  "../bench/table2_vscale_refinement.pdb"
+  "CMakeFiles/table2_vscale_refinement.dir/table2_vscale_refinement.cc.o"
+  "CMakeFiles/table2_vscale_refinement.dir/table2_vscale_refinement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vscale_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_your_flush.dir/design_your_flush.cpp.o"
+  "CMakeFiles/design_your_flush.dir/design_your_flush.cpp.o.d"
+  "design_your_flush"
+  "design_your_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_your_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autocc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/duts/CMakeFiles/autocc_duts.dir/DependInfo.cmake"
+  "/root/repo/build/src/formal/CMakeFiles/autocc_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/autocc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/autocc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/autocc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

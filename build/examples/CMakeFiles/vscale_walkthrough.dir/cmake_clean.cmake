@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_walkthrough.dir/vscale_walkthrough.cpp.o"
+  "CMakeFiles/vscale_walkthrough.dir/vscale_walkthrough.cpp.o.d"
+  "vscale_walkthrough"
+  "vscale_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_base.dir/logging.cc.o"
+  "CMakeFiles/autocc_base.dir/logging.cc.o.d"
+  "CMakeFiles/autocc_base.dir/table.cc.o"
+  "CMakeFiles/autocc_base.dir/table.cc.o.d"
+  "libautocc_base.a"
+  "libautocc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/autocc_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/autocc.cc" "src/core/CMakeFiles/autocc_core.dir/autocc.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/autocc.cc.o.d"
+  "/root/repo/src/core/flush_synth.cc" "src/core/CMakeFiles/autocc_core.dir/flush_synth.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/flush_synth.cc.o.d"
+  "/root/repo/src/core/invariants.cc" "src/core/CMakeFiles/autocc_core.dir/invariants.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/invariants.cc.o.d"
+  "/root/repo/src/core/miter.cc" "src/core/CMakeFiles/autocc_core.dir/miter.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/miter.cc.o.d"
+  "/root/repo/src/core/sva.cc" "src/core/CMakeFiles/autocc_core.dir/sva.cc.o" "gcc" "src/core/CMakeFiles/autocc_core.dir/sva.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/autocc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/formal/CMakeFiles/autocc_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/autocc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/autocc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autocc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

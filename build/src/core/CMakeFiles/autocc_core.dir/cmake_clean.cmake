@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_core.dir/analysis.cc.o"
+  "CMakeFiles/autocc_core.dir/analysis.cc.o.d"
+  "CMakeFiles/autocc_core.dir/autocc.cc.o"
+  "CMakeFiles/autocc_core.dir/autocc.cc.o.d"
+  "CMakeFiles/autocc_core.dir/flush_synth.cc.o"
+  "CMakeFiles/autocc_core.dir/flush_synth.cc.o.d"
+  "CMakeFiles/autocc_core.dir/invariants.cc.o"
+  "CMakeFiles/autocc_core.dir/invariants.cc.o.d"
+  "CMakeFiles/autocc_core.dir/miter.cc.o"
+  "CMakeFiles/autocc_core.dir/miter.cc.o.d"
+  "CMakeFiles/autocc_core.dir/sva.cc.o"
+  "CMakeFiles/autocc_core.dir/sva.cc.o.d"
+  "libautocc_core.a"
+  "libautocc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/duts/aes.cc" "src/duts/CMakeFiles/autocc_duts.dir/aes.cc.o" "gcc" "src/duts/CMakeFiles/autocc_duts.dir/aes.cc.o.d"
+  "/root/repo/src/duts/cva6.cc" "src/duts/CMakeFiles/autocc_duts.dir/cva6.cc.o" "gcc" "src/duts/CMakeFiles/autocc_duts.dir/cva6.cc.o.d"
+  "/root/repo/src/duts/maple.cc" "src/duts/CMakeFiles/autocc_duts.dir/maple.cc.o" "gcc" "src/duts/CMakeFiles/autocc_duts.dir/maple.cc.o.d"
+  "/root/repo/src/duts/toy.cc" "src/duts/CMakeFiles/autocc_duts.dir/toy.cc.o" "gcc" "src/duts/CMakeFiles/autocc_duts.dir/toy.cc.o.d"
+  "/root/repo/src/duts/vscale.cc" "src/duts/CMakeFiles/autocc_duts.dir/vscale.cc.o" "gcc" "src/duts/CMakeFiles/autocc_duts.dir/vscale.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/autocc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/autocc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

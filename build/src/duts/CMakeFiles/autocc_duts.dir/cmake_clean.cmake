@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_duts.dir/aes.cc.o"
+  "CMakeFiles/autocc_duts.dir/aes.cc.o.d"
+  "CMakeFiles/autocc_duts.dir/cva6.cc.o"
+  "CMakeFiles/autocc_duts.dir/cva6.cc.o.d"
+  "CMakeFiles/autocc_duts.dir/maple.cc.o"
+  "CMakeFiles/autocc_duts.dir/maple.cc.o.d"
+  "CMakeFiles/autocc_duts.dir/toy.cc.o"
+  "CMakeFiles/autocc_duts.dir/toy.cc.o.d"
+  "CMakeFiles/autocc_duts.dir/vscale.cc.o"
+  "CMakeFiles/autocc_duts.dir/vscale.cc.o.d"
+  "libautocc_duts.a"
+  "libautocc_duts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_duts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_eval.dir/aes_eval.cc.o"
+  "CMakeFiles/autocc_eval.dir/aes_eval.cc.o.d"
+  "CMakeFiles/autocc_eval.dir/cva6_eval.cc.o"
+  "CMakeFiles/autocc_eval.dir/cva6_eval.cc.o.d"
+  "CMakeFiles/autocc_eval.dir/maple_eval.cc.o"
+  "CMakeFiles/autocc_eval.dir/maple_eval.cc.o.d"
+  "CMakeFiles/autocc_eval.dir/vscale_eval.cc.o"
+  "CMakeFiles/autocc_eval.dir/vscale_eval.cc.o.d"
+  "libautocc_eval.a"
+  "libautocc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_formal.dir/engine.cc.o"
+  "CMakeFiles/autocc_formal.dir/engine.cc.o.d"
+  "CMakeFiles/autocc_formal.dir/gates.cc.o"
+  "CMakeFiles/autocc_formal.dir/gates.cc.o.d"
+  "CMakeFiles/autocc_formal.dir/unroller.cc.o"
+  "CMakeFiles/autocc_formal.dir/unroller.cc.o.d"
+  "libautocc_formal.a"
+  "libautocc_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

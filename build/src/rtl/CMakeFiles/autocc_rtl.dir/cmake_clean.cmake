@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_rtl.dir/clone.cc.o"
+  "CMakeFiles/autocc_rtl.dir/clone.cc.o.d"
+  "CMakeFiles/autocc_rtl.dir/dot.cc.o"
+  "CMakeFiles/autocc_rtl.dir/dot.cc.o.d"
+  "CMakeFiles/autocc_rtl.dir/netlist.cc.o"
+  "CMakeFiles/autocc_rtl.dir/netlist.cc.o.d"
+  "libautocc_rtl.a"
+  "libautocc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

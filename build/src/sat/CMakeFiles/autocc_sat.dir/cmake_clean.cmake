@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_sat.dir/dimacs.cc.o"
+  "CMakeFiles/autocc_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/autocc_sat.dir/solver.cc.o"
+  "CMakeFiles/autocc_sat.dir/solver.cc.o.d"
+  "libautocc_sat.a"
+  "libautocc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocc_sat.a"
+)

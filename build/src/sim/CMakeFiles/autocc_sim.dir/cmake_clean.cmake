@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_sim.dir/simulator.cc.o"
+  "CMakeFiles/autocc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/autocc_sim.dir/trace.cc.o"
+  "CMakeFiles/autocc_sim.dir/trace.cc.o.d"
+  "CMakeFiles/autocc_sim.dir/vcd.cc.o"
+  "CMakeFiles/autocc_sim.dir/vcd.cc.o.d"
+  "libautocc_sim.a"
+  "libautocc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

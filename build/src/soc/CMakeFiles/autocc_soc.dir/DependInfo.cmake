@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/cache_channel.cc" "src/soc/CMakeFiles/autocc_soc.dir/cache_channel.cc.o" "gcc" "src/soc/CMakeFiles/autocc_soc.dir/cache_channel.cc.o.d"
+  "/root/repo/src/soc/exploit.cc" "src/soc/CMakeFiles/autocc_soc.dir/exploit.cc.o" "gcc" "src/soc/CMakeFiles/autocc_soc.dir/exploit.cc.o.d"
+  "/root/repo/src/soc/maple_system.cc" "src/soc/CMakeFiles/autocc_soc.dir/maple_system.cc.o" "gcc" "src/soc/CMakeFiles/autocc_soc.dir/maple_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/duts/CMakeFiles/autocc_duts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/autocc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/autocc_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

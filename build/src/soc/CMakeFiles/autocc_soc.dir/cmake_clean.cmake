@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_soc.dir/cache_channel.cc.o"
+  "CMakeFiles/autocc_soc.dir/cache_channel.cc.o.d"
+  "CMakeFiles/autocc_soc.dir/exploit.cc.o"
+  "CMakeFiles/autocc_soc.dir/exploit.cc.o.d"
+  "CMakeFiles/autocc_soc.dir/maple_system.cc.o"
+  "CMakeFiles/autocc_soc.dir/maple_system.cc.o.d"
+  "libautocc_soc.a"
+  "libautocc_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cva6.dir/test_cva6.cc.o"
+  "CMakeFiles/test_cva6.dir/test_cva6.cc.o.d"
+  "test_cva6"
+  "test_cva6.pdb"
+  "test_cva6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cva6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

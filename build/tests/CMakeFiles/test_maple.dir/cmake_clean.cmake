@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maple.dir/test_maple.cc.o"
+  "CMakeFiles/test_maple.dir/test_maple.cc.o.d"
+  "test_maple"
+  "test_maple.pdb"
+  "test_maple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

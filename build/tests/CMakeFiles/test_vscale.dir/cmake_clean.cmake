@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vscale.dir/test_vscale.cc.o"
+  "CMakeFiles/test_vscale.dir/test_vscale.cc.o.d"
+  "test_vscale"
+  "test_vscale.pdb"
+  "test_vscale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_formal[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_vscale[1]_include.cmake")
+include("/root/repo/build/tests/test_maple[1]_include.cmake")
+include("/root/repo/build/tests/test_aes[1]_include.cmake")
+include("/root/repo/build/tests/test_cva6[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_param[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")

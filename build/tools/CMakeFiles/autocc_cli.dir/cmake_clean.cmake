@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocc_cli.dir/autocc_cli.cc.o"
+  "CMakeFiles/autocc_cli.dir/autocc_cli.cc.o.d"
+  "autocc_cli"
+  "autocc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
