@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Portfolio speed benchmark: wall-clock to the first definitive
+ * answer on the Vscale and MAPLE miter CEX hunts, sequential engine
+ * (jobs=1) versus the 4-worker portfolio.
+ *
+ * Two portfolio flavors are timed:
+ *
+ *  - hunt mode (minimalCex off): the race stops at the first
+ *    replay-validated counterexample, whatever its depth — the
+ *    "is there a covert channel at all?" question.  This is where the
+ *    diversified workers (random simulation, leap BMC) shine; on a
+ *    multi-core host the speedup compounds with true parallelism.
+ *  - minimal mode (the default): the portfolio additionally proves
+ *    that no shallower CEX exists and canonicalizes the blamed
+ *    assertion, making its answer identical to the sequential
+ *    engine's.  This buys bit-comparable results for the cost of the
+ *    bound proof, so it tracks the sequential time rather than
+ *    beating it on a single-core host.
+ *
+ * Every timed run cross-checks its result against the sequential
+ * answer: same status, and in minimal mode the same depth and blamed
+ * assertion.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/table.hh"
+#include "base/timer.hh"
+#include "core/autocc.hh"
+#include "duts/maple.hh"
+#include "duts/vscale.hh"
+#include "formal/portfolio.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+constexpr unsigned kJobs = 4;
+
+struct HuntCase
+{
+    const char *name;
+    rtl::Netlist (*build)();
+    unsigned maxDepth;
+};
+
+rtl::Netlist buildVscaleDut() { return duts::buildVscale(); }
+rtl::Netlist buildMapleDut() { return duts::buildMaple(); }
+
+const HuntCase huntCases[] = {
+    {"vscale", buildVscaleDut, 12},
+    {"maple", buildMapleDut, 12},
+};
+
+double
+median3(double a, double b, double c)
+{
+    if ((a <= b && b <= c) || (c <= b && b <= a))
+        return b;
+    if ((b <= a && a <= c) || (c <= a && a <= b))
+        return a;
+    return c;
+}
+
+/** Best-of-3 wall-clock of one configuration. */
+template <typename Fn>
+double
+timeMedian(Fn &&run)
+{
+    double t[3];
+    for (double &sample : t) {
+        Stopwatch watch;
+        run();
+        sample = watch.seconds();
+    }
+    return median3(t[0], t[1], t[2]);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Portfolio speedup: 1 vs %u workers, CEX hunts ===\n\n",
+                kJobs);
+    Table table({"Miter", "Mode", "jobs=1", "jobs=4", "Speedup"});
+    bool ok = true;
+
+    for (const HuntCase &hc : huntCases) {
+        core::AutoccOptions opts;
+        opts.threshold = 2;
+        const rtl::Netlist miter =
+            core::buildMiter(hc.build(), opts).netlist;
+
+        formal::EngineOptions engine;
+        engine.maxDepth = hc.maxDepth;
+
+        formal::CheckResult seq;
+        const double seqSeconds = timeMedian(
+            [&] { seq = formal::checkSafety(miter, engine); });
+        if (!seq.foundCex()) {
+            std::printf("%s: expected a CEX, got none — aborting\n",
+                        hc.name);
+            return 1;
+        }
+
+        // ---- hunt mode: first validated CEX wins -----------------------
+        formal::PortfolioOptions hunt;
+        hunt.engine = engine;
+        hunt.jobs = kJobs;
+        hunt.minimalCex = false;
+        formal::CheckResult huntResult;
+        formal::PortfolioStats huntStats;
+        const double huntSeconds = timeMedian([&] {
+            huntResult = formal::checkSafetyPortfolio(miter, hunt,
+                                                      &huntStats);
+        });
+        if (huntResult.status != seq.status) {
+            std::printf("%s: hunt-mode status mismatch!\n", hc.name);
+            ok = false;
+        }
+
+        // ---- minimal mode: canonical, sequential-comparable answer -----
+        formal::PortfolioOptions minimal;
+        minimal.engine = engine;
+        minimal.jobs = kJobs;
+        formal::CheckResult minResult;
+        const double minSeconds = timeMedian([&] {
+            minResult = formal::checkSafetyPortfolio(miter, minimal);
+        });
+        if (minResult.status != seq.status ||
+            minResult.cex->depth != seq.cex->depth ||
+            minResult.cex->failedAssert != seq.cex->failedAssert) {
+            std::printf("%s: minimal-mode answer mismatch!\n", hc.name);
+            ok = false;
+        }
+
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fx", seqSeconds / huntSeconds);
+        table.addRow({hc.name, "hunt", formatSeconds(seqSeconds),
+                      formatSeconds(huntSeconds), buf});
+        std::snprintf(buf, sizeof(buf), "%.2fx", seqSeconds / minSeconds);
+        table.addRow({hc.name, "minimal", formatSeconds(seqSeconds),
+                      formatSeconds(minSeconds), buf});
+        table.addSeparator();
+
+        std::printf("%s hunt-mode workers (last run):\n%s\n", hc.name,
+                    huntStats.render().c_str());
+
+        // Acceptance: on the CEX hunt the 4-worker portfolio must not
+        // lose to the sequential engine (small tolerance for timer and
+        // scheduler noise on loaded single-core hosts).
+        if (huntSeconds > seqSeconds * 1.10) {
+            std::printf("%s: hunt mode slower than sequential "
+                        "(%.3fs vs %.3fs)\n",
+                        hc.name, huntSeconds, seqSeconds);
+            ok = false;
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", ok ? "portfolio speedup: OK"
+                           : "portfolio speedup: MISMATCH");
+    return ok ? 0 : 1;
+}

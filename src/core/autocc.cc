@@ -9,7 +9,8 @@ runAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
 {
     RunResult result;
     result.miter = buildMiter(dut, autocc);
-    result.check = formal::checkSafety(result.miter.netlist, engine);
+    result.check =
+        formal::check(result.miter.netlist, engine, &result.portfolio);
     if (result.check.foundCex())
         result.cause = findCause(result.miter, *result.check.cex);
     return result;

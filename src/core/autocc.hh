@@ -21,6 +21,7 @@
 #include "core/miter.hh"
 #include "core/sva.hh"
 #include "formal/engine.hh"
+#include "formal/portfolio.hh"
 
 namespace autocc::core
 {
@@ -32,6 +33,8 @@ struct RunResult
     formal::CheckResult check;
     /** FindCause output; meaningful only when check.foundCex(). */
     CauseReport cause;
+    /** Per-worker telemetry of the portfolio check (jobs > 1). */
+    formal::PortfolioStats portfolio;
 
     bool foundCex() const { return check.foundCex(); }
     bool proved() const

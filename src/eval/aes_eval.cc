@@ -16,6 +16,7 @@ runAesEvaluation(const AesEvalOptions &options)
 
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
+    engine.jobs = options.jobs;
 
     AesConfig config;
     config.stages = options.stages;

@@ -41,6 +41,8 @@ struct AesEvalOptions
     unsigned width = 16;
     unsigned threshold = 2;
     unsigned maxDepth = 14;
+    /** Portfolio workers per check (1 = sequential, 0 = auto). */
+    unsigned jobs = 0;
 };
 
 /** Run A1 discovery followed by the full-proof refinement. */

@@ -46,6 +46,7 @@ runCva6Evaluation(const Cva6EvalOptions &options)
     std::vector<Cva6Step> steps;
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
+    engine.jobs = options.jobs;
     AutoccOptions opts;
     opts.threshold = options.threshold;
     // The paper adds the OS-handled state (PC, regfile, CSR) upfront;

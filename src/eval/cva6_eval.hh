@@ -41,6 +41,8 @@ struct Cva6EvalOptions
     unsigned proofDepth = 18;
     /** Include the full-flush phase (an extra, slower FPV run). */
     bool includeFullFlush = true;
+    /** Portfolio workers per check (1 = sequential, 0 = auto). */
+    unsigned jobs = 0;
 };
 
 /** Run the full evaluation ladder. */

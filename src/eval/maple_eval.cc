@@ -41,7 +41,8 @@ runOnce(const MapleConfig &config, const AutoccOptions &opts,
     result.miter = core::buildMiter(duts::buildMaple(config), opts);
     if (buf_assumption)
         assumeOutbufEmptyAtSwitch(result.miter);
-    result.check = formal::checkSafety(result.miter.netlist, engine);
+    result.check =
+        formal::check(result.miter.netlist, engine, &result.portfolio);
     if (result.check.foundCex())
         result.cause = core::findCause(result.miter, *result.check.cex);
     return result;
@@ -65,6 +66,7 @@ runMapleEvaluation(const MapleEvalOptions &options)
     std::vector<MapleStep> steps;
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
+    engine.jobs = options.jobs;
     AutoccOptions opts;
     opts.threshold = options.threshold;
 

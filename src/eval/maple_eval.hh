@@ -38,6 +38,8 @@ struct MapleEvalOptions
     unsigned threshold = 2;
     unsigned maxDepth = 12;
     unsigned proofDepth = 14;
+    /** Portfolio workers per check (1 = sequential, 0 = auto). */
+    unsigned jobs = 0;
 };
 
 /**

@@ -49,6 +49,7 @@ runVscaleRefinement(const VscaleEvalOptions &options)
     std::vector<VscaleStep> steps;
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
+    engine.jobs = options.jobs;
 
     VscaleConfig config;
     AutoccOptions opts;

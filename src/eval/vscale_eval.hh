@@ -45,6 +45,8 @@ struct VscaleEvalOptions
     unsigned threshold = 2;  ///< transfer period length
     unsigned maxDepth = 12;  ///< BMC budget per step
     unsigned proofDepth = 14; ///< BMC bound for the final proof step
+    /** Portfolio workers per check (1 = sequential, 0 = auto). */
+    unsigned jobs = 0;
 };
 
 /** Run the whole ladder; the last step reports the bounded proof. */

@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/timer.hh"
 #include "formal/gates.hh"
+#include "formal/portfolio.hh"
 #include "formal/unroller.hh"
 #include "sat/solver.hh"
 
@@ -111,6 +112,21 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                     break;
                 }
             }
+            // Canonicalize which assertion is blamed: the first one in
+            // netlist order that is violable at this depth.  This is a
+            // semantic property of the netlist (not an artifact of
+            // which model the solver happened to find), so any engine
+            // — in particular the portfolio checker — arrives at the
+            // same answer and results stay comparable across engines.
+            for (size_t a = 0; a < numAsserts; ++a) {
+                if (netlist.asserts()[a].name == cex.failedAssert)
+                    break; // already the canonical choice
+                if (solver.solve({~holds[a]}) == sat::SolveResult::Sat) {
+                    cex.trace = unroller.extractTrace();
+                    cex.failedAssert = netlist.asserts()[a].name;
+                    break;
+                }
+            }
             result.status = CheckStatus::Cex;
             result.cex = std::move(cex);
             result.bound = depth - 1;
@@ -155,7 +171,10 @@ proveWithInvariants(const rtl::Netlist &netlist,
                     const EngineOptions &options)
 {
     // BMC first: a concrete counterexample beats any proof attempt.
-    CheckResult result = checkSafety(netlist, options);
+    // Routed through the portfolio dispatcher so EngineOptions::jobs
+    // parallelizes the CEX hunt; the invariant synthesis below stays
+    // sequential (its queries are small and highly incremental).
+    CheckResult result = check(netlist, options);
     if (result.foundCex() || result.timedOut)
         return result;
     Stopwatch watch;

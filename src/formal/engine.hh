@@ -53,6 +53,16 @@ struct EngineOptions
     unsigned maxInductionK = 16;
     /** Add pairwise state-distinctness (simple path) constraints. */
     bool simplePath = false;
+
+    /**
+     * Worker threads for the portfolio checker (see
+     * formal/portfolio.hh): 1 = the classic sequential engine, N > 1 =
+     * race N diversified workers, 0 = one per hardware thread.
+     * Honored by formal::check() and everything layered above it
+     * (core::runAutocc, the evals, the CLI); plain checkSafety() is
+     * always sequential.
+     */
+    unsigned jobs = 0;
 };
 
 /** Result of a safety check. */

@@ -1,0 +1,849 @@
+#include "formal/portfolio.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/timer.hh"
+#include "formal/gates.hh"
+#include "formal/unroller.hh"
+#include "sat/solver.hh"
+#include "sim/simulator.hh"
+
+namespace autocc::formal
+{
+
+namespace
+{
+
+constexpr unsigned kNoCex = 0xffffffffu;
+
+/**
+ * State shared by all workers of one portfolio run.  The atomics are
+ * the fast path (read every worker-loop iteration); the mutex guards
+ * the candidate counterexample and the proof slot.
+ */
+struct Race
+{
+    std::atomic<bool> stop{false};
+    std::atomic<bool> timedOut{false};
+    /** Depths proven CEX-free (max over complete worker prefixes). */
+    std::atomic<unsigned> bound{0};
+    /** Depth of the best (shallowest) candidate CEX, kNoCex if none. */
+    std::atomic<unsigned> cexDepth{kNoCex};
+    /** BMC-capable workers still running (induction base-case gate). */
+    std::atomic<int> bmcActive{0};
+
+    unsigned maxDepth = 0;
+    bool minimalCex = true;
+    bool wantInduction = false;
+
+    std::mutex mutex;
+    std::optional<CexInfo> cex; ///< guarded by mutex
+    int cexWorker = -1;         ///< guarded by mutex
+    bool proved = false;        ///< guarded by mutex
+    unsigned inductionK = 0;    ///< guarded by mutex
+    int winner = -1;            ///< guarded by mutex
+};
+
+/**
+ * Finalization rule (callers hold the mutex): a candidate CEX wins
+ * the race outright when minimality is off, or once depths
+ * 1..depth-1 are known CEX-free, so no shallower CEX can exist.
+ */
+void
+maybeFinalizeLocked(Race &race)
+{
+    if (!race.cex)
+        return;
+    if (race.minimalCex && race.bound.load() + 1 < race.cex->depth)
+        return;
+    if (race.winner == -1)
+        race.winner = race.cexWorker;
+    race.stop.store(true);
+}
+
+/** Offer a candidate CEX; shallower candidates replace deeper ones. */
+void
+offerCex(Race &race, CexInfo cex, int worker)
+{
+    std::lock_guard<std::mutex> lock(race.mutex);
+    if (!race.cex || cex.depth < race.cex->depth) {
+        race.cexDepth.store(cex.depth);
+        race.cex = std::move(cex);
+        race.cexWorker = worker;
+    }
+    maybeFinalizeLocked(race);
+}
+
+/** Publish "no CEX up to `depth`" and re-check finalization. */
+void
+raiseBound(Race &race, unsigned depth, int worker)
+{
+    unsigned current = race.bound.load();
+    while (depth > current &&
+           !race.bound.compare_exchange_weak(current, depth)) {
+    }
+    if (race.cexDepth.load() != kNoCex) {
+        std::lock_guard<std::mutex> lock(race.mutex);
+        maybeFinalizeLocked(race);
+        return;
+    }
+    // Full budget explored with no candidate: unless an induction
+    // worker may still upgrade the answer, the race is decided.
+    if (depth >= race.maxDepth && !race.wantInduction) {
+        std::lock_guard<std::mutex> lock(race.mutex);
+        if (race.winner == -1 && !race.cex)
+            race.winner = worker;
+        race.stop.store(true);
+    }
+}
+
+/** Publish an unbounded proof (base case must already be covered). */
+void
+offerProof(Race &race, unsigned k, int worker)
+{
+    std::lock_guard<std::mutex> lock(race.mutex);
+    if (!race.proved && !race.cex) {
+        race.proved = true;
+        race.inductionK = k;
+        race.winner = worker;
+    }
+    race.stop.store(true);
+}
+
+void
+accumulate(WorkerStats &ws, const sat::Solver &solver)
+{
+    ws.conflicts = solver.stats().conflicts;
+    ws.decisions = solver.stats().decisions;
+    ws.propagations = solver.stats().propagations;
+}
+
+/** Truncate a trace to its first `depth` cycles. */
+void
+truncateTrace(sim::Trace &trace, size_t depth)
+{
+    trace.inputs.resize(depth);
+    if (trace.signals.size() > depth)
+        trace.signals.resize(depth);
+}
+
+// --------------------------------------------------------------------
+// Deepening BMC worker: the sequential engine's loop, wired to the
+// shared race (publish bounds, stop at the candidate's depth).
+// --------------------------------------------------------------------
+void
+deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
+                const sat::SolverOptions &solverOptions, Race &race,
+                WorkerStats &ws, int wi)
+{
+    Stopwatch watch;
+    sat::Solver solver(solverOptions);
+    solver.setInterruptFlag(&race.stop);
+    Gates gates(solver);
+    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    const size_t numAsserts = netlist.asserts().size();
+
+    for (unsigned depth = 1; depth <= engine.maxDepth; ++depth) {
+        if (race.stop.load())
+            break;
+        // A candidate CEX at depth d only needs depths 1..d-1 checked.
+        const unsigned cap = race.cexDepth.load();
+        if (cap != kNoCex && depth >= cap)
+            break;
+
+        const unsigned t = depth - 1;
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+
+        std::vector<Lit> holds(numAsserts);
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a) {
+            holds[a] = unroller.assertHolds(t, a);
+            violations.push_back(~holds[a]);
+        }
+        const Lit bad = gates.mkOrAll(violations);
+
+        const sat::SolveResult sr = solver.solve({bad});
+        if (sr == sat::SolveResult::Unknown)
+            break; // interrupted
+        if (sr == sat::SolveResult::Sat) {
+            CexInfo cex;
+            cex.trace = unroller.extractTrace();
+            cex.depth = depth;
+            for (size_t a = 0; a < numAsserts; ++a) {
+                if (!solver.modelValue(holds[a])) {
+                    cex.failedAssert = netlist.asserts()[a].name;
+                    break;
+                }
+            }
+            ws.outcome = "cex@" + std::to_string(depth);
+            offerCex(race, std::move(cex), wi);
+            break;
+        }
+        solver.addClause(~bad);
+        ws.depthReached = depth;
+        raiseBound(race, depth, wi);
+    }
+    if (ws.outcome.empty())
+        ws.outcome = "bound=" + std::to_string(ws.depthReached);
+    accumulate(ws, solver);
+    ws.seconds = watch.seconds();
+}
+
+// --------------------------------------------------------------------
+// Leap BMC worker: unroll the full budget once, ask for a violation
+// anywhere, then minimize the violation frame top-down.  The final
+// UNSAT of "any violation before frame t*" doubles as a bound proof,
+// so a leap CEX can finalize without help from the deepening workers.
+// --------------------------------------------------------------------
+void
+leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
+           const sat::SolverOptions &solverOptions, Race &race,
+           WorkerStats &ws, int wi)
+{
+    Stopwatch watch;
+    sat::Solver solver(solverOptions);
+    solver.setInterruptFlag(&race.stop);
+    Gates gates(solver);
+    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    const size_t numAsserts = netlist.asserts().size();
+
+    std::vector<Lit> frameBad;
+    std::vector<std::vector<Lit>> frameHolds;
+    for (unsigned t = 0; t < engine.maxDepth && !race.stop.load(); ++t) {
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+        std::vector<Lit> holds(numAsserts);
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a) {
+            holds[a] = unroller.assertHolds(t, a);
+            violations.push_back(~holds[a]);
+        }
+        frameBad.push_back(gates.mkOrAll(violations));
+        frameHolds.push_back(std::move(holds));
+    }
+    if (frameBad.size() < engine.maxDepth) {
+        accumulate(ws, solver);
+        ws.seconds = watch.seconds();
+        ws.outcome = "cancelled";
+        return;
+    }
+
+    const auto anyBadBefore = [&](unsigned limit) {
+        Bv range(frameBad.begin(), frameBad.begin() + limit);
+        return gates.mkOrAll(range);
+    };
+    const auto earliestViolatedFrame = [&]() {
+        for (unsigned t = 0; t < frameBad.size(); ++t) {
+            if (solver.modelValue(frameBad[t]))
+                return t;
+        }
+        panic("leap worker: SAT model violates no frame");
+    };
+    const auto extractAt = [&](unsigned t) {
+        CexInfo cex;
+        cex.trace = unroller.extractTrace();
+        truncateTrace(cex.trace, t + 1);
+        cex.depth = t + 1;
+        for (size_t a = 0; a < numAsserts; ++a) {
+            if (!solver.modelValue(frameHolds[t][a])) {
+                cex.failedAssert = netlist.asserts()[a].name;
+                break;
+            }
+        }
+        return cex;
+    };
+
+    sat::SolveResult sr = solver.solve({anyBadBefore(engine.maxDepth)});
+    if (sr == sat::SolveResult::Unsat) {
+        ws.depthReached = engine.maxDepth;
+        ws.outcome = "bound=" + std::to_string(engine.maxDepth);
+        raiseBound(race, engine.maxDepth, wi);
+    } else if (sr == sat::SolveResult::Sat) {
+        unsigned best = earliestViolatedFrame();
+        offerCex(race, extractAt(best), wi);
+        // Top-down minimization: keep asking for a strictly earlier
+        // violation until UNSAT proves frames 0..best-1 clean.
+        while (best > 0 && !race.stop.load()) {
+            sr = solver.solve({anyBadBefore(best)});
+            if (sr == sat::SolveResult::Sat) {
+                best = earliestViolatedFrame();
+                offerCex(race, extractAt(best), wi);
+            } else if (sr == sat::SolveResult::Unsat) {
+                raiseBound(race, best, wi);
+                break;
+            } else {
+                break; // interrupted
+            }
+        }
+        ws.depthReached = best;
+        ws.outcome = "cex@" + std::to_string(best + 1);
+    } else {
+        ws.outcome = "cancelled";
+    }
+    accumulate(ws, solver);
+    ws.seconds = watch.seconds();
+}
+
+// --------------------------------------------------------------------
+// k-induction worker.  The inductive step alone is not a proof: it
+// must be paired with a CEX-free base of the same depth, which the
+// BMC workers publish through race.bound.  The worker therefore waits
+// for the base case to catch up before claiming victory.
+// --------------------------------------------------------------------
+void
+inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
+                const sat::SolverOptions &solverOptions, Race &race,
+                WorkerStats &ws, int wi)
+{
+    Stopwatch watch;
+    const size_t numAsserts = netlist.asserts().size();
+    const unsigned maxK = std::min(engine.maxInductionK, engine.maxDepth);
+
+    for (unsigned k = 1; k <= maxK && !race.stop.load(); ++k) {
+        sat::Solver solver(solverOptions);
+        solver.setInterruptFlag(&race.stop);
+        Gates gates(solver);
+        Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        for (unsigned t = 0; t <= k; ++t) {
+            unroller.addFrame();
+            gates.assertTrue(unroller.assumeOk(t));
+            if (t < k) {
+                for (size_t a = 0; a < numAsserts; ++a)
+                    gates.assertTrue(unroller.assertHolds(t, a));
+            }
+        }
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a)
+            violations.push_back(~unroller.assertHolds(k, a));
+        gates.assertTrue(gates.mkOrAll(violations));
+        if (engine.simplePath) {
+            for (unsigned i = 0; i <= k; ++i) {
+                for (unsigned j = i + 1; j <= k; ++j)
+                    gates.assertTrue(~unroller.statesEqual(i, j));
+            }
+        }
+
+        const sat::SolveResult sr = solver.solve();
+        ws.conflicts += solver.stats().conflicts;
+        ws.decisions += solver.stats().decisions;
+        ws.propagations += solver.stats().propagations;
+        ws.depthReached = k;
+        if (sr == sat::SolveResult::Unknown)
+            break; // interrupted
+        if (sr == sat::SolveResult::Unsat) {
+            // Step holds at k; wait for the base case to reach k.
+            while (!race.stop.load() && race.bound.load() < k &&
+                   race.bmcActive.load() > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            if (race.bound.load() >= k) {
+                ws.outcome = "proved k=" + std::to_string(k);
+                offerProof(race, k, wi);
+            }
+            break;
+        }
+    }
+    if (ws.outcome.empty())
+        ws.outcome = "k<=" + std::to_string(ws.depthReached);
+    ws.seconds = watch.seconds();
+}
+
+// --------------------------------------------------------------------
+// Random two-universe simulation hunter.  Episodes drive the two
+// cloned universes with randomly diverging inputs for a random victim
+// prefix, then force paired inputs equal so the transfer condition
+// can latch spy mode; any cycle that satisfies every assumption but
+// violates an assertion is a concrete counterexample.  Episodes that
+// break an environment assumption are discarded (rejection sampling).
+// --------------------------------------------------------------------
+
+/** Replicated-input pair (ua.X / ub.X) or a singleton input. */
+struct InputGroup
+{
+    std::vector<const rtl::Port *> ports; ///< 1 or 2 entries
+};
+
+std::vector<InputGroup>
+groupInputs(const rtl::Netlist &netlist)
+{
+    // Pair ports whose names differ only in the leading universe
+    // prefix ("ua.pc" / "ub.pc"); everything else is a singleton
+    // (common inputs and wrapper inputs like flush_done_free).
+    std::vector<InputGroup> groups;
+    std::unordered_map<std::string, size_t> bySuffix;
+    for (const auto &port : netlist.ports()) {
+        if (port.dir != rtl::PortDir::In)
+            continue;
+        const size_t dot = port.name.find('.');
+        if (dot == std::string::npos) {
+            groups.push_back({{&port}});
+            continue;
+        }
+        const std::string suffix = port.name.substr(dot + 1);
+        const auto it = bySuffix.find(suffix);
+        if (it == bySuffix.end()) {
+            bySuffix[suffix] = groups.size();
+            groups.push_back({{&port}});
+        } else {
+            groups[it->second].ports.push_back(&port);
+        }
+    }
+    return groups;
+}
+
+void
+simHunterWorker(const rtl::Netlist &netlist, const PortfolioOptions &options,
+                Race &race, WorkerStats &ws, int wi)
+{
+    Stopwatch watch;
+    const unsigned maxDepth = options.engine.maxDepth;
+    sim::Simulator sim(netlist);
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ull + 0x51'6d + wi);
+    const std::vector<InputGroup> groups = groupInputs(netlist);
+
+    unsigned bestOwnDepth = kNoCex;
+    std::vector<sim::CycleValues> inputs(maxDepth);
+    for (unsigned episode = 0;
+         episode < options.simEpisodes && !race.stop.load(); ++episode) {
+        // Only strictly shallower CEXs than the current candidate are
+        // useful, and once some worker proved the whole remaining
+        // range CEX-free there is nothing left for a random search.
+        const unsigned candidate = race.cexDepth.load();
+        const unsigned horizon =
+            candidate == kNoCex ? maxDepth : candidate - 1;
+        if (race.bound.load() >= horizon || horizon == 0)
+            break;
+        sim.reset();
+        // Victim prefix: universes may diverge before this cycle.
+        const unsigned converge = 1 + (horizon > 2
+            ? static_cast<unsigned>(rng.below(horizon - 1)) : 0);
+        const unsigned diffPercent = 10 + (unsigned)rng.below(50);
+
+        int violation = -1;
+        for (unsigned t = 0; t < horizon; ++t) {
+            sim::CycleValues &cv = inputs[t];
+            cv.clear();
+            for (const auto &group : groups) {
+                const unsigned width = netlist.width(group.ports[0]->node);
+                const uint64_t value = rng.bits(width);
+                const bool diverge = t < converge &&
+                                     group.ports.size() == 2 &&
+                                     rng.chance(diffPercent);
+                for (size_t i = 0; i < group.ports.size(); ++i) {
+                    const uint64_t v =
+                        (diverge && i == 1) ? rng.bits(width) : value;
+                    cv[group.ports[i]->name] = v;
+                    sim.poke(group.ports[i]->node, v);
+                }
+            }
+            sim.eval();
+            ++ws.simCycles;
+            if (t + 1 > ws.depthReached)
+                ws.depthReached = t + 1;
+
+            bool assumesOk = true;
+            for (const auto &assume : netlist.assumes()) {
+                if (sim.peek(assume.node) == 0) {
+                    assumesOk = false;
+                    break;
+                }
+            }
+            if (!assumesOk)
+                break; // invalid episode, resample
+            for (const auto &assertion : netlist.asserts()) {
+                if (sim.peek(assertion.node) == 0) {
+                    violation = static_cast<int>(t);
+                    break;
+                }
+            }
+            if (violation >= 0)
+                break;
+            sim.step();
+        }
+        if (violation < 0)
+            continue;
+
+        // Concrete violation: rebuild the full observation trace by
+        // replaying the episode from reset with capture enabled.
+        const size_t depth = static_cast<size_t>(violation) + 1;
+        CexInfo cex;
+        cex.depth = static_cast<unsigned>(depth);
+        cex.trace.inputs.assign(inputs.begin(), inputs.begin() + depth);
+        cex.trace.signals.resize(depth);
+        sim.reset();
+        for (size_t t = 0; t < depth; ++t) {
+            for (const auto &[name, value] : cex.trace.inputs[t])
+                sim.poke(name, value);
+            sim.eval();
+            sim::CycleValues &sv = cex.trace.signals[t];
+            for (const auto &[name, node] : netlist.signals())
+                sv[name] = sim.peek(node);
+            for (size_t m = 0; m < netlist.mems().size(); ++m) {
+                const auto &mem = netlist.mems()[m];
+                for (uint32_t w = 0; w < mem.size; ++w) {
+                    sv[mem.name + "[" + std::to_string(w) + "]"] =
+                        sim.memValue(m, w);
+                }
+            }
+            if (t + 1 == depth) {
+                for (const auto &assertion : netlist.asserts()) {
+                    if (sim.peek(assertion.node) == 0) {
+                        cex.failedAssert = assertion.name;
+                        break;
+                    }
+                }
+            }
+            sim.step();
+        }
+        if (cex.depth < bestOwnDepth) {
+            bestOwnDepth = cex.depth;
+            ws.outcome = "cex@" + std::to_string(depth);
+        }
+        offerCex(race, std::move(cex), wi);
+        // Keep hunting: a later episode may find a shallower CEX
+        // while the BMC workers verify minimality.
+    }
+    if (ws.outcome.empty())
+        ws.outcome = "dry";
+    ws.seconds = watch.seconds();
+}
+
+// --------------------------------------------------------------------
+// Canonical counterexample at a known-minimal depth: the first
+// assertion in netlist order that is violable at `depth` (with all
+// earlier cycles clean), and a model violating it.  This choice is a
+// semantic property of the netlist — independent of which worker won
+// the race or which model its solver found — and matches the
+// sequential engine's canonicalized answer, keeping the two engines
+// comparable assertion-for-assertion.
+// --------------------------------------------------------------------
+CexInfo
+canonicalCexAtDepth(const rtl::Netlist &netlist, unsigned depth,
+                    CheckResult &result)
+{
+    sat::Solver solver;
+    Gates gates(solver);
+    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    const size_t numAsserts = netlist.asserts().size();
+    std::vector<Lit> holds(numAsserts);
+    for (unsigned t = 0; t < depth; ++t) {
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a) {
+            holds[a] = unroller.assertHolds(t, a);
+            violations.push_back(~holds[a]);
+        }
+        if (t + 1 < depth)
+            gates.assertTrue(~gates.mkOrAll(violations));
+    }
+    for (size_t a = 0; a < numAsserts; ++a) {
+        if (solver.solve({~holds[a]}) != sat::SolveResult::Sat)
+            continue;
+        CexInfo cex;
+        cex.trace = unroller.extractTrace();
+        cex.depth = depth;
+        cex.failedAssert = netlist.asserts()[a].name;
+        result.conflicts += solver.stats().conflicts;
+        result.decisions += solver.stats().decisions;
+        result.propagations += solver.stats().propagations;
+        return cex;
+    }
+    panic("portfolio: no assertion violable at established CEX depth ",
+          depth);
+}
+
+// --------------------------------------------------------------------
+// Counterexample cross-check: every CEX the portfolio returns must
+// replay on the cycle simulator with all assumptions satisfied and
+// the violation in the final cycle — a racing or extraction bug can
+// therefore never surface as a bogus counterexample.  Also pins
+// failedAssert to the first violated assertion in netlist order,
+// independent of which worker won.
+// --------------------------------------------------------------------
+void
+validateAndNormalizeCex(const rtl::Netlist &netlist, CexInfo &cex)
+{
+    const size_t depth = cex.trace.depth();
+    panic_if(depth == 0, "portfolio: empty counterexample trace");
+    sim::Simulator sim(netlist);
+    std::string failed;
+    for (size_t t = 0; t < depth; ++t) {
+        for (const auto &[name, value] : cex.trace.inputs[t])
+            sim.poke(name, value);
+        sim.eval();
+        for (const auto &assume : netlist.assumes()) {
+            panic_if(sim.peek(assume.node) == 0,
+                     "portfolio: CEX violates assumption '", assume.name,
+                     "' at cycle ", t);
+        }
+        bool anyViolated = false;
+        for (const auto &assertion : netlist.asserts()) {
+            if (sim.peek(assertion.node) == 0) {
+                anyViolated = true;
+                if (failed.empty())
+                    failed = assertion.name;
+                break;
+            }
+        }
+        panic_if(anyViolated && t + 1 != depth,
+                 "portfolio: CEX violates an assertion before its final "
+                 "cycle (cycle ", t, " of ", depth, ")");
+        sim.step();
+    }
+    panic_if(failed.empty(),
+             "portfolio: CEX violates no assertion on simulator replay");
+    cex.failedAssert = failed;
+    cex.depth = static_cast<unsigned>(depth);
+}
+
+const char *
+kindName(WorkerKind kind)
+{
+    switch (kind) {
+      case WorkerKind::BmcDeepening: return "bmc";
+      case WorkerKind::BmcLeap: return "leap";
+      case WorkerKind::Induction: return "kind";
+      case WorkerKind::SimHunter: return "sim";
+    }
+    return "?";
+}
+
+/** Diversified SAT strategy for worker slot `slot`. */
+sat::SolverOptions
+diversify(uint64_t seed, unsigned slot)
+{
+    sat::SolverOptions so;
+    if (slot == 0)
+        return so; // reference worker: bit-identical to sequential
+    Rng rng(seed + 0x9e37u * slot);
+    so.seed = rng.next() | 1;
+    static constexpr double decays[] = {0.85, 0.92, 0.95, 0.97, 0.99};
+    so.varDecay = decays[rng.below(5)];
+    static constexpr uint64_t restarts[] = {50, 100, 150, 300};
+    so.restartBase = restarts[rng.below(4)];
+    static constexpr uint64_t freqs[] = {0, 32, 64, 128};
+    so.randomDecisionFreq = freqs[rng.below(4)];
+    so.initialPhaseTrue = rng.chance(50);
+    return so;
+}
+
+} // namespace
+
+std::string
+PortfolioStats::render() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < workers.size(); ++i) {
+        const WorkerStats &ws = workers[i];
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  %-8s %-18s depth=%-3u conflicts=%-8llu "
+                      "%7.2fs%s\n",
+                      ws.name.c_str(), ws.outcome.c_str(), ws.depthReached,
+                      static_cast<unsigned long long>(ws.conflicts),
+                      ws.seconds, ws.winner ? "  << winner" : "");
+        os << buf;
+    }
+    return os.str();
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(hw, 1u, 16u);
+}
+
+CheckResult
+checkSafetyPortfolio(const rtl::Netlist &netlist,
+                     const PortfolioOptions &options, PortfolioStats *stats)
+{
+    const unsigned jobs = resolveJobs(options.jobs);
+    if (jobs <= 1) {
+        const CheckResult result = checkSafety(netlist, options.engine);
+        if (stats) {
+            *stats = PortfolioStats{};
+            stats->jobs = 1;
+            stats->seconds = result.seconds;
+            stats->workers.push_back(WorkerStats{
+                "bmc#0", WorkerKind::BmcDeepening, result.bound,
+                result.conflicts, result.decisions, result.propagations, 0,
+                result.seconds, true, describe(result)});
+            stats->winner = 0;
+        }
+        return result;
+    }
+
+    panic_if(netlist.asserts().empty(),
+             "checkSafetyPortfolio: netlist '", netlist.name(),
+             "' has no assertions");
+    const EngineOptions &engine = options.engine;
+    Stopwatch watch;
+
+    Race race;
+    race.maxDepth = engine.maxDepth;
+    race.minimalCex = options.minimalCex;
+    race.wantInduction = engine.tryInduction;
+
+    // Assemble the worker line-up: reference deepening BMC first (so
+    // the portfolio can never do worse than the sequential engine at
+    // finding an answer), then the diversified engines.
+    std::vector<WorkerKind> lineup;
+    lineup.push_back(WorkerKind::BmcDeepening);
+    if (options.simHunter && jobs > lineup.size())
+        lineup.push_back(WorkerKind::SimHunter);
+    if (jobs > lineup.size())
+        lineup.push_back(WorkerKind::BmcLeap);
+    if (engine.tryInduction && jobs > lineup.size())
+        lineup.push_back(WorkerKind::Induction);
+    while (jobs > lineup.size()) {
+        lineup.push_back(lineup.size() % 2 ? WorkerKind::BmcLeap
+                                           : WorkerKind::BmcDeepening);
+    }
+
+    std::vector<WorkerStats> workerStats(lineup.size());
+    for (size_t i = 0; i < lineup.size(); ++i) {
+        workerStats[i].kind = lineup[i];
+        workerStats[i].name =
+            std::string(kindName(lineup[i])) + "#" + std::to_string(i);
+        if (lineup[i] == WorkerKind::BmcDeepening ||
+            lineup[i] == WorkerKind::BmcLeap) {
+            race.bmcActive.fetch_add(1);
+        }
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(lineup.size());
+    for (size_t i = 0; i < lineup.size(); ++i) {
+        const int wi = static_cast<int>(i);
+        const sat::SolverOptions so =
+            diversify(options.seed, static_cast<unsigned>(i));
+        WorkerStats &ws = workerStats[i];
+        switch (lineup[i]) {
+          case WorkerKind::BmcDeepening:
+            threads.emplace_back([&, so, wi] {
+                deepeningWorker(netlist, engine, so, race, ws, wi);
+                race.bmcActive.fetch_sub(1);
+            });
+            break;
+          case WorkerKind::BmcLeap:
+            threads.emplace_back([&, so, wi] {
+                leapWorker(netlist, engine, so, race, ws, wi);
+                race.bmcActive.fetch_sub(1);
+            });
+            break;
+          case WorkerKind::Induction:
+            threads.emplace_back([&, so, wi] {
+                inductionWorker(netlist, engine, so, race, ws, wi);
+            });
+            break;
+          case WorkerKind::SimHunter:
+            threads.emplace_back([&, wi] {
+                simHunterWorker(netlist, options, race, ws, wi);
+            });
+            break;
+        }
+    }
+
+    // Wall-clock watchdog: a shared deadline needs a dedicated timer
+    // because every worker may be deep inside a SAT search.
+    std::atomic<bool> joined{false};
+    std::thread watchdog;
+    if (engine.timeLimitSeconds > 0.0) {
+        watchdog = std::thread([&] {
+            while (!race.stop.load() && !joined.load()) {
+                if (watch.seconds() >= engine.timeLimitSeconds) {
+                    race.timedOut.store(true);
+                    race.stop.store(true);
+                    break;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+        });
+    }
+
+    for (auto &thread : threads)
+        thread.join();
+    joined.store(true);
+    if (watchdog.joinable())
+        watchdog.join();
+
+    // ---------------- assemble the final answer ----------------------
+    CheckResult result;
+    result.timedOut = race.timedOut.load();
+    const unsigned bound = race.bound.load();
+    for (const auto &ws : workerStats) {
+        result.conflicts += ws.conflicts;
+        result.decisions += ws.decisions;
+        result.propagations += ws.propagations;
+    }
+
+    if (race.cex) {
+        // Engine cross-check: a CEX inside a proven-clean prefix means
+        // one of the racing engines is unsound.
+        panic_if(bound >= race.cex->depth,
+                 "portfolio cross-check failed: CEX at depth ",
+                 race.cex->depth, " inside the proven bound ", bound);
+        // When the race established minimality (all shallower depths
+        // proven clean), re-derive the canonical blamed assertion so
+        // the answer matches the sequential engine's.  An unfinalized
+        // candidate (e.g. on timeout) is returned as-is — still a
+        // real, replay-validated CEX, just not necessarily minimal.
+        if (options.minimalCex && bound + 1 >= race.cex->depth)
+            *race.cex = canonicalCexAtDepth(netlist, race.cex->depth, result);
+        validateAndNormalizeCex(netlist, *race.cex);
+        result.status = CheckStatus::Cex;
+        const unsigned cexDepth = race.cex->depth;
+        result.cex = std::move(race.cex);
+        result.bound = std::min(bound, cexDepth - 1);
+    } else if (race.proved) {
+        result.status = CheckStatus::Proved;
+        result.inductionK = race.inductionK;
+        result.bound = bound;
+    } else {
+        result.status = bound == 0 ? CheckStatus::Unknown
+                                   : CheckStatus::BoundedProof;
+        result.bound = bound;
+    }
+    result.seconds = watch.seconds();
+
+    if (stats) {
+        *stats = PortfolioStats{};
+        stats->jobs = jobs;
+        stats->workers = std::move(workerStats);
+        {
+            std::lock_guard<std::mutex> lock(race.mutex);
+            stats->winner = race.winner;
+        }
+        if (stats->winner >= 0 &&
+            stats->winner < static_cast<int>(stats->workers.size())) {
+            stats->workers[stats->winner].winner = true;
+        }
+        stats->seconds = result.seconds;
+    }
+    return result;
+}
+
+CheckResult
+check(const rtl::Netlist &netlist, const EngineOptions &options,
+      PortfolioStats *stats)
+{
+    PortfolioOptions portfolio;
+    portfolio.engine = options;
+    portfolio.jobs = options.jobs;
+    return checkSafetyPortfolio(netlist, portfolio, stats);
+}
+
+} // namespace autocc::formal

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parallel portfolio safety checker.
+ *
+ * Industrial FPV tools scale by racing diversified proof engines
+ * against each other ("proof orchestration"); this module brings the
+ * same structure to the reproduction's substitute engine.  A check
+ * spawns N workers over the same netlist:
+ *
+ *  - deepening BMC workers (the sequential engine's loop) with
+ *    diversified SAT strategies (seed, VSIDS decay, restart schedule,
+ *    initial phase),
+ *  - a "leap" BMC worker that asks for a violation anywhere in the
+ *    full unrolling in one query and then minimizes the violation
+ *    frame top-down,
+ *  - a k-induction prover (when EngineOptions::tryInduction is set),
+ *  - a random two-universe simulation hunter that sweeps cheap random
+ *    executions for shallow counterexamples.
+ *
+ * All workers share an atomic cancellation token: the first
+ * definitive answer (counterexample or proof) interrupts everyone,
+ * including solvers in the middle of a CDCL search.  Counterexamples
+ * are cross-checked by replaying them on the cycle simulator before
+ * they are returned, and by default the portfolio only finalizes a
+ * CEX once some worker has proven that no shallower one exists, so
+ * the result is depth-minimal exactly like the sequential engine's.
+ */
+
+#ifndef AUTOCC_FORMAL_PORTFOLIO_HH
+#define AUTOCC_FORMAL_PORTFOLIO_HH
+
+#include <string>
+#include <vector>
+
+#include "formal/engine.hh"
+
+namespace autocc::formal
+{
+
+/** Engine family of a portfolio worker. */
+enum class WorkerKind {
+    BmcDeepening, ///< incremental bound deepening (sequential engine)
+    BmcLeap,      ///< one-shot full unrolling + frame minimization
+    Induction,    ///< k-induction prover
+    SimHunter,    ///< random two-universe simulation sweeps
+};
+
+/** What one worker did during a portfolio run. */
+struct WorkerStats
+{
+    std::string name; ///< e.g. "bmc#0", "leap#2", "kind#3", "sim#1"
+    WorkerKind kind = WorkerKind::BmcDeepening;
+    /** BMC depth locked in / induction k tried / deepest sim cycle. */
+    unsigned depthReached = 0;
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    /** Simulation cycles executed (SimHunter only). */
+    uint64_t simCycles = 0;
+    double seconds = 0.0;
+    bool winner = false;
+    std::string outcome; ///< one-word outcome, e.g. "cex", "bound=12"
+};
+
+/** Per-run portfolio telemetry, surfaced for benches and tests. */
+struct PortfolioStats
+{
+    unsigned jobs = 1;
+    std::vector<WorkerStats> workers;
+    /** Index into `workers` of the race winner; -1 if nobody won. */
+    int winner = -1;
+    double seconds = 0.0;
+
+    /** Multi-line human-readable per-worker report. */
+    std::string render() const;
+};
+
+/** Options controlling a portfolio check. */
+struct PortfolioOptions
+{
+    /** Base engine budget (maxDepth, time limit, induction, ...). */
+    EngineOptions engine;
+
+    /** Worker count; 0 = one per hardware thread, 1 = sequential. */
+    unsigned jobs = 0;
+
+    /** Base seed for worker diversification. */
+    uint64_t seed = 0x5eedc0ffeeULL;
+
+    /**
+     * Only finalize a counterexample once no shallower one can exist
+     * (some worker proved all smaller depths CEX-free).  Keeps the
+     * portfolio's answer depth-minimal and therefore comparable to
+     * the sequential engine's; turning it off returns the first CEX
+     * found, which may be deeper.
+     */
+    bool minimalCex = true;
+
+    /** Spawn the random simulation hunter worker. */
+    bool simHunter = true;
+
+    /** Random episodes the simulation hunter may try before idling. */
+    unsigned simEpisodes = 4000;
+};
+
+/** Clamp a jobs request: 0 -> hardware concurrency, capped sanely. */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Check all embedded assertions of `netlist` with a portfolio of
+ * `options.jobs` racing workers.  Falls back to the sequential
+ * checkSafety() when only one worker is requested.  On return,
+ * `stats` (if non-null) describes every worker and the race winner.
+ */
+CheckResult checkSafetyPortfolio(const rtl::Netlist &netlist,
+                                 const PortfolioOptions &options = {},
+                                 PortfolioStats *stats = nullptr);
+
+/**
+ * Dispatcher honoring EngineOptions::jobs: sequential checkSafety()
+ * for one job, checkSafetyPortfolio() otherwise.  This is the entry
+ * point the core flow and the evals use.
+ */
+CheckResult check(const rtl::Netlist &netlist,
+                  const EngineOptions &options = {},
+                  PortfolioStats *stats = nullptr);
+
+} // namespace autocc::formal
+
+#endif // AUTOCC_FORMAL_PORTFOLIO_HH

@@ -82,9 +82,14 @@ Solver::VarOrderHeap::removeMax()
 // Solver
 // --------------------------------------------------------------------
 
-Solver::Solver()
+Solver::Solver() : Solver(SolverOptions{}) {}
+
+Solver::Solver(const SolverOptions &options) : options_(options)
 {
     order_.activity = &activity_;
+    varDecay_ = options_.varDecay;
+    claDecay_ = options_.clauseDecay;
+    rngState_ = options_.seed ? options_.seed : 0x123456789abcdefull;
 }
 
 Var
@@ -92,7 +97,8 @@ Solver::newVar()
 {
     const Var v = numVars();
     assigns_.push_back(LBool::Undef);
-    polarity_.push_back(1); // default phase: false (like MiniSat)
+    // Default phase: false (like MiniSat) unless diversified.
+    polarity_.push_back(options_.initialPhaseTrue ? 0 : 1);
     activity_.push_back(0.0);
     reason_.push_back(crefUndef);
     level_.push_back(0);
@@ -404,7 +410,8 @@ Solver::pickBranchLit()
     rngState_ ^= rngState_ << 13;
     rngState_ ^= rngState_ >> 7;
     rngState_ ^= rngState_ << 17;
-    if ((rngState_ & 63) == 0 && !order_.empty()) {
+    if (options_.randomDecisionFreq != 0 &&
+        rngState_ % options_.randomDecisionFreq == 0 && !order_.empty()) {
         const Var v = order_.heap[rngState_ % order_.heap.size()];
         if (value(v) == LBool::Undef) {
             ++stats_.decisions;
@@ -506,6 +513,12 @@ Solver::search(uint64_t conflictLimit, const std::vector<Lit> &assumptions)
     std::vector<Lit> learnt;
 
     for (;;) {
+        // Cancellation point: one relaxed atomic load per
+        // propagate/decide round is noise next to propagation cost.
+        if (interrupted()) {
+            cancelUntil(0);
+            return SolveResult::Unknown;
+        }
         const CRef confl = propagate();
         if (confl != crefUndef) {
             // Conflict.
@@ -597,10 +610,12 @@ Solver::solve(const std::vector<Lit> &assumptions)
     uint64_t totalConflicts = 0;
 
     for (uint64_t restart = 0;; ++restart) {
-        const uint64_t limit = luby(restart) * 100;
+        const uint64_t limit = luby(restart) * options_.restartBase;
         const SolveResult result = search(limit, assumptions);
         if (result != SolveResult::Unknown)
             return result;
+        if (interrupted())
+            return SolveResult::Unknown;
         totalConflicts += limit;
         ++stats_.restarts;
         if (conflictBudget_ && totalConflicts >= conflictBudget_)

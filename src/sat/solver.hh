@@ -15,6 +15,7 @@
 #ifndef AUTOCC_SAT_SOLVER_HH
 #define AUTOCC_SAT_SOLVER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -36,11 +37,64 @@ struct SolverStats
     uint64_t removedClauses = 0;
 };
 
+/**
+ * Search-strategy knobs.  The defaults reproduce the solver's
+ * historical behaviour bit for bit; portfolio workers diversify them
+ * (seed, decay, restart schedule, phase) so that racing solvers
+ * explore different parts of the search space.
+ */
+struct SolverOptions
+{
+    /** VSIDS activity decay factor (higher = slower forgetting). */
+    double varDecay = 0.95;
+    /** Learnt-clause activity decay factor. */
+    double clauseDecay = 0.999;
+    /** Seed of the decision-diversification xorshift; must be != 0. */
+    uint64_t seed = 0x123456789abcdefull;
+    /** Conflicts per Luby restart unit. */
+    uint64_t restartBase = 100;
+    /** Roughly 1-in-N decisions are random; 0 disables them. */
+    uint64_t randomDecisionFreq = 64;
+    /** Initial saved phase: false (MiniSat default) or true. */
+    bool initialPhaseTrue = false;
+};
+
 /** CDCL SAT solver. */
 class Solver
 {
   public:
     Solver();
+    explicit Solver(const SolverOptions &options);
+
+    /**
+     * Request that an in-flight solve() stop at the next search-loop
+     * iteration and return Unknown.  Safe to call from another thread;
+     * the solver stays consistent and reusable after the aborted call
+     * (see clearInterrupt()).
+     */
+    void interrupt() { interruptRequested_.store(true); }
+
+    /** Re-arm the solver after interrupt(). */
+    void clearInterrupt() { interruptRequested_.store(false); }
+
+    /**
+     * Additionally watch an external stop flag (e.g. a portfolio-wide
+     * cancellation token). Pass nullptr to detach. The flag must
+     * outlive any solve() call.
+     */
+    void setInterruptFlag(const std::atomic<bool> *flag)
+    {
+        externalInterrupt_ = flag;
+    }
+
+    /** True when interrupt() or the external flag requests a stop. */
+    bool
+    interrupted() const
+    {
+        return interruptRequested_.load(std::memory_order_relaxed) ||
+               (externalInterrupt_ &&
+                externalInterrupt_->load(std::memory_order_relaxed));
+    }
 
     /** Create a fresh variable and return its index. */
     Var newVar();
@@ -150,6 +204,7 @@ class Solver
     size_t qhead_ = 0;
 
     VarOrderHeap order_;
+    SolverOptions options_;
     double varInc_ = 1.0;
     double varDecay_ = 0.95;
     double claInc_ = 1.0;
@@ -164,6 +219,8 @@ class Solver
     uint64_t conflictBudget_ = 0;
     double maxLearnts_ = 0;
     uint64_t rngState_ = 0x123456789abcdefull; ///< decision diversification
+    std::atomic<bool> interruptRequested_{false};
+    const std::atomic<bool> *externalInterrupt_ = nullptr;
     SolverStats stats_;
 
     // --- helpers ----------------------------------------------------

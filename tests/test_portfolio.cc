@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Differential-oracle tests for the parallel portfolio checker: for
+ * every DUT miter in the suite, the N-worker portfolio and the
+ * sequential engine must agree on the final status, counterexample
+ * depth, and blamed assertion, and every counterexample trace either
+ * engine returns must actually violate that assertion when replayed
+ * through the cycle simulator.  Also covers the jobs=1 fallback,
+ * bounded proofs, induction proofs, hunt mode (minimalCex off), the
+ * wall-clock watchdog, and per-worker stats plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/timer.hh"
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+#include "formal/portfolio.hh"
+#include "sim/simulator.hh"
+
+namespace autocc::formal
+{
+
+namespace
+{
+
+constexpr unsigned kJobs = 4;
+
+struct PortfolioCase
+{
+    const char *name;
+    rtl::Netlist (*build)();
+    unsigned maxDepth;
+};
+
+rtl::Netlist buildCva6Buggy() { return duts::buildCva6(); }
+rtl::Netlist buildMapleBuggy() { return duts::buildMaple(); }
+rtl::Netlist buildAesBuggy() { return duts::buildAes(); }
+rtl::Netlist buildVscaleBuggy() { return duts::buildVscale(); }
+
+const PortfolioCase portfolioCases[] = {
+    {"toy", duts::buildToyAccelShipped, 10},
+    {"vscale", buildVscaleBuggy, 10},
+    {"cva6", buildCva6Buggy, 14},
+    {"maple", buildMapleBuggy, 10},
+    {"aes", buildAesBuggy, 12},
+};
+
+/** Build the default AutoCC miter for a DUT. */
+rtl::Netlist
+buildMiterNetlist(const PortfolioCase &params)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    return core::buildMiter(params.build(), opts).netlist;
+}
+
+/**
+ * Replay a CEX on the simulator and check that (a) every assumption
+ * holds on every cycle, (b) no assertion fails before the last cycle,
+ * and (c) the reported assertion fails at the last cycle.
+ */
+void
+expectCexReplays(const rtl::Netlist &netlist, const CexInfo &cex,
+                 const std::string &tag)
+{
+    ASSERT_GT(cex.trace.depth(), 0u) << tag;
+    ASSERT_EQ(cex.trace.depth(), cex.depth) << tag;
+    rtl::NodeId assertNode = rtl::invalidNode;
+    for (const auto &assertion : netlist.asserts()) {
+        if (assertion.name == cex.failedAssert)
+            assertNode = assertion.node;
+    }
+    ASSERT_NE(assertNode, rtl::invalidNode)
+        << tag << ": unknown assertion '" << cex.failedAssert << "'";
+
+    sim::Simulator sim(netlist);
+    for (size_t t = 0; t < cex.trace.depth(); ++t) {
+        for (const auto &[name, value] : cex.trace.inputs[t])
+            sim.poke(name, value);
+        sim.eval();
+        for (const auto &assume : netlist.assumes()) {
+            ASSERT_EQ(sim.peek(assume.node), 1u)
+                << tag << ": assumption " << assume.name << " @" << t;
+        }
+        if (t + 1 < cex.trace.depth()) {
+            for (const auto &assertion : netlist.asserts()) {
+                ASSERT_EQ(sim.peek(assertion.node), 1u)
+                    << tag << ": premature violation of " << assertion.name
+                    << " @" << t;
+            }
+        } else {
+            EXPECT_EQ(sim.peek(assertNode), 0u)
+                << tag << ": " << cex.failedAssert
+                << " not violated at the last cycle";
+        }
+        sim.step();
+    }
+}
+
+} // namespace
+
+class PortfolioDifferential : public ::testing::TestWithParam<PortfolioCase>
+{
+};
+
+TEST_P(PortfolioDifferential, AgreesWithSequentialEngine)
+{
+    const rtl::Netlist miter = buildMiterNetlist(GetParam());
+    EngineOptions engine;
+    engine.maxDepth = GetParam().maxDepth;
+
+    const CheckResult seq = checkSafety(miter, engine);
+
+    PortfolioOptions options;
+    options.engine = engine;
+    options.jobs = kJobs;
+    PortfolioStats stats;
+    const CheckResult par = checkSafetyPortfolio(miter, options, &stats);
+
+    ASSERT_EQ(par.status, seq.status) << GetParam().name;
+    ASSERT_TRUE(seq.foundCex()) << GetParam().name
+        << ": suite expects every buggy DUT to yield a CEX";
+    // Same minimal depth and — thanks to the canonical blamed-assert
+    // selection — the same failing assertion.
+    EXPECT_EQ(par.cex->depth, seq.cex->depth) << GetParam().name;
+    EXPECT_EQ(par.cex->failedAssert, seq.cex->failedAssert)
+        << GetParam().name;
+    EXPECT_EQ(par.bound, seq.bound) << GetParam().name;
+
+    // Both traces must be real executions violating the assertion.
+    expectCexReplays(miter, *seq.cex,
+                     std::string(GetParam().name) + "/sequential");
+    expectCexReplays(miter, *par.cex,
+                     std::string(GetParam().name) + "/portfolio");
+
+    // Stats plumbing: every worker reported, exactly one marked winner.
+    EXPECT_EQ(stats.jobs, kJobs);
+    EXPECT_EQ(stats.workers.size(), kJobs);
+    ASSERT_GE(stats.winner, 0) << GetParam().name;
+    ASSERT_LT(stats.winner, static_cast<int>(stats.workers.size()));
+    unsigned winners = 0;
+    for (const auto &ws : stats.workers)
+        winners += ws.winner ? 1 : 0;
+    EXPECT_EQ(winners, 1u);
+    EXPECT_TRUE(stats.workers[stats.winner].winner);
+    EXPECT_FALSE(stats.render().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuggyDuts, PortfolioDifferential,
+                         ::testing::ValuesIn(portfolioCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(Portfolio, SingleJobDelegatesToSequentialEngine)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const rtl::Netlist miter =
+        core::buildMiter(duts::buildToyAccelShipped(), opts).netlist;
+    EngineOptions engine;
+    engine.maxDepth = 10;
+
+    const CheckResult seq = checkSafety(miter, engine);
+
+    PortfolioOptions options;
+    options.engine = engine;
+    options.jobs = 1;
+    PortfolioStats stats;
+    const CheckResult par = checkSafetyPortfolio(miter, options, &stats);
+
+    ASSERT_EQ(par.status, seq.status);
+    EXPECT_EQ(par.cex->depth, seq.cex->depth);
+    EXPECT_EQ(par.cex->failedAssert, seq.cex->failedAssert);
+    EXPECT_EQ(par.bound, seq.bound);
+    EXPECT_EQ(par.conflicts, seq.conflicts);
+    EXPECT_EQ(stats.jobs, 1u);
+    ASSERT_EQ(stats.workers.size(), 1u);
+    EXPECT_TRUE(stats.workers[0].winner);
+}
+
+TEST(Portfolio, BoundedProofAgreesOnFixedDut)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const rtl::Netlist miter =
+        core::buildMiter(duts::buildToyAccelFixed(), opts).netlist;
+    EngineOptions engine;
+    engine.maxDepth = 8;
+
+    const CheckResult seq = checkSafety(miter, engine);
+    ASSERT_EQ(seq.status, CheckStatus::BoundedProof);
+
+    PortfolioOptions options;
+    options.engine = engine;
+    options.jobs = kJobs;
+    const CheckResult par = checkSafetyPortfolio(miter, options);
+    EXPECT_EQ(par.status, CheckStatus::BoundedProof);
+    EXPECT_EQ(par.bound, seq.bound);
+}
+
+TEST(Portfolio, ProvesInductiveInvariantUnbounded)
+{
+    // 1-bit register stuck at 0: `r' = r`, reset 0, assert !r.  This
+    // is 1-inductive, so the portfolio's induction worker must report
+    // a full proof once the BMC workers cover the base case.
+    rtl::Netlist nl("sticky_zero");
+    nl.input("tick", 1);
+    const rtl::NodeId r = nl.reg("r", 1, 0);
+    nl.connectReg(r, r);
+    nl.addAssert("as__r_is_zero", nl.notOf(r));
+    nl.validate();
+
+    EngineOptions engine;
+    engine.maxDepth = 6;
+    engine.tryInduction = true;
+
+    const CheckResult seq = checkSafety(nl, engine);
+    ASSERT_EQ(seq.status, CheckStatus::Proved);
+
+    PortfolioOptions options;
+    options.engine = engine;
+    options.jobs = kJobs;
+    PortfolioStats stats;
+    const CheckResult par = checkSafetyPortfolio(nl, options, &stats);
+    EXPECT_EQ(par.status, CheckStatus::Proved);
+    EXPECT_EQ(par.inductionK, seq.inductionK);
+    bool sawInduction = false;
+    for (const auto &ws : stats.workers)
+        sawInduction |= ws.kind == WorkerKind::Induction;
+    EXPECT_TRUE(sawInduction);
+}
+
+TEST(Portfolio, HuntModeReturnsValidatedCex)
+{
+    // minimalCex off: the first validated CEX wins, whatever its
+    // depth.  It must still be a real violating execution.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const rtl::Netlist miter =
+        core::buildMiter(duts::buildToyAccelShipped(), opts).netlist;
+
+    PortfolioOptions options;
+    options.engine.maxDepth = 10;
+    options.jobs = kJobs;
+    options.minimalCex = false;
+    const CheckResult result = checkSafetyPortfolio(miter, options);
+
+    ASSERT_EQ(result.status, CheckStatus::Cex);
+    EXPECT_LE(result.cex->depth, options.engine.maxDepth);
+    expectCexReplays(miter, *result.cex, "toy/hunt");
+}
+
+TEST(Portfolio, WallClockWatchdogCancelsAllWorkers)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const rtl::Netlist miter =
+        core::buildMiter(duts::buildCva6(), opts).netlist;
+
+    PortfolioOptions options;
+    options.engine.maxDepth = 40; // far beyond what fits in the budget
+    options.engine.timeLimitSeconds = 0.2;
+    options.simHunter = false; // keep only SAT workers busy
+    options.jobs = kJobs;
+
+    Stopwatch watch;
+    const CheckResult result = checkSafetyPortfolio(miter, options);
+    // The watchdog must stop solvers mid-search: well under the time
+    // it would take to explore 40 frames, even on a loaded machine.
+    EXPECT_LT(watch.seconds(), 30.0);
+    if (result.status != CheckStatus::Cex) {
+        EXPECT_TRUE(result.timedOut);
+    }
+}
+
+} // namespace autocc::formal

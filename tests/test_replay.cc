@@ -124,4 +124,62 @@ INSTANTIATE_TEST_SUITE_P(AllBuggyDuts, CexReplay,
                              return std::string(info.param.name);
                          });
 
+/**
+ * Table-1 regression under the portfolio engine: the racing /
+ * cancellation machinery must never turn a known covert channel into
+ * a silent BoundedProof, and the portfolio's CEX must replay on the
+ * simulator exactly like the sequential engine's.
+ */
+class CexReplayPortfolio : public ::testing::TestWithParam<ReplayCase>
+{
+};
+
+TEST_P(CexReplayPortfolio, Table1CexSurvivesPortfolioRacing)
+{
+    AutoccOptions opts;
+    opts.threshold = 2;
+    formal::EngineOptions engine;
+    engine.maxDepth = GetParam().maxDepth;
+    engine.jobs = 4;
+    const rtl::Netlist dut = GetParam().build();
+    const RunResult run = runAutocc(dut, opts, engine);
+
+    ASSERT_EQ(run.check.status, formal::CheckStatus::Cex)
+        << GetParam().name
+        << ": portfolio lost a known counterexample (racing bug?)";
+    ASSERT_GE(run.portfolio.winner, 0) << GetParam().name;
+
+    const sim::Trace &trace = run.check.cex->trace;
+    ASSERT_EQ(trace.depth(), run.check.cex->depth);
+    sim::Simulator sim(run.miter.netlist);
+    bool violationReproduced = false;
+    for (size_t t = 0; t < trace.depth(); ++t) {
+        for (const auto &[name, value] : trace.inputs[t])
+            sim.poke(name, value);
+        sim.eval();
+        for (const auto &assume : run.miter.netlist.assumes()) {
+            ASSERT_EQ(sim.peek(assume.node), 1u)
+                << GetParam().name << ": assumption " << assume.name
+                << " violated @" << t;
+        }
+        if (t + 1 == trace.depth()) {
+            for (const auto &assertion : run.miter.netlist.asserts()) {
+                if (assertion.name == run.check.cex->failedAssert)
+                    violationReproduced = !sim.peek(assertion.node);
+            }
+        }
+        sim.step();
+    }
+    EXPECT_TRUE(violationReproduced)
+        << GetParam().name << ": " << run.check.cex->failedAssert;
+}
+
+// The paper's Table 1 lists the Vscale, CVA6 and MAPLE channels.
+INSTANTIATE_TEST_SUITE_P(Table1Duts, CexReplayPortfolio,
+                         ::testing::Values(replayCases[1], replayCases[2],
+                                           replayCases[3]),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
 } // namespace autocc::core

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "base/rng.hh"
 #include "sat/dimacs.hh"
 #include "sat/solver.hh"
@@ -316,6 +320,85 @@ TEST(Solver, StatsPopulated)
     s.addClause(mkLit(b, true), mkLit(c, true));
     ASSERT_EQ(s.solve(), SolveResult::Sat);
     EXPECT_GT(s.stats().propagations + s.stats().decisions, 0u);
+}
+
+namespace
+{
+
+/** Hard UNSAT pigeonhole instance: `pigeons` into `pigeons - 1` holes. */
+void
+buildPigeonhole(Solver &s, int pigeons)
+{
+    const int holes = pigeons - 1;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto &row : x)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> atLeastOne;
+        for (int h = 0; h < holes; ++h)
+            atLeastOne.push_back(mkLit(x[p][h]));
+        s.addClause(atLeastOne);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(x[p1][h], true), mkLit(x[p2][h], true));
+}
+
+} // namespace
+
+TEST(Solver, InterruptBeforeSolveReturnsUnknown)
+{
+    Solver s;
+    buildPigeonhole(s, 7);
+    s.interrupt();
+    EXPECT_EQ(s.solve(), SolveResult::Unknown);
+    // Re-armed, the solver completes normally.
+    s.clearInterrupt();
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, ExternalInterruptFlagCancelsAndDetaches)
+{
+    std::atomic<bool> stop{true};
+    Solver s;
+    buildPigeonhole(s, 7);
+    s.setInterruptFlag(&stop);
+    EXPECT_EQ(s.solve(), SolveResult::Unknown);
+    stop.store(false);
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+    s.setInterruptFlag(nullptr);
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, RandomizedCrossThreadInterruptStress)
+{
+    // Fire interrupt() from a second thread at random points of a hard
+    // search.  Whatever the timing, the solver must return cleanly
+    // (Unknown if the interrupt landed mid-search, Unsat if the solve
+    // won the race) and stay fully usable afterward.
+    Rng rng(0xdeadbeefcafeull);
+    for (int iter = 0; iter < 12; ++iter) {
+        Solver s;
+        buildPigeonhole(s, 8);
+        const auto delay =
+            std::chrono::microseconds(rng.below(20000));
+        std::thread firer([&] {
+            std::this_thread::sleep_for(delay);
+            s.interrupt();
+        });
+        const SolveResult r = s.solve();
+        firer.join();
+        EXPECT_TRUE(r == SolveResult::Unknown || r == SolveResult::Unsat)
+            << "iteration " << iter;
+
+        // Reusability: re-arm and finish the proof for real.
+        s.clearInterrupt();
+        EXPECT_EQ(s.solve(), SolveResult::Unsat) << "iteration " << iter;
+        // A completed UNSAT answer must stick even with stale learnts.
+        EXPECT_FALSE(s.okay() && s.solve() != SolveResult::Unsat);
+    }
 }
 
 } // namespace autocc::sat

@@ -103,8 +103,9 @@ usage()
         "  gen   <dut> [--out DIR]   emit wrapper.sv / properties.sv / "
         "netlist.dot\n"
         "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
-        "[--vcd F]\n"
-        "  prove <dut> [--depth N] [--threshold N] [--arch a,b]\n"
+        "[--vcd F] [--jobs N]\n"
+        "  prove <dut> [--depth N] [--threshold N] [--arch a,b] "
+        "[--jobs N]\n"
         "  exploit                   run the Listing-2 M3 attack\n");
     return 2;
 }
@@ -114,6 +115,8 @@ struct Args
     std::string dut;
     unsigned depth = 14;
     unsigned threshold = 2;
+    /** Portfolio workers; 1 = sequential engine, 0 = auto. */
+    unsigned jobs = 0;
     std::set<std::string> arch;
     std::string outDir = ".";
     std::string vcdPath;
@@ -139,6 +142,11 @@ parseArgs(int argc, char **argv, int start, Args &args)
             if (!v)
                 return false;
             args.threshold = static_cast<unsigned>(std::atoi(v));
+        } else if (flag == "--jobs" || flag == "-j") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.jobs = static_cast<unsigned>(std::atoi(v));
         } else if (flag == "--arch") {
             const char *v = next();
             if (!v)
@@ -235,12 +243,17 @@ cmdCheck(const Args &args, bool prove)
     formal::EngineOptions engine;
     engine.maxDepth = args.depth;
     engine.maxInductionK = args.depth + 4;
+    engine.jobs = args.jobs;
 
     const core::RunResult run = prove
         ? core::proveAutocc(dut, opts, engine)
         : core::runAutocc(dut, opts, engine);
     std::printf("%s: %s\n", args.dut.c_str(),
                 formal::describe(run.check).c_str());
+    if (run.portfolio.jobs > 1) {
+        std::printf("portfolio (%u workers):\n%s", run.portfolio.jobs,
+                    run.portfolio.render().c_str());
+    }
     if (run.foundCex()) {
         std::printf("\n%s", run.cause.render().c_str());
         if (!args.vcdPath.empty()) {
