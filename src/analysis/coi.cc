@@ -1,0 +1,78 @@
+#include "analysis/coi.hh"
+
+#include <sstream>
+
+#include "analysis/dataflow.hh"
+#include "rtl/clone.hh"
+
+namespace autocc::analysis
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+namespace
+{
+
+size_t
+countInputs(const Netlist &netlist)
+{
+    size_t n = 0;
+    for (const auto &port : netlist.ports()) {
+        if (port.dir == rtl::PortDir::In)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+CoiResult
+coiPrune(const Netlist &src)
+{
+    CoiResult result;
+    result.nodesBefore = src.numNodes();
+    result.regsBefore = src.regs().size();
+    result.memsBefore = src.mems().size();
+    result.inputsBefore = countInputs(src);
+
+    std::vector<NodeId> roots;
+    for (const auto &property : src.asserts())
+        roots.push_back(property.node);
+    for (const auto &property : src.assumes())
+        roots.push_back(property.node);
+
+    result.netlist.setName(src.name());
+    rtl::CloneResult clone;
+    if (roots.empty()) {
+        clone = rtl::cloneInto(src, result.netlist, "", nullptr);
+    } else {
+        const DataflowGraph graph(src);
+        const Cone cone = graph.backwardCone(roots);
+        clone = rtl::cloneInto(src, result.netlist, "", nullptr,
+                               &cone.nodes);
+    }
+    // cloneInto installs assumes but only returns asserts; reinstall
+    // them in source order so the engine blames the same assertion.
+    for (const auto &assertion : clone.asserts)
+        result.netlist.addAssert(assertion.name, assertion.node);
+
+    result.nodesAfter = result.netlist.numNodes();
+    result.regsAfter = result.netlist.regs().size();
+    result.memsAfter = result.netlist.mems().size();
+    result.inputsAfter = countInputs(result.netlist);
+    return result;
+}
+
+std::string
+CoiResult::render() const
+{
+    std::ostringstream os;
+    os << "coi: kept " << nodesAfter << "/" << nodesBefore << " nodes, "
+       << regsAfter << "/" << regsBefore << " regs, " << memsAfter << "/"
+       << memsBefore << " mems, " << inputsAfter << "/" << inputsBefore
+       << " inputs";
+    return os.str();
+}
+
+} // namespace autocc::analysis

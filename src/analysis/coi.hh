@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cone-of-influence pruning: drop every node of a netlist that cannot
+ * reach any embedded property before the formal engine unrolls it.
+ *
+ * Soundness argument: the safety check decides satisfiability of
+ * "assumes hold in every frame ∧ some assert fails in the last frame".
+ * Only the backward sequential cone of the assert and assume nodes
+ * constrains or is constrained by that formula; every other node is
+ * functionally determined by (or free alongside) the cone and never
+ * shares a variable with it after unrolling, so deleting it preserves
+ * satisfiability frame for frame.  Keeping the assumes in the cone is
+ * what prevents spurious counterexamples (an assume over pruned logic
+ * would otherwise vanish and weaken the environment).  All assertions
+ * are kept in netlist order, so the canonical "first failing assert"
+ * the engine reports is unchanged, and BMC depth semantics are
+ * untouched — verdict, depth and blamed assertion are preserved
+ * exactly (differentially tested per DUT).
+ *
+ * Counterexample traces from a pruned netlist simply omit the pruned
+ * signals; sim::Trace reads absent names as 0, so downstream cause
+ * analysis sees 0 == 0 (equal across universes) for state that
+ * provably cannot influence any property — never a false blame.
+ */
+
+#ifndef AUTOCC_ANALYSIS_COI_HH
+#define AUTOCC_ANALYSIS_COI_HH
+
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::analysis
+{
+
+/** A pruned netlist plus before/after size statistics. */
+struct CoiResult
+{
+    rtl::Netlist netlist;
+
+    size_t nodesBefore = 0;
+    size_t nodesAfter = 0;
+    size_t regsBefore = 0;
+    size_t regsAfter = 0;
+    size_t memsBefore = 0;
+    size_t memsAfter = 0;
+    size_t inputsBefore = 0;
+    size_t inputsAfter = 0;
+
+    /** One-line "kept X/Y nodes, ..." summary. */
+    std::string render() const;
+};
+
+/**
+ * Clone `netlist` keeping only the backward sequential cone of its
+ * asserts and assumes.  A netlist without properties is cloned whole
+ * (there is nothing to prune against).
+ */
+CoiResult coiPrune(const rtl::Netlist &netlist);
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_COI_HH

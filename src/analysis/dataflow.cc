@@ -1,0 +1,130 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+
+namespace autocc::analysis
+{
+
+using rtl::invalidNode;
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+size_t
+Cone::countNodes() const
+{
+    return static_cast<size_t>(
+        std::count(nodes.begin(), nodes.end(), true));
+}
+
+DataflowGraph::DataflowGraph(const Netlist &netlist) : netlist_(netlist)
+{
+    fanout_.resize(netlist.numNodes());
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+        const Node &node = netlist.node(id);
+        for (uint8_t i = 0; i < node.numOperands; ++i)
+            fanout_[node.operands[i]].push_back(id);
+    }
+    memWritesOf_.resize(netlist.mems().size());
+    for (uint32_t w = 0; w < netlist.memWrites().size(); ++w)
+        memWritesOf_[netlist.memWrites()[w].mem].push_back(w);
+}
+
+Cone
+DataflowGraph::backwardCone(const std::vector<NodeId> &roots,
+                            const ReachOptions &options) const
+{
+    Cone cone;
+    cone.nodes.assign(netlist_.numNodes(), false);
+    cone.mems.assign(netlist_.mems().size(), false);
+
+    std::vector<NodeId> stack(roots);
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (cone.nodes[id])
+            continue;
+        cone.nodes[id] = true;
+        const Node &node = netlist_.node(id);
+        for (uint8_t i = 0; i < node.numOperands; ++i)
+            stack.push_back(node.operands[i]);
+        if (node.op == Op::Reg && options.throughRegs) {
+            const NodeId next = netlist_.regs()[node.aux].next;
+            if (next != invalidNode)
+                stack.push_back(next);
+        }
+        if (node.op == Op::MemRead && !cone.mems[node.aux]) {
+            cone.mems[node.aux] = true;
+            if (options.throughMemWrites) {
+                for (uint32_t w : memWritesOf_[node.aux]) {
+                    const rtl::MemWrite &write = netlist_.memWrites()[w];
+                    stack.push_back(write.enable);
+                    stack.push_back(write.addr);
+                    stack.push_back(write.data);
+                }
+            }
+        }
+    }
+    return cone;
+}
+
+Cone
+DataflowGraph::forwardCone(const std::vector<NodeId> &seeds,
+                           const ReachOptions &options,
+                           const std::vector<uint32_t> &seed_mems) const
+{
+    Cone cone;
+    cone.nodes.assign(netlist_.numNodes(), false);
+    cone.mems.assign(netlist_.mems().size(), false);
+
+    std::vector<NodeId> stack(seeds);
+    const auto taintMem = [&](uint32_t mem) {
+        if (cone.mems[mem])
+            return;
+        cone.mems[mem] = true;
+        // Every read port of a tainted memory is tainted.
+        for (NodeId id = 0; id < netlist_.numNodes(); ++id) {
+            const Node &node = netlist_.node(id);
+            if (node.op == Op::MemRead && node.aux == mem)
+                stack.push_back(id);
+        }
+    };
+    for (uint32_t mem : seed_mems)
+        taintMem(mem);
+
+    // Reverse map: next-state node -> registers it drives.
+    std::vector<std::vector<NodeId>> regsDrivenBy(netlist_.numNodes());
+    if (options.throughRegs) {
+        for (const auto &reg : netlist_.regs()) {
+            if (reg.next != invalidNode)
+                regsDrivenBy[reg.next].push_back(reg.node);
+        }
+    }
+    // Reverse map: node -> memories whose write data/address it feeds.
+    std::vector<std::vector<uint32_t>> memsFedBy(netlist_.numNodes());
+    if (options.throughMemWrites) {
+        for (const auto &write : netlist_.memWrites()) {
+            memsFedBy[write.enable].push_back(write.mem);
+            memsFedBy[write.addr].push_back(write.mem);
+            memsFedBy[write.data].push_back(write.mem);
+        }
+    }
+
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (cone.nodes[id])
+            continue;
+        cone.nodes[id] = true;
+        for (NodeId user : fanout_[id])
+            stack.push_back(user);
+        for (NodeId reg : regsDrivenBy[id])
+            stack.push_back(reg);
+        for (uint32_t mem : memsFedBy[id])
+            taintMem(mem);
+    }
+    return cone;
+}
+
+} // namespace autocc::analysis

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structural dataflow framework over the netlist IR.
+ *
+ * A DataflowGraph precomputes fan-out adjacency for a Netlist and
+ * answers forward/backward reachability queries over the structural
+ * dependency graph.  Sequential boundaries are explicit and optional:
+ * a query can stop at registers (purely combinational cone) or cross
+ * them (sequential cone), and likewise for memory write ports.  Every
+ * analysis pass in this directory — lint observability rules, static
+ * leak-candidate classification, cone-of-influence pruning — and the
+ * DOT exporter's root-restricted rendering are layered on these two
+ * queries, so there is exactly one definition of "reaches" in the
+ * codebase.
+ */
+
+#ifndef AUTOCC_ANALYSIS_DATAFLOW_HH
+#define AUTOCC_ANALYSIS_DATAFLOW_HH
+
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::analysis
+{
+
+/** Which sequential boundaries a reachability query crosses. */
+struct ReachOptions
+{
+    /**
+     * Cross register boundaries: backward, a register pulls in its
+     * next-state cone; forward, a tainted next-state taints the
+     * register output on the following cycle.
+     */
+    bool throughRegs = true;
+
+    /**
+     * Cross memory ports: backward, a read port pulls in every write
+     * port of its memory; forward, a tainted write port taints the
+     * memory and hence all of its read ports.
+     */
+    bool throughMemWrites = true;
+};
+
+/** Result of a reachability query. */
+struct Cone
+{
+    /** Per-node membership, indexed by NodeId. */
+    std::vector<bool> nodes;
+    /** Per-memory membership, indexed by memory index. */
+    std::vector<bool> mems;
+
+    bool contains(rtl::NodeId id) const { return nodes[id]; }
+    size_t countNodes() const;
+};
+
+/** Fan-out adjacency plus reachability queries; see file comment. */
+class DataflowGraph
+{
+  public:
+    explicit DataflowGraph(const rtl::Netlist &netlist);
+
+    const rtl::Netlist &netlist() const { return netlist_; }
+
+    /** Nodes that use `id` as a direct combinational operand. */
+    const std::vector<rtl::NodeId> &fanout(rtl::NodeId id) const
+    {
+        return fanout_[id];
+    }
+
+    /**
+     * Everything the `roots` structurally depend on (fan-in cone).
+     * Root nodes are themselves members of the cone.
+     */
+    Cone backwardCone(const std::vector<rtl::NodeId> &roots,
+                      const ReachOptions &options = {}) const;
+
+    /**
+     * Everything the `seeds` structurally influence (fan-out cone).
+     * Seed nodes are themselves members; `seed_mems` (memory indices)
+     * taint whole memories up front.
+     */
+    Cone forwardCone(const std::vector<rtl::NodeId> &seeds,
+                     const ReachOptions &options = {},
+                     const std::vector<uint32_t> &seed_mems = {}) const;
+
+  private:
+    const rtl::Netlist &netlist_;
+    std::vector<std::vector<rtl::NodeId>> fanout_;
+    /** Write ports per memory (indices into Netlist::memWrites()). */
+    std::vector<std::vector<uint32_t>> memWritesOf_;
+};
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_DATAFLOW_HH

@@ -1,11 +1,17 @@
-#include "rtl/dot.hh"
+#include "analysis/dot.hh"
 
 #include <sstream>
 #include <unordered_map>
-#include <vector>
 
-namespace autocc::rtl
+#include "analysis/dataflow.hh"
+
+namespace autocc::analysis
 {
+
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
 
 namespace
 {
@@ -42,27 +48,18 @@ opLabel(Op op)
 std::string
 toDot(const Netlist &netlist, const DotOptions &options)
 {
-    // Mark reachable nodes (cone of the requested roots, or all).
+    // Mark reachable nodes (fan-in cone of the requested roots, or
+    // all).  Root-limited rendering follows register next-states but
+    // not memory write ports, matching what a waveform debugger would
+    // show for the signal.
     std::vector<bool> keep(netlist.numNodes(), options.roots.empty());
     if (!options.roots.empty()) {
-        std::vector<NodeId> stack;
+        std::vector<NodeId> roots;
         for (const auto &name : options.roots)
-            stack.push_back(netlist.signal(name));
-        while (!stack.empty()) {
-            const NodeId id = stack.back();
-            stack.pop_back();
-            if (keep[id])
-                continue;
-            keep[id] = true;
-            const Node &node = netlist.node(id);
-            for (uint8_t i = 0; i < node.numOperands; ++i)
-                stack.push_back(node.operands[i]);
-            if (node.op == Op::Reg) {
-                const NodeId next = netlist.regs()[node.aux].next;
-                if (next != invalidNode)
-                    stack.push_back(next);
-            }
-        }
+            roots.push_back(netlist.signal(name));
+        ReachOptions reach;
+        reach.throughMemWrites = false;
+        keep = DataflowGraph(netlist).backwardCone(roots, reach).nodes;
     }
 
     // Reverse names for labels.
@@ -107,7 +104,7 @@ toDot(const Netlist &netlist, const DotOptions &options)
     }
     // Register next-state edges (dashed).
     for (const auto &reg : netlist.regs()) {
-        if (keep[reg.node] && reg.next != invalidNode &&
+        if (keep[reg.node] && reg.next != rtl::invalidNode &&
             keep[reg.next] &&
             !(netlist.node(reg.next).op == Op::Const &&
               options.foldConstants)) {
@@ -119,4 +116,4 @@ toDot(const Netlist &netlist, const DotOptions &options)
     return os.str();
 }
 
-} // namespace autocc::rtl
+} // namespace autocc::analysis

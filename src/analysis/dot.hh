@@ -1,17 +1,20 @@
 /**
  * @file
  * Graphviz DOT export of a netlist — handy when debugging DUT models
- * or inspecting what the miter generator produced.
+ * or inspecting what the miter generator produced.  Lives in the
+ * analysis layer because root-limited rendering is just a backward
+ * cone over the shared dataflow framework.
  */
 
-#ifndef AUTOCC_RTL_DOT_HH
-#define AUTOCC_RTL_DOT_HH
+#ifndef AUTOCC_ANALYSIS_DOT_HH
+#define AUTOCC_ANALYSIS_DOT_HH
 
 #include <string>
+#include <vector>
 
 #include "rtl/netlist.hh"
 
-namespace autocc::rtl
+namespace autocc::analysis
 {
 
 /** Options for the DOT rendering. */
@@ -24,8 +27,9 @@ struct DotOptions
 };
 
 /** Render the netlist as a DOT digraph. */
-std::string toDot(const Netlist &netlist, const DotOptions &options = {});
+std::string toDot(const rtl::Netlist &netlist,
+                  const DotOptions &options = {});
 
-} // namespace autocc::rtl
+} // namespace autocc::analysis
 
-#endif // AUTOCC_RTL_DOT_HH
+#endif // AUTOCC_ANALYSIS_DOT_HH

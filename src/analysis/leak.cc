@@ -1,0 +1,180 @@
+#include "analysis/leak.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/dataflow.hh"
+#include "analysis/ternary.hh"
+#include "base/table.hh"
+
+namespace autocc::analysis
+{
+
+using rtl::Netlist;
+using rtl::NodeId;
+
+std::vector<NodeId>
+observabilityRoots(const Netlist &netlist)
+{
+    std::vector<NodeId> roots;
+    for (const auto &port : netlist.ports()) {
+        if (port.dir == rtl::PortDir::Out)
+            roots.push_back(port.node);
+    }
+    for (const auto &property : netlist.asserts())
+        roots.push_back(property.node);
+    for (const auto &property : netlist.assumes())
+        roots.push_back(property.node);
+    for (const auto &name : netlist.archSignals())
+        roots.push_back(netlist.signal(name));
+    if (netlist.flushDoneSignal())
+        roots.push_back(netlist.signal(*netlist.flushDoneSignal()));
+    return roots;
+}
+
+LeakReport
+analyzeLeakCandidates(const Netlist &dut)
+{
+    LeakReport report;
+    report.dutName = dut.name();
+    report.hasFlushFacts = !dut.flushFacts().empty();
+
+    const DataflowGraph graph(dut);
+
+    // ---- observability: backward sequential cone of the roots.
+    const Cone observed = graph.backwardCone(observabilityRoots(dut));
+
+    // ---- flushed vs surviving: one ternary evaluation under the
+    // declared flush facts; a register whose next-state comes out as a
+    // full constant is cleared by the flush's clearing step.
+    std::vector<std::pair<NodeId, uint64_t>> forced;
+    for (const auto &fact : dut.flushFacts())
+        forced.emplace_back(fact.node, fact.value);
+    const std::vector<Ternary> vals = evalTernary(dut, forced);
+
+    std::unordered_set<std::string> archNames(dut.archSignals().begin(),
+                                              dut.archSignals().end());
+    std::unordered_set<NodeId> claimed(dut.flushClaims().begin(),
+                                       dut.flushClaims().end());
+
+    std::vector<NodeId> survivingRegs;
+    for (const auto &reg : dut.regs()) {
+        StateClass sc;
+        sc.name = reg.name;
+        sc.observable = observed.contains(reg.node);
+        sc.isArch = archNames.count(reg.name) > 0;
+        sc.claimed = claimed.count(reg.node) > 0;
+        const unsigned width = dut.width(reg.node);
+        if (report.hasFlushFacts && reg.next != rtl::invalidNode &&
+            vals[reg.next].fullyKnown(width)) {
+            sc.surviving = false;
+            sc.flushValue = vals[reg.next].value;
+        } else {
+            survivingRegs.push_back(reg.node);
+        }
+        report.states.push_back(std::move(sc));
+    }
+
+    // ---- memories: no per-word clear exists, so they survive.
+    std::vector<uint32_t> allMems;
+    for (uint32_t m = 0; m < dut.mems().size(); ++m) {
+        StateClass sc;
+        sc.name = dut.mems()[m].name;
+        sc.isMemory = true;
+        sc.surviving = true;
+        sc.observable = observed.mems[m];
+        report.states.push_back(std::move(sc));
+        allMems.push_back(m);
+    }
+
+    // ---- contamination: flushed state re-reachable from surviving
+    // state after the flush.  Forward taint closure over the whole
+    // sequential graph (ignoring the one-shot clear — conservative).
+    const Cone tainted =
+        graph.forwardCone(survivingRegs, ReachOptions{}, allMems);
+    for (size_t i = 0; i < dut.regs().size(); ++i) {
+        StateClass &sc = report.states[i];
+        if (!sc.surviving && tainted.contains(dut.regs()[i].node))
+            sc.contaminated = true;
+    }
+
+    return report;
+}
+
+std::vector<std::string>
+LeakReport::candidates() const
+{
+    std::vector<std::string> names;
+    for (const auto &sc : states) {
+        if (sc.candidate())
+            names.push_back(sc.name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+LeakReport::observableCandidates() const
+{
+    std::vector<std::string> names;
+    for (const auto &sc : states) {
+        if (sc.candidate() && sc.observable)
+            names.push_back(sc.name);
+    }
+    return names;
+}
+
+bool
+LeakReport::isCandidate(const std::string &name) const
+{
+    // FindCause reports memory words as "mem[word]"; match the memory.
+    std::string base = name;
+    const size_t bracket = base.find('[');
+    if (bracket != std::string::npos)
+        base.resize(bracket);
+    for (const auto &sc : states) {
+        if (sc.name == base)
+            return sc.candidate();
+    }
+    return false;
+}
+
+std::vector<std::string>
+LeakReport::missedBy(const std::vector<std::string> &names) const
+{
+    std::vector<std::string> missed;
+    for (const auto &name : names) {
+        if (!isCandidate(name))
+            missed.push_back(name);
+    }
+    return missed;
+}
+
+std::string
+LeakReport::render() const
+{
+    std::ostringstream os;
+    os << "static leak classification of '" << dutName << "'";
+    if (!hasFlushFacts)
+        os << " (no flush facts declared: everything survives)";
+    os << "\n";
+    Table table({"state", "flush", "observable", "candidate", "notes"});
+    for (const auto &sc : states) {
+        std::string flush = sc.surviving ? "survives" : "cleared";
+        std::string notes;
+        if (sc.isMemory)
+            notes += " memory";
+        if (sc.isArch)
+            notes += " arch";
+        if (sc.contaminated)
+            notes += " contaminated";
+        if (sc.claimed)
+            notes += " claimed";
+        table.addRow({sc.name, flush, sc.observable ? "yes" : "no",
+                      sc.candidate() ? "YES" : "-",
+                      notes.empty() ? "-" : notes.substr(1)});
+    }
+    os << table.render();
+    return os.str();
+}
+
+} // namespace autocc::analysis

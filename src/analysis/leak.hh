@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Static covert-channel candidate classification (the cheap structural
+ * over-approximation of what AutoCC's formal search later proves or
+ * refutes — the same intuition as UPEC's structural pre-analysis and
+ * the fence.t microreset coverage argument).
+ *
+ * Every register and memory of a DUT is classified along two axes:
+ *
+ *  - flushed vs surviving: under the DUT's declared flush facts (the
+ *    values its clearing pulse forces, see Netlist::addFlushFact), a
+ *    register whose next-state ternary-evaluates to a full constant is
+ *    flushed by one clearing step; everything else conservatively
+ *    survives.  Memories always survive (no per-word clear exists in
+ *    the IR).  A DUT with no flush facts has everything surviving.
+ *
+ *  - observable vs not: inside the backward sequential cone of the DUT
+ *    outputs, embedded properties, declared architectural state and
+ *    the flush-done signal (flush completion timing is spy-visible —
+ *    the paper's flush-latency channel).
+ *
+ * Surviving state can re-contaminate flushed state after the flush
+ * (e.g. a cache refill that lands post-flush from a surviving pending
+ * bit — CVA6's C3), so flushed registers inside the forward taint
+ * closure of the surviving set are marked contaminated.  The candidate
+ * set — state that can still differ across universes when the spy
+ * starts — is surviving ∪ contaminated; candidates ∩ observable is
+ * the headline static covert-channel list.  Soundness cross-check:
+ * every name `core::FindCause` blames on a real CEX must be a
+ * candidate (golden-tested per DUT against the reproduced Table-1
+ * counterexamples).
+ */
+
+#ifndef AUTOCC_ANALYSIS_LEAK_HH
+#define AUTOCC_ANALYSIS_LEAK_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::analysis
+{
+
+/** Classification of one register or memory. */
+struct StateClass
+{
+    std::string name;      ///< hierarchical path (DUT-relative)
+    bool isMemory = false;
+    bool surviving = true; ///< not provably cleared by the flush
+    /** Post-flush constant (valid only when !surviving). */
+    uint64_t flushValue = 0;
+    /** Flushed but re-taintable from surviving state post-flush. */
+    bool contaminated = false;
+    /** In the backward cone of outputs/properties/arch/flush-done. */
+    bool observable = false;
+    /** Declared architecturally visible (swapped on context switch). */
+    bool isArch = false;
+    /** The builder claimed the flush clears this register. */
+    bool claimed = false;
+
+    /** Can this state still differ across universes at spy start? */
+    bool candidate() const { return surviving || contaminated; }
+};
+
+/** Full static leak report for one DUT. */
+struct LeakReport
+{
+    std::string dutName;
+    /** False when the DUT declared no flush facts (nothing clears). */
+    bool hasFlushFacts = false;
+    std::vector<StateClass> states;
+
+    /** Names of all divergence-capable state (surviving∪contaminated). */
+    std::vector<std::string> candidates() const;
+
+    /** The headline list: candidates that are also observable. */
+    std::vector<std::string> observableCandidates() const;
+
+    /**
+     * True if `name` (a register name, memory name, or FindCause-style
+     * "mem[word]" path) is in the candidate set.
+     */
+    bool isCandidate(const std::string &name) const;
+
+    /** Subset of `names` that are NOT candidates (expected empty). */
+    std::vector<std::string> missedBy(
+        const std::vector<std::string> &names) const;
+
+    /** Human-readable classification table. */
+    std::string render() const;
+};
+
+/** Classify every register and memory of `dut`; see file comment. */
+LeakReport analyzeLeakCandidates(const rtl::Netlist &dut);
+
+/**
+ * The nodes from which observability is judged: output ports, embedded
+ * assume/assert properties, declared architectural state and the
+ * flush-done signal.  Shared by the leak classifier and the lint
+ * observability rules so both agree on what "observable" means.
+ */
+std::vector<rtl::NodeId> observabilityRoots(const rtl::Netlist &netlist);
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_LEAK_HH

@@ -1,0 +1,396 @@
+#include "analysis/lint.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/dataflow.hh"
+#include "analysis/leak.hh"
+#include "analysis/ternary.hh"
+
+namespace autocc::analysis
+{
+
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace
+{
+
+/** Expected operand count per operator. */
+int
+expectedArity(Op op)
+{
+    switch (op) {
+      case Op::Input:
+      case Op::Const:
+      case Op::Reg:
+        return 0;
+      case Op::MemRead:
+      case Op::Not:
+      case Op::ShlC:
+      case Op::ShrC:
+      case Op::Slice:
+      case Op::RedOr:
+      case Op::RedAnd:
+        return 1;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Eq:
+      case Op::Ult:
+      case Op::Concat:
+        return 2;
+      case Op::Mux:
+        return 3;
+    }
+    return 0;
+}
+
+class Linter
+{
+  public:
+    Linter(const Netlist &netlist, const LintWaivers &waivers)
+        : netlist_(netlist), waivers_(waivers), graph_(netlist)
+    {
+        report_.netlistName = netlist.name();
+    }
+
+    LintReport run();
+
+  private:
+    void add(const char *rule, Severity severity, const std::string &path,
+             std::string message);
+    std::string pathOf(NodeId id) const;
+
+    void checkOps();
+    void checkRegs();
+    void checkTransactions();
+    void checkLiveness();
+    void checkFlushClaims();
+
+    const Netlist &netlist_;
+    const LintWaivers &waivers_;
+    DataflowGraph graph_;
+    LintReport report_;
+};
+
+void
+Linter::add(const char *rule, Severity severity, const std::string &path,
+            std::string message)
+{
+    LintFinding finding;
+    finding.rule = rule;
+    finding.severity = severity;
+    finding.path = path;
+    finding.message = std::move(message);
+    finding.waived = waivers_.matches(finding.rule, finding.path);
+    report_.findings.push_back(std::move(finding));
+}
+
+std::string
+Linter::pathOf(NodeId id) const
+{
+    const std::string name = netlist_.nodeName(id);
+    return name.empty() ? "#" + std::to_string(id) : name;
+}
+
+// E-OP-ARITY / E-OP-WIDTH: per-operator structural consistency.  The
+// public builder API panics on these, so they guard hand-assembled or
+// pass-transformed netlists (defense in depth after e.g. COI pruning).
+void
+Linter::checkOps()
+{
+    for (NodeId id = 0; id < netlist_.numNodes(); ++id) {
+        const Node &node = netlist_.node(id);
+        if (node.numOperands != expectedArity(node.op)) {
+            add("E-OP-ARITY", Severity::Error, pathOf(id),
+                "operator has " + std::to_string(node.numOperands) +
+                    " operands, expected " +
+                    std::to_string(expectedArity(node.op)));
+            continue;
+        }
+        const auto w = [&](int i) {
+            return netlist_.width(node.operands[i]);
+        };
+        const auto widthError = [&](const std::string &message) {
+            add("E-OP-WIDTH", Severity::Error, pathOf(id), message);
+        };
+        switch (node.op) {
+          case Op::Not:
+            if (node.width != w(0))
+                widthError("not: result width != operand width");
+            break;
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Add:
+          case Op::Sub:
+            if (w(0) != w(1) || node.width != w(0))
+                widthError("binary op: operand/result widths differ");
+            break;
+          case Op::Eq:
+          case Op::Ult:
+            if (w(0) != w(1))
+                widthError("compare: operand widths differ");
+            else if (node.width != 1)
+                widthError("compare: result must be 1 bit");
+            break;
+          case Op::Mux:
+            if (w(0) != 1)
+                widthError("mux: select must be 1 bit");
+            else if (w(1) != w(2) || node.width != w(1))
+                widthError("mux: branch/result widths differ");
+            break;
+          case Op::ShlC:
+          case Op::ShrC:
+            if (node.width != w(0))
+                widthError("shift: result width != operand width");
+            else if (node.aux >= node.width)
+                widthError("shift: amount >= width");
+            break;
+          case Op::Concat:
+            if (node.width != w(0) + w(1))
+                widthError("concat: result width != sum of operands");
+            break;
+          case Op::Slice:
+            if (node.aux + node.width > w(0))
+                widthError("slice: bit range exceeds operand width");
+            break;
+          case Op::RedOr:
+          case Op::RedAnd:
+            if (node.width != 1)
+                widthError("reduction: result must be 1 bit");
+            break;
+          case Op::MemRead:
+            if (node.aux >= netlist_.mems().size()) {
+                widthError("memread: bad memory index");
+            } else if (node.width !=
+                       netlist_.mems()[node.aux].dataWidth) {
+                widthError("memread: result width != memory data width");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+// E-REG-NEXT: every register must have a width-matching next-state.
+void
+Linter::checkRegs()
+{
+    for (const auto &reg : netlist_.regs()) {
+        if (reg.next == rtl::invalidNode) {
+            add("E-REG-NEXT", Severity::Error, reg.name,
+                "register next-state is unconnected");
+        } else if (netlist_.width(reg.next) != netlist_.width(reg.node)) {
+            add("E-REG-NEXT", Severity::Error, reg.name,
+                "register next-state width mismatch");
+        }
+    }
+}
+
+// E-TXN-PORT / W-TXN-DIR: transaction payloads must name real ports
+// and share their valid's direction — the miter only gates payload
+// equality by the valid when the directions match, and silently skips
+// the gating otherwise.
+void
+Linter::checkTransactions()
+{
+    for (const auto &txn : netlist_.transactions()) {
+        const rtl::Port *valid = netlist_.findPort(txn.validPort);
+        if (!valid) {
+            add("E-TXN-PORT", Severity::Error, txn.name,
+                "valid port '" + txn.validPort + "' does not exist");
+            continue;
+        }
+        for (const auto &payload : txn.payloadPorts) {
+            const rtl::Port *port = netlist_.findPort(payload);
+            if (!port) {
+                add("E-TXN-PORT", Severity::Error,
+                    txn.name + "." + payload,
+                    "payload port does not exist");
+            } else if (port->dir != valid->dir) {
+                add("W-TXN-DIR", Severity::Warning,
+                    txn.name + "." + payload,
+                    "payload direction differs from valid '" +
+                        txn.validPort +
+                        "'; its equality will not be gated by the valid "
+                        "in the generated miter");
+            }
+        }
+    }
+}
+
+// W-REG-NEVER-READ / W-REG-UNOBSERVABLE / W-INPUT-UNUSED /
+// I-DEAD-NODE: liveness and observability.
+void
+Linter::checkLiveness()
+{
+    // "Used" = combinational fan-out, drives a register next-state, or
+    // feeds a memory write port.
+    std::vector<bool> used(netlist_.numNodes(), false);
+    for (NodeId id = 0; id < netlist_.numNodes(); ++id)
+        used[id] = !graph_.fanout(id).empty();
+    for (const auto &reg : netlist_.regs()) {
+        if (reg.next != rtl::invalidNode)
+            used[reg.next] = true;
+    }
+    for (const auto &write : netlist_.memWrites()) {
+        used[write.enable] = true;
+        used[write.addr] = true;
+        used[write.data] = true;
+    }
+
+    const std::vector<NodeId> roots = observabilityRoots(netlist_);
+    std::vector<bool> isRoot(netlist_.numNodes(), false);
+    for (NodeId id : roots)
+        isRoot[id] = true;
+    const Cone observed = graph_.backwardCone(roots);
+
+    std::unordered_set<NodeId> named;
+    for (const auto &[name, id] : netlist_.signals())
+        named.insert(id);
+
+    for (const auto &reg : netlist_.regs()) {
+        if (!used[reg.node] && !isRoot[reg.node]) {
+            add("W-REG-NEVER-READ", Severity::Warning, reg.name,
+                "register drives no logic, port or property");
+        } else if (!observed.contains(reg.node)) {
+            add("W-REG-UNOBSERVABLE", Severity::Warning, reg.name,
+                "register is outside the backward cone of every "
+                "output, property, arch signal and flush-done — the "
+                "spy can never observe it");
+        }
+    }
+
+    for (const auto &port : netlist_.ports()) {
+        if (port.dir == rtl::PortDir::In && !used[port.node] &&
+            !isRoot[port.node])
+            add("W-INPUT-UNUSED", Severity::Warning, port.name,
+                "input port drives no logic");
+    }
+
+    for (NodeId id = 0; id < netlist_.numNodes(); ++id) {
+        const Op op = netlist_.node(id).op;
+        if (op == Op::Input || op == Op::Const || op == Op::Reg)
+            continue;
+        if (!used[id] && !isRoot[id] && !named.count(id)) {
+            add("I-DEAD-NODE", Severity::Info, pathOf(id),
+                "combinational node has no fan-out");
+        }
+    }
+}
+
+// W-FLUSH-CLAIM: under the declared flush facts, every register the
+// flush claims to clear must ternary-evaluate to a constant.
+void
+Linter::checkFlushClaims()
+{
+    if (netlist_.flushClaims().empty())
+        return;
+    if (netlist_.flushFacts().empty()) {
+        for (NodeId reg : netlist_.flushClaims()) {
+            add("W-FLUSH-CLAIM", Severity::Warning,
+                netlist_.regs()[netlist_.node(reg).aux].name,
+                "register is claimed flushed but no flush facts are "
+                "declared");
+        }
+        return;
+    }
+    std::vector<std::pair<NodeId, uint64_t>> forced;
+    for (const auto &fact : netlist_.flushFacts())
+        forced.emplace_back(fact.node, fact.value);
+    const std::vector<Ternary> vals = evalTernary(netlist_, forced);
+    for (NodeId regNode : netlist_.flushClaims()) {
+        const auto &reg = netlist_.regs()[netlist_.node(regNode).aux];
+        if (reg.next == rtl::invalidNode)
+            continue; // E-REG-NEXT already fired
+        if (!vals[reg.next].fullyKnown(netlist_.width(regNode))) {
+            add("W-FLUSH-CLAIM", Severity::Warning, reg.name,
+                "flush sequence does not drive this register to a "
+                "constant, but the builder claims it is cleared");
+        }
+    }
+}
+
+LintReport
+Linter::run()
+{
+    checkOps();
+    checkRegs();
+    checkTransactions();
+    checkLiveness();
+    checkFlushClaims();
+    return std::move(report_);
+}
+
+} // namespace
+
+bool
+LintWaivers::matches(const std::string &rule, const std::string &path) const
+{
+    for (const auto &entry : entries) {
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+            if (entry == rule)
+                return true;
+        } else if (entry.compare(0, colon, rule) == 0 &&
+                   path.find(entry.substr(colon + 1)) !=
+                       std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+size_t
+LintReport::count(Severity at_least) const
+{
+    size_t n = 0;
+    for (const auto &finding : findings) {
+        if (!finding.waived && finding.severity >= at_least)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+LintReport::render(bool include_waived) const
+{
+    std::ostringstream os;
+    for (const auto &finding : findings) {
+        if (finding.waived && !include_waived)
+            continue;
+        os << severityName(finding.severity) << "  "
+           << finding.rule << "  " << finding.path << "  "
+           << finding.message;
+        if (finding.waived)
+            os << "  [waived]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+LintReport
+runLint(const Netlist &netlist, const LintWaivers &waivers)
+{
+    return Linter(netlist, waivers).run();
+}
+
+} // namespace autocc::analysis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structural well-formedness lint over the netlist IR.
+ *
+ * Rules are machine-checkable structural properties whose violation
+ * either indicates a broken netlist (Error — the IR builders panic on
+ * most of these, so they fire only on hand-assembled or transformed
+ * netlists and serve as defense in depth after passes like COI
+ * pruning) or a design smell that AutoCC's miter construction will
+ * silently tolerate but that usually hides a modeling bug (Warning):
+ *
+ *   E-OP-ARITY       operator has the wrong operand count
+ *   E-OP-WIDTH       operand/result widths inconsistent for the op
+ *   E-REG-NEXT       register next-state unconnected or wrong width
+ *   E-TXN-PORT       transaction references a nonexistent port
+ *   W-TXN-DIR        transaction payload direction differs from its
+ *                    valid's — the miter will NOT gate this payload's
+ *                    equality by the valid (silently ungated today)
+ *   W-REG-NEVER-READ register drives nothing at all
+ *   W-REG-UNOBSERVABLE register outside the backward cone of every
+ *                    output/property/arch/flush-done signal — state
+ *                    the spy can provably never observe
+ *   W-FLUSH-CLAIM    flush sequence does not actually drive a
+ *                    register it claims to clear to a constant
+ *   W-INPUT-UNUSED   input port drives nothing
+ *   I-DEAD-NODE      unnamed combinational node with no fan-out
+ *
+ * Findings carry a rule id, severity and hierarchical node path, and
+ * can be waived by rule ("W-REG-UNOBSERVABLE") or by rule:path
+ * substring ("W-REG-UNOBSERVABLE:scratch") — the waiver mechanism CI
+ * uses to keep `lint` gating while documenting known-intentional
+ * exceptions.
+ */
+
+#ifndef AUTOCC_ANALYSIS_LINT_HH
+#define AUTOCC_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::analysis
+{
+
+/** How bad a lint finding is. */
+enum class Severity { Info, Warning, Error };
+
+/** One machine-readable lint finding. */
+struct LintFinding
+{
+    std::string rule;    ///< e.g. "W-REG-UNOBSERVABLE"
+    Severity severity = Severity::Warning;
+    std::string path;    ///< hierarchical node/port/transaction path
+    std::string message; ///< human-readable explanation
+    bool waived = false; ///< matched a waiver entry
+};
+
+/** Waivers: entries are "RULE" or "RULE:path-substring". */
+struct LintWaivers
+{
+    std::vector<std::string> entries;
+
+    bool matches(const std::string &rule, const std::string &path) const;
+};
+
+/** All findings for one netlist. */
+struct LintReport
+{
+    std::string netlistName;
+    std::vector<LintFinding> findings;
+
+    /** Unwaived findings at or above `at_least`. */
+    size_t count(Severity at_least = Severity::Warning) const;
+
+    /** True when nothing at/above `at_least` survived the waivers. */
+    bool clean(Severity at_least = Severity::Warning) const
+    {
+        return count(at_least) == 0;
+    }
+
+    /** One "severity rule path message" line per finding. */
+    std::string render(bool include_waived = true) const;
+};
+
+const char *severityName(Severity severity);
+
+/** Run every lint rule on `netlist`. */
+LintReport runLint(const rtl::Netlist &netlist,
+                   const LintWaivers &waivers = {});
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_LINT_HH

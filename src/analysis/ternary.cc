@@ -1,0 +1,172 @@
+#include "analysis/ternary.hh"
+
+namespace autocc::analysis
+{
+
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace
+{
+
+Ternary
+evalNode(const Netlist &netlist, const Node &node,
+         const std::vector<Ternary> &vals)
+{
+    const uint64_t m = Ternary::mask(node.width);
+    const auto op = [&](int i) -> const Ternary & {
+        return vals[node.operands[i]];
+    };
+
+    switch (node.op) {
+      case Op::Input:
+      case Op::Reg:
+      case Op::MemRead:
+        return Ternary::unknown();
+      case Op::Const:
+        return Ternary::constant(node.width, node.value);
+      case Op::Not: {
+        const Ternary &a = op(0);
+        return Ternary{~a.value & a.known & m, a.known};
+      }
+      case Op::And: {
+        const Ternary &a = op(0), &b = op(1);
+        // Known where both are known, or either side is a known 0.
+        const uint64_t known = (a.known & b.known) |
+                               (a.known & ~a.value) |
+                               (b.known & ~b.value);
+        return Ternary{a.value & b.value & known, known & m};
+      }
+      case Op::Or: {
+        const Ternary &a = op(0), &b = op(1);
+        const uint64_t known = (a.known & b.known) |
+                               (a.known & a.value) |
+                               (b.known & b.value);
+        return Ternary{(a.value | b.value) & known, known & m};
+      }
+      case Op::Xor: {
+        const Ternary &a = op(0), &b = op(1);
+        const uint64_t known = a.known & b.known;
+        return Ternary{(a.value ^ b.value) & known, known & m};
+      }
+      case Op::Mux: {
+        const Ternary &sel = op(0), &t = op(1), &e = op(2);
+        if (sel.known & 1)
+            return (sel.value & 1) ? t : e;
+        // Unknown select: known where both branches are known & agree.
+        const uint64_t known =
+            t.known & e.known & ~(t.value ^ e.value);
+        return Ternary{t.value & known, known & m};
+      }
+      case Op::Add:
+      case Op::Sub: {
+        const Ternary &a = op(0), &b = op(1);
+        // Carries propagate upward only: result bits below the lowest
+        // unknown operand bit are exact.
+        const uint64_t bothKnown = a.known & b.known;
+        uint64_t known = 0;
+        for (unsigned i = 0; i < node.width; ++i) {
+            if (!((bothKnown >> i) & 1))
+                break;
+            known |= uint64_t{1} << i;
+        }
+        const uint64_t raw = node.op == Op::Add ? a.value + b.value
+                                                : a.value - b.value;
+        return Ternary{raw & known, known};
+      }
+      case Op::Eq: {
+        const Ternary &a = op(0), &b = op(1);
+        const unsigned w = netlist.width(node.operands[0]);
+        const uint64_t wm = Ternary::mask(w);
+        // A known differing bit decides "not equal"; full knowledge
+        // decides either way.  Anything else is X.
+        if (a.known & b.known & (a.value ^ b.value))
+            return Ternary::constant(1, 0);
+        if ((a.known & wm) == wm && (b.known & wm) == wm)
+            return Ternary::constant(1, a.value == b.value);
+        return Ternary::unknown();
+      }
+      case Op::Ult: {
+        const Ternary &a = op(0), &b = op(1);
+        const unsigned w = netlist.width(node.operands[0]);
+        const uint64_t wm = Ternary::mask(w);
+        if ((a.known & wm) == wm && (b.known & wm) == wm)
+            return Ternary::constant(1, a.value < b.value);
+        return Ternary::unknown();
+      }
+      case Op::ShlC: {
+        const Ternary &a = op(0);
+        // Shifted-in low bits are known zeros.
+        const uint64_t in = Ternary::mask(node.aux);
+        return Ternary{(a.value << node.aux) & m,
+                       ((a.known << node.aux) | in) & m};
+      }
+      case Op::ShrC: {
+        const Ternary &a = op(0);
+        // Bits shifted in from above the operand width are known 0.
+        const unsigned w = netlist.width(node.operands[0]);
+        const uint64_t high = m & ~(Ternary::mask(w) >> node.aux);
+        return Ternary{(a.value >> node.aux) & m,
+                       ((a.known >> node.aux) | high) & m};
+      }
+      case Op::Concat: {
+        const Ternary &hi = op(0), &lo = op(1);
+        const unsigned lw = netlist.width(node.operands[1]);
+        return Ternary{((hi.value << lw) | lo.value) & m,
+                       ((hi.known << lw) | lo.known) & m};
+      }
+      case Op::Slice: {
+        const Ternary &a = op(0);
+        return Ternary{(a.value >> node.aux) & m,
+                       (a.known >> node.aux) & m};
+      }
+      case Op::RedOr: {
+        const Ternary &a = op(0);
+        const unsigned w = netlist.width(node.operands[0]);
+        const uint64_t wm = Ternary::mask(w);
+        if (a.known & a.value)
+            return Ternary::constant(1, 1); // some known 1
+        if ((a.known & wm) == wm)
+            return Ternary::constant(1, 0); // all known 0
+        return Ternary::unknown();
+      }
+      case Op::RedAnd: {
+        const Ternary &a = op(0);
+        const unsigned w = netlist.width(node.operands[0]);
+        const uint64_t wm = Ternary::mask(w);
+        if (a.known & ~a.value & wm)
+            return Ternary::constant(1, 0); // some known 0
+        if ((a.known & wm) == wm)
+            return Ternary::constant(1, 1); // all known 1
+        return Ternary::unknown();
+      }
+    }
+    return Ternary::unknown();
+}
+
+} // namespace
+
+std::vector<Ternary>
+evalTernary(const Netlist &netlist,
+            const std::vector<std::pair<NodeId, uint64_t>> &forced)
+{
+    std::vector<Ternary> vals(netlist.numNodes());
+    std::vector<std::pair<bool, uint64_t>> force(netlist.numNodes(),
+                                                 {false, 0});
+    for (const auto &[id, value] : forced)
+        force[id] = {true, value};
+
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+        if (force[id].first) {
+            vals[id] = Ternary::constant(netlist.width(id),
+                                         force[id].second);
+        } else {
+            vals[id] = evalNode(netlist, netlist.node(id), vals);
+        }
+    }
+    return vals;
+}
+
+} // namespace autocc::analysis

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ternary (three-valued) structural evaluation of a netlist.
+ *
+ * Every node evaluates to a word with a per-bit known mask: a bit is
+ * either a known constant or X.  Inputs, registers and memory reads
+ * are X unless a caller-supplied forcing pins them; forcings may also
+ * pin named combinational nodes (e.g. a flush clear pulse), which is
+ * how the leak classifier expresses "during the clearing step of the
+ * flush sequence, this control signal is 1" without simulating the
+ * whole flush schedule.
+ *
+ * The evaluation is a sound over-approximation in the usual X-prop
+ * sense: whenever a bit comes out known, every concrete execution
+ * consistent with the forcings produces that value.
+ */
+
+#ifndef AUTOCC_ANALYSIS_TERNARY_HH
+#define AUTOCC_ANALYSIS_TERNARY_HH
+
+#include <utility>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::analysis
+{
+
+/** A <=64-bit word where only the bits in `known` are meaningful. */
+struct Ternary
+{
+    uint64_t value = 0;
+    uint64_t known = 0; ///< mask of known bits (within the node width)
+
+    bool fullyKnown(unsigned width) const
+    {
+        return known == mask(width);
+    }
+    static uint64_t mask(unsigned width)
+    {
+        return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    }
+    static Ternary constant(unsigned width, uint64_t v)
+    {
+        return Ternary{v & mask(width), mask(width)};
+    }
+    static Ternary unknown() { return Ternary{0, 0}; }
+};
+
+/**
+ * Evaluate every node of `netlist` once, in topological (creation)
+ * order, under the given forcings.  Returns one Ternary per node.
+ */
+std::vector<Ternary> evalTernary(
+    const rtl::Netlist &netlist,
+    const std::vector<std::pair<rtl::NodeId, uint64_t>> &forced);
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_TERNARY_HH

@@ -1,18 +1,42 @@
 #include "core/autocc.hh"
 
+#include "base/logging.hh"
+
 namespace autocc::core
 {
+
+namespace
+{
+
+// Cross-check the pre-SAT static candidate set against what FindCause
+// actually blamed on the counterexample.
+void
+crossCheckLeaks(RunResult &result)
+{
+    if (!result.check.foundCex())
+        return;
+    result.staticMissed = result.leaks.missedBy(result.cause.uarchNames());
+    if (!result.staticMissed.empty()) {
+        warn("static leak analysis missed ", result.staticMissed.size(),
+             " divergent state(s), e.g. '", result.staticMissed.front(),
+             "' — candidate set is not a sound over-approximation");
+    }
+}
+
+} // namespace
 
 RunResult
 runAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
           const formal::EngineOptions &engine)
 {
     RunResult result;
+    result.leaks = analysis::analyzeLeakCandidates(dut);
     result.miter = buildMiter(dut, autocc);
     result.check =
         formal::check(result.miter.netlist, engine, &result.portfolio);
     if (result.check.foundCex())
         result.cause = findCause(result.miter, *result.check.cex);
+    crossCheckLeaks(result);
     return result;
 }
 
@@ -21,6 +45,7 @@ proveAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
             const formal::EngineOptions &engine)
 {
     RunResult result;
+    result.leaks = analysis::analyzeLeakCandidates(dut);
     result.miter = buildMiter(dut, autocc);
     const std::vector<rtl::NodeId> candidates =
         makeEqualityInvariantCandidates(result.miter);
@@ -29,6 +54,7 @@ proveAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
                                     engine);
     if (result.check.foundCex())
         result.cause = findCause(result.miter, *result.check.cex);
+    crossCheckLeaks(result);
     return result;
 }
 

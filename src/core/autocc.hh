@@ -15,6 +15,7 @@
 #ifndef AUTOCC_CORE_AUTOCC_HH
 #define AUTOCC_CORE_AUTOCC_HH
 
+#include "analysis/leak.hh"
 #include "core/analysis.hh"
 #include "core/invariants.hh"
 #include "core/flush_synth.hh"
@@ -35,6 +36,19 @@ struct RunResult
     CauseReport cause;
     /** Per-worker telemetry of the portfolio check (jobs > 1). */
     formal::PortfolioStats portfolio;
+
+    /**
+     * Static leak-candidate classification of the DUT, computed before
+     * any SAT call (analysis/leak.hh).  Over-approximates the formal
+     * result: every state FindCause can blame must be a candidate.
+     */
+    analysis::LeakReport leaks;
+    /**
+     * FindCause-blamed state missing from the static candidate set.
+     * Non-empty means the static analysis is unsound for this DUT
+     * (always expected empty; cross-checked by the evals).
+     */
+    std::vector<std::string> staticMissed;
 
     bool foundCex() const { return check.foundCex(); }
     bool proved() const

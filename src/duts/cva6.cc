@@ -491,6 +491,17 @@ buildCva6(const Cva6Config &config)
     nl.transaction("d_r", "d_r_valid", {"d_r_data"});
     nl.transaction("i_r", "i_r_valid", {"i_r_data"});
 
+    // Static flush coverage: on the invalidation pulse, valid and
+    // dirty bits are forced to zero.  Tags and data SRAMs keep their
+    // contents by design (the C1 substrate), so they are not claimed.
+    nl.addFlushFact(clrPulse, 1);
+    for (const char *cleared :
+         {"mmu.tlb_v", "dcache.v0", "dcache.d0", "dcache.v1",
+          "dcache.d1", "frontend.ic_v0_s", "frontend.ic_v1_s"})
+        nl.claimFlushed(nl.signal(cleared));
+    if (microreset)
+        nl.claimFlushed(dcRespV);
+
     nl.validate();
     return nl;
 }

@@ -196,6 +196,18 @@ buildMaple(const MapleConfig &config)
     nl.transaction("noc_resp", "noc_resp_valid", {"noc_resp_data"});
     nl.transaction("resp", "resp_valid", {"resp_data", "resp_fault"});
 
+    // Static flush coverage: while the invalidation FSM runs these
+    // registers are driven to constants (and commands are ignored, so
+    // nothing can race the clear).
+    nl.addFlushFact(invRun, 1);
+    for (const char *cleared :
+         {"tlb.e0_valid", "tlb.e1_valid", "queue.count", "fault_q"})
+        nl.claimFlushed(nl.signal(cleared));
+    if (config.fixArrayBase)
+        nl.claimFlushed(arrayBase);
+    if (config.fixTlbEnable)
+        nl.claimFlushed(tlbEn);
+
     nl.validate();
     return nl;
 }

@@ -34,6 +34,7 @@ runAesEvaluation(const AesEvalOptions &options)
             result.a1Depth = run.check.cex->depth;
             result.a1FailedAssert = run.check.cex->failedAssert;
             result.a1Blamed = run.cause.uarchNames();
+            result.staticMissed = run.staticMissed;
         }
     }
 

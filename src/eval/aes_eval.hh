@@ -27,6 +27,8 @@ struct AesEvalResult
     double a1Seconds = 0.0;
     std::string a1FailedAssert;
     std::vector<std::string> a1Blamed;
+    /** Blamed state missing from the static candidate set (expect []). */
+    std::vector<std::string> staticMissed;
 
     /** Full proof after the idle-pipeline refinement. */
     bool proved = false;

@@ -34,6 +34,7 @@ record(const RunResult &run)
         step.depth = run.check.cex->depth;
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
+        step.staticMissed = run.staticMissed;
     }
     return step;
 }

@@ -31,6 +31,8 @@ struct Cva6Step
     double seconds = 0.0;
     std::string failedAssert;
     std::vector<std::string> blamed;
+    /** Blamed state missing from the static candidate set (expect []). */
+    std::vector<std::string> staticMissed;
 };
 
 /** Options for the CVA6 run. */

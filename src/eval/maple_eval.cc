@@ -38,13 +38,18 @@ runOnce(const MapleConfig &config, const AutoccOptions &opts,
         const EngineOptions &engine, bool buf_assumption)
 {
     core::RunResult result;
-    result.miter = core::buildMiter(duts::buildMaple(config), opts);
+    const rtl::Netlist dut = duts::buildMaple(config);
+    result.leaks = analysis::analyzeLeakCandidates(dut);
+    result.miter = core::buildMiter(dut, opts);
     if (buf_assumption)
         assumeOutbufEmptyAtSwitch(result.miter);
     result.check =
         formal::check(result.miter.netlist, engine, &result.portfolio);
-    if (result.check.foundCex())
+    if (result.check.foundCex()) {
         result.cause = core::findCause(result.miter, *result.check.cex);
+        result.staticMissed =
+            result.leaks.missedBy(result.cause.uarchNames());
+    }
     return result;
 }
 
@@ -85,6 +90,7 @@ runMapleEvaluation(const MapleEvalOptions &options)
         step.seconds = run.check.seconds;
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
+        step.staticMissed = run.staticMissed;
 
         // One user action per CEX, mirroring the paper's responses.
         if (!config.fixTlbEnable &&

@@ -30,6 +30,8 @@ struct MapleStep
     double seconds = 0.0;
     std::string failedAssert;
     std::vector<std::string> blamed;
+    /** Blamed state missing from the static candidate set (expect []). */
+    std::vector<std::string> staticMissed;
 };
 
 /** Options for the MAPLE run. */

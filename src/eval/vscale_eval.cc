@@ -72,6 +72,7 @@ runVscaleRefinement(const VscaleEvalOptions &options)
         step.seconds = run.check.seconds;
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
+        step.staticMissed = run.staticMissed;
         step.description = classify(step.blamed);
 
         bool blackboxedNow = false;

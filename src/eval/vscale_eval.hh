@@ -37,6 +37,8 @@ struct VscaleStep
     double seconds = 0.0;
     std::string failedAssert;
     std::vector<std::string> blamed; ///< FindCause uarch output
+    /** Blamed state missing from the static candidate set (expect []). */
+    std::vector<std::string> staticMissed;
 };
 
 /** Options for the run. */

@@ -63,6 +63,15 @@ struct EngineOptions
      * always sequential.
      */
     unsigned jobs = 0;
+
+    /**
+     * Prune the netlist to the cone of influence of its properties
+     * before unrolling (analysis::coiPrune) — verdict-preserving, see
+     * analysis/coi.hh.  Honored by formal::check() (and hence every
+     * worker of the portfolio); plain checkSafety() never prunes, so
+     * differential tests can compare raw against pruned runs.
+     */
+    bool coi = true;
 };
 
 /** Result of a safety check. */

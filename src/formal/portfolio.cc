@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/coi.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/timer.hh"
@@ -843,6 +844,10 @@ check(const rtl::Netlist &netlist, const EngineOptions &options,
     PortfolioOptions portfolio;
     portfolio.engine = options;
     portfolio.jobs = options.jobs;
+    if (options.coi && !netlist.asserts().empty()) {
+        const analysis::CoiResult pruned = analysis::coiPrune(netlist);
+        return checkSafetyPortfolio(pruned.netlist, portfolio, stats);
+    }
     return checkSafetyPortfolio(netlist, portfolio, stats);
 }
 

@@ -5,10 +5,12 @@ namespace autocc::rtl
 
 CloneResult
 cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
-          std::unordered_map<std::string, NodeId> *shared_inputs)
+          std::unordered_map<std::string, NodeId> *shared_inputs,
+          const std::vector<bool> *keep)
 {
     CloneResult result;
     const std::string dot = prefix.empty() ? "" : prefix + ".";
+    const auto kept = [&](NodeId id) { return !keep || (*keep)[id]; };
 
     // Port lookup by input node.
     std::unordered_map<NodeId, const Port *> inputPorts;
@@ -17,10 +19,20 @@ cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
             inputPorts[port.node] = &port;
     }
 
-    // Clone memories first so read/write ports can refer to them.
-    std::vector<uint32_t> memMap(src.mems().size());
+    // Clone memories first so read/write ports can refer to them.  A
+    // memory is kept only when some read port of it is kept.
+    std::vector<bool> memKept(src.mems().size(), keep == nullptr);
+    if (keep) {
+        for (NodeId id = 0; id < src.numNodes(); ++id) {
+            if (src.node(id).op == Op::MemRead && kept(id))
+                memKept[src.node(id).aux] = true;
+        }
+    }
+    std::vector<uint32_t> memMap(src.mems().size(), 0);
     for (size_t i = 0; i < src.mems().size(); ++i) {
         const MemInfo &mem = src.mems()[i];
+        if (!memKept[i])
+            continue;
         memMap[i] = dst.memory(dot + mem.name, mem.size, mem.dataWidth,
                                mem.initValue);
     }
@@ -28,6 +40,8 @@ cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
     // Clone nodes in creation (= topological) order.
     std::vector<NodeId> map(src.numNodes(), invalidNode);
     for (NodeId id = 0; id < src.numNodes(); ++id) {
+        if (!kept(id))
+            continue;
         const Node &node = src.node(id);
         const auto operand = [&](int i) { return map[node.operands[i]]; };
         switch (node.op) {
@@ -108,15 +122,27 @@ cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
         }
     }
 
-    // Register next-state connections.
+    // Register next-state connections (skipped for dropped registers).
     for (const auto &reg : src.regs()) {
         panic_if(reg.next == invalidNode, "cloning unconnected register '",
                  reg.name, "'");
+        if (map[reg.node] == invalidNode)
+            continue;
+        panic_if(map[reg.next] == invalidNode,
+                 "keep filter not closed over next-state of '", reg.name,
+                 "'");
         dst.connectReg(map[reg.node], map[reg.next]);
     }
 
-    // Memory write ports.
+    // Memory write ports (dropped along with their memory).
     for (const auto &write : src.memWrites()) {
+        if (!memKept[write.mem])
+            continue;
+        panic_if(map[write.enable] == invalidNode ||
+                     map[write.addr] == invalidNode ||
+                     map[write.data] == invalidNode,
+                 "keep filter not closed over write port of '",
+                 src.mems()[write.mem].name, "'");
         dst.memWrite(memMap[write.mem], map[write.enable], map[write.addr],
                      map[write.data]);
     }
@@ -124,12 +150,17 @@ cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
     // Names: every named signal of the source is visible with a
     // per-universe prefix (e.g. "ua.pipeline.regfile").
     for (const auto &[name, node] : src.signals()) {
+        if (map[node] == invalidNode)
+            continue;
         dst.nameNode(map[node], dot + name);
         result.byName[name] = map[node];
     }
 
-    // Ports (with remapped nodes, original names) for the caller.
+    // Ports (with remapped nodes, original names) for the caller;
+    // pruned-away ports are dropped.
     for (const auto &port : src.ports()) {
+        if (map[port.node] == invalidNode)
+            continue;
         Port p = port;
         p.node = map[port.node];
         result.ports.push_back(p);
@@ -137,15 +168,30 @@ cloneInto(const Netlist &src, Netlist &dst, const std::string &prefix,
 
     // DUT-embedded environment assumptions constrain each universe.
     for (const auto &assume : src.assumes()) {
+        if (map[assume.node] == invalidNode)
+            continue;
         dst.addAssume(dot + assume.name, map[assume.node]);
         result.assumes.push_back(Property{dot + assume.name,
                                           map[assume.node]});
     }
     // DUT-embedded assertions are returned but not auto-installed; the
-    // miter focuses on AutoCC's own equivalence assertions.
+    // miter focuses on AutoCC's own equivalence assertions.  A keep
+    // filter must never drop an assertion.
     for (const auto &assertion : src.asserts()) {
+        panic_if(map[assertion.node] == invalidNode,
+                 "keep filter dropped assertion '", assertion.name, "'");
         result.asserts.push_back(Property{dot + assertion.name,
                                           map[assertion.node]});
+    }
+
+    // Flush metadata rides along (dropped facts/claims are skipped).
+    for (const auto &fact : src.flushFacts()) {
+        if (map[fact.node] != invalidNode)
+            dst.addFlushFact(map[fact.node], fact.value);
+    }
+    for (NodeId claim : src.flushClaims()) {
+        if (map[claim] != invalidNode)
+            dst.claimFlushed(map[claim]);
     }
 
     return result;

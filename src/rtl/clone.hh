@@ -39,10 +39,19 @@ struct CloneResult
  * @param shared_inputs cross-clone map for `common` input ports; the
  *        first clone creates them (unprefixed) in dst, later clones
  *        reuse them.  Pass nullptr to replicate everything.
+ * @param keep optional node filter of size src.numNodes(); nodes with
+ *        keep[id] == false are dropped (cone-of-influence pruning).
+ *        The filter must be operand-closed (a kept node's operands are
+ *        kept — backward cones are).  Dropped registers lose their
+ *        next-state connection and memory write ports; memories with
+ *        no kept read port are dropped.  Asserts must never be
+ *        dropped (panics), and assumes referencing dropped nodes are
+ *        silently skipped.
  */
 CloneResult cloneInto(const Netlist &src, Netlist &dst,
                       const std::string &prefix,
-                      std::unordered_map<std::string, NodeId> *shared_inputs);
+                      std::unordered_map<std::string, NodeId> *shared_inputs,
+                      const std::vector<bool> *keep = nullptr);
 
 } // namespace autocc::rtl
 

@@ -45,7 +45,14 @@ class FlushCtx
     }
 
     /** Set the flush signal (may be created after some registers). */
-    void setFlushSignal(NodeId flush_signal) { flush_ = flush_signal; }
+    void
+    setFlushSignal(NodeId flush_signal)
+    {
+        flush_ = flush_signal;
+        // While the flush fires, it is 1 by definition — declare that
+        // as a fact for static flush-coverage analysis.
+        netlist_.addFlushFact(flush_signal, 1);
+    }
 
     /** Create a register (same contract as Netlist::reg). */
     NodeId
@@ -71,6 +78,7 @@ class FlushCtx
                 flush_,
                 netlist_.constant(netlist_.width(reg_node), info.resetValue),
                 next);
+            netlist_.claimFlushed(reg_node);
         }
         netlist_.connectReg(reg_node, next);
     }

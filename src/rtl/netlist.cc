@@ -353,6 +353,23 @@ Netlist::setFlushDone(const std::string &signal_name)
     flushDoneSignal_ = signal_name;
 }
 
+void
+Netlist::addFlushFact(NodeId node, uint64_t value)
+{
+    checkId(node);
+    flushFacts_.push_back(
+        FlushFact{node, truncate(value, nodes_[node].width)});
+}
+
+void
+Netlist::claimFlushed(NodeId reg_node)
+{
+    checkId(reg_node);
+    panic_if(nodes_[reg_node].op != Op::Reg,
+             "claimFlushed on non-register node");
+    flushClaims_.push_back(reg_node);
+}
+
 NodeId
 Netlist::signal(const std::string &name) const
 {

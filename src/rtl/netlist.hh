@@ -137,6 +137,18 @@ struct Property
     NodeId node = invalidNode;
 };
 
+/**
+ * A value the flush sequence's clearing step forces on a node.  Facts
+ * are declarative metadata for static analysis (they do not alter the
+ * netlist): ternary evaluation under all facts decides which registers
+ * the clearing step provably drives to a constant.
+ */
+struct FlushFact
+{
+    NodeId node = invalidNode;
+    uint64_t value = 0;
+};
+
 /** Word-level netlist; see file comment. */
 class Netlist
 {
@@ -250,6 +262,22 @@ class Netlist
         return flushDoneSignal_;
     }
 
+    /**
+     * Declare that the flush sequence's clearing step forces `node` to
+     * `value` (truncated to the node's width).  See FlushFact.
+     */
+    void addFlushFact(NodeId node, uint64_t value);
+
+    /**
+     * Declare the builder's claim that the flush clears register
+     * `reg_node`.  Static analysis checks every claim against the
+     * declared facts (lint rule W-FLUSH-CLAIM).
+     */
+    void claimFlushed(NodeId reg_node);
+
+    const std::vector<FlushFact> &flushFacts() const { return flushFacts_; }
+    const std::vector<NodeId> &flushClaims() const { return flushClaims_; }
+
     // --- accessors ----------------------------------------------------
 
     const Node &node(NodeId id) const { return nodes_[id]; }
@@ -316,6 +344,8 @@ class Netlist
     std::vector<Property> assumes_;
     std::vector<Property> asserts_;
     std::optional<std::string> flushDoneSignal_;
+    std::vector<FlushFact> flushFacts_;
+    std::vector<NodeId> flushClaims_;
     std::unordered_map<std::string, NodeId> names_;
     std::vector<std::string> scopeStack_;
 };

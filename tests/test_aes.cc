@@ -131,6 +131,16 @@ TEST_F(AesEvaluation, A1FoundOnDefaultFt)
     EXPECT_TRUE(validBlamed);
 }
 
+TEST_F(AesEvaluation, StaticCandidatesCoverTheA1Blame)
+{
+    // Golden cross-check: the A1 blame set (in-flight valid bits) must
+    // be a subset of the static leak-candidate set.
+    ASSERT_TRUE(result().a1Found);
+    EXPECT_TRUE(result().staticMissed.empty())
+        << "blamed state outside the static candidate set: "
+        << result().staticMissed.front();
+}
+
 TEST_F(AesEvaluation, A1DepthCoversPipelineDrain)
 {
     // The in-flight request must hide deeper than the transfer

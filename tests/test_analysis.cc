@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Tests for the static analysis layer: dataflow reachability, ternary
+ * evaluation, the lint pass (including deliberate negative tests on
+ * hand-assembled bad netlists and waiver handling), static leak
+ * candidate classification with golden cross-checks against FindCause,
+ * and verdict-preserving cone-of-influence pruning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/coi.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/leak.hh"
+#include "analysis/lint.hh"
+#include "analysis/ternary.hh"
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+
+namespace autocc::analysis
+{
+
+using duts::ToyAccelRegs;
+using formal::CheckStatus;
+using formal::EngineOptions;
+using rtl::Netlist;
+using rtl::NodeId;
+
+namespace
+{
+
+bool
+contains(const std::vector<std::string> &xs, const std::string &x)
+{
+    return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+/** Count unwaived findings for one rule. */
+size_t
+ruleCount(const LintReport &report, const std::string &rule)
+{
+    size_t n = 0;
+    for (const auto &f : report.findings) {
+        if (f.rule == rule && !f.waived)
+            ++n;
+    }
+    return n;
+}
+
+const StateClass &
+stateOf(const LeakReport &report, const std::string &name)
+{
+    for (const auto &sc : report.states) {
+        if (sc.name == name)
+            return sc;
+    }
+    ADD_FAILURE() << "no state named " << name << " in " << report.render();
+    static StateClass missing;
+    return missing;
+}
+
+} // namespace
+
+// --- dataflow ---------------------------------------------------------
+
+TEST(Dataflow, BackwardConeStopsAtRegistersWhenAsked)
+{
+    Netlist nl("df");
+    const NodeId a = nl.input("a", 8);
+    const NodeId r = nl.reg("r", 8, 0);
+    nl.connectReg(r, nl.add(r, a));
+    const NodeId out = nl.add(r, nl.constant(8, 1));
+    nl.output("out", out);
+
+    const DataflowGraph graph(nl);
+
+    ReachOptions comb;
+    comb.throughRegs = false;
+    const Cone shallow = graph.backwardCone({out}, comb);
+    EXPECT_TRUE(shallow.contains(r));
+    EXPECT_FALSE(shallow.contains(a)) << "a only feeds r's next-state";
+
+    const Cone deep = graph.backwardCone({out});
+    EXPECT_TRUE(deep.contains(a)) << "sequential cone crosses the register";
+}
+
+TEST(Dataflow, ForwardConeTaintsThroughMemory)
+{
+    Netlist nl("df_mem");
+    const NodeId addr = nl.input("addr", 2);
+    const NodeId data = nl.input("data", 8);
+    const uint32_t mem = nl.memory("m", 4, 8);
+    nl.memWrite(mem, nl.one(), addr, data);
+    const NodeId rd = nl.memRead(mem, addr);
+    nl.output("out", rd);
+
+    const DataflowGraph graph(nl);
+    const Cone taint = graph.forwardCone({data});
+    EXPECT_TRUE(taint.mems[mem]) << "write data taints the memory";
+    EXPECT_TRUE(taint.contains(rd)) << "tainted memory taints its reads";
+
+    ReachOptions noMem;
+    noMem.throughMemWrites = false;
+    const Cone stopped = graph.forwardCone({data}, noMem);
+    EXPECT_FALSE(stopped.contains(rd));
+}
+
+TEST(Dataflow, ForwardAndBackwardConesAgree)
+{
+    // On the toy DUT, x reaches y forward iff y depends on x backward.
+    const Netlist nl = duts::buildToyAccelShipped();
+    const DataflowGraph graph(nl);
+    const NodeId cfg = nl.signal(ToyAccelRegs::cfg);
+    const NodeId resp = nl.signal("resp_data");
+
+    EXPECT_TRUE(graph.forwardCone({cfg}).contains(resp));
+    EXPECT_TRUE(graph.backwardCone({resp}).contains(cfg));
+
+    const NodeId scratch = nl.signal(ToyAccelRegs::scratch);
+    EXPECT_FALSE(graph.forwardCone({scratch}).contains(resp));
+    EXPECT_FALSE(graph.backwardCone({resp}).contains(scratch));
+}
+
+// --- ternary evaluation -----------------------------------------------
+
+TEST(Ternary, ConstantsPropagateAndRegistersAreX)
+{
+    Netlist nl("tern");
+    const NodeId a = nl.input("a", 8);
+    const NodeId r = nl.reg("r", 8, 0);
+    nl.connectReg(r, a);
+    const NodeId killed = nl.andOf(nl.redOr(a), nl.zero());
+    const NodeId sum = nl.add(r, nl.constant(8, 3));
+    nl.output("k", killed);
+    nl.output("s", sum);
+
+    const auto vals = evalTernary(nl, {});
+    EXPECT_TRUE(vals[killed].fullyKnown(1)) << "x & 0 == 0 regardless of x";
+    EXPECT_EQ(vals[killed].value, 0u);
+    EXPECT_EQ(vals[r].known, 0u) << "unforced register is X";
+    EXPECT_EQ(vals[sum].known, 0u) << "X + const is X";
+}
+
+TEST(Ternary, ForcingsPinInputsAndRegisters)
+{
+    Netlist nl("tern_force");
+    const NodeId sel = nl.input("sel", 1);
+    const NodeId r = nl.reg("r", 8, 0);
+    nl.connectReg(r, nl.constant(8, 5));
+    const NodeId m = nl.mux(sel, nl.constant(8, 9), r);
+    nl.output("m", m);
+
+    // sel forced to 1: mux collapses to the known branch.
+    const auto vals = evalTernary(nl, {{sel, 1}});
+    EXPECT_TRUE(vals[m].fullyKnown(8));
+    EXPECT_EQ(vals[m].value, 9u);
+
+    // sel forced to 0 picks the X register; forcing r pins it too.
+    const auto low = evalTernary(nl, {{sel, 0}});
+    EXPECT_EQ(low[m].known, 0u);
+    const auto pinned = evalTernary(nl, {{sel, 0}, {r, 0x42}});
+    EXPECT_TRUE(pinned[m].fullyKnown(8));
+    EXPECT_EQ(pinned[m].value, 0x42u);
+}
+
+TEST(Ternary, MuxMergesAgreeingBranches)
+{
+    Netlist nl("tern_mux");
+    const NodeId sel = nl.input("sel", 1);
+    const NodeId m = nl.mux(sel, nl.constant(4, 0b1010), nl.constant(4, 0b1011));
+    nl.output("m", m);
+
+    // Unknown select, but the branches agree on the top three bits.
+    const auto vals = evalTernary(nl, {});
+    EXPECT_EQ(vals[m].known, 0b1110u);
+    EXPECT_EQ(vals[m].value & 0b1110u, 0b1010u);
+}
+
+// --- lint: negative tests on hand-assembled bad netlists --------------
+
+TEST(Lint, UnconnectedRegisterIsAnError)
+{
+    Netlist nl("bad_reg");
+    nl.reg("floating", 8, 0); // never connectReg'd; validate() not called
+    const LintReport report = runLint(nl);
+    EXPECT_EQ(ruleCount(report, "E-REG-NEXT"), 1u) << report.render();
+    EXPECT_FALSE(report.clean(Severity::Error));
+}
+
+TEST(Lint, TransactionDirectionMismatchWarns)
+{
+    Netlist nl("bad_txn");
+    const NodeId v = nl.input("valid", 1);
+    const NodeId d = nl.input("data", 8);
+    nl.output("out", nl.mux(v, d, nl.constant(8, 0)));
+    // Payload "out" is an output but its valid is an input: the miter
+    // would never gate out's equality by valid.
+    nl.transaction("t", "valid", {"out"});
+    const LintReport report = runLint(nl);
+    EXPECT_EQ(ruleCount(report, "W-TXN-DIR"), 1u) << report.render();
+    // E-TXN-PORT is defense in depth only: the builder itself panics
+    // on unknown ports, so it cannot be provoked through the API.
+}
+
+TEST(Lint, DeadStateAndDeadInputsWarn)
+{
+    Netlist nl("dead");
+    const NodeId unused = nl.input("unused_in", 4);
+    (void)unused;
+    const NodeId never = nl.reg("never_read", 8, 0);
+    nl.connectReg(never, nl.constant(8, 7));
+    // feeder is used (it drives hidden's next) but cannot reach any
+    // output/property: unobservable.  hidden itself drives nothing.
+    const NodeId feeder = nl.reg("feeder", 8, 0);
+    nl.connectReg(feeder, nl.constant(8, 1));
+    const NodeId hidden = nl.reg("hidden", 8, 0);
+    nl.connectReg(hidden, feeder);
+    nl.output("out", nl.input("live_in", 1));
+
+    const LintReport report = runLint(nl);
+    EXPECT_EQ(ruleCount(report, "W-INPUT-UNUSED"), 1u) << report.render();
+    EXPECT_GE(ruleCount(report, "W-REG-NEVER-READ"), 2u) << report.render();
+    EXPECT_EQ(ruleCount(report, "W-REG-UNOBSERVABLE"), 1u) << report.render();
+}
+
+TEST(Lint, BogusFlushClaimWarns)
+{
+    Netlist nl("bad_claim");
+    const NodeId clr = nl.input("clr", 1);
+    const NodeId d = nl.input("d", 8);
+    const NodeId cleared = nl.reg("cleared", 8, 0);
+    nl.connectReg(cleared, nl.mux(clr, nl.constant(8, 0), d));
+    const NodeId sticky = nl.reg("sticky", 8, 0);
+    nl.connectReg(sticky, d); // clr does nothing to it
+    nl.output("out", nl.add(cleared, sticky));
+
+    nl.addFlushFact(clr, 1);
+    nl.claimFlushed(cleared);
+    nl.claimFlushed(sticky);
+
+    const LintReport report = runLint(nl);
+    EXPECT_EQ(ruleCount(report, "W-FLUSH-CLAIM"), 1u) << report.render();
+    for (const auto &f : report.findings) {
+        if (f.rule == "W-FLUSH-CLAIM") {
+            EXPECT_NE(f.path.find("sticky"), std::string::npos);
+        }
+    }
+}
+
+TEST(Lint, WaiversSuppressByRuleAndPath)
+{
+    Netlist nl("waive");
+    nl.input("unused_a", 1);
+    nl.input("unused_b", 1);
+    nl.output("out", nl.input("live", 1));
+
+    const LintReport plain = runLint(nl);
+    EXPECT_EQ(plain.count(Severity::Warning), 2u);
+
+    LintWaivers byPath;
+    byPath.entries = {"W-INPUT-UNUSED:unused_a"};
+    const LintReport partial = runLint(nl, byPath);
+    EXPECT_EQ(partial.count(Severity::Warning), 1u);
+    EXPECT_EQ(partial.findings.size(), plain.findings.size())
+        << "waived findings stay in the report, marked";
+
+    LintWaivers byRule;
+    byRule.entries = {"W-INPUT-UNUSED"};
+    const LintReport none = runLint(nl, byRule);
+    EXPECT_TRUE(none.clean(Severity::Warning)) << none.render();
+
+    LintWaivers wrong;
+    wrong.entries = {"W-REG-NEVER-READ", "W-INPUT-UNUSED:zzz"};
+    EXPECT_EQ(runLint(nl, wrong).count(Severity::Warning), 2u);
+}
+
+// --- lint: the shipped DUTs are clean ---------------------------------
+
+TEST(Lint, BuiltinDutsHaveNoErrors)
+{
+    const Netlist duts[] = {
+        duts::buildToyAccelShipped(), duts::buildToyAccelFixed(),
+        duts::buildVscale({}),        duts::buildCva6({}),
+        duts::buildMaple({}),         duts::buildAes({}),
+    };
+    for (const auto &nl : duts) {
+        const LintReport report = runLint(nl);
+        EXPECT_TRUE(report.clean(Severity::Error))
+            << nl.name() << ":\n" << report.render();
+        // Every claimFlushed declaration must be backed by the facts.
+        EXPECT_EQ(ruleCount(report, "W-FLUSH-CLAIM"), 0u)
+            << nl.name() << ":\n" << report.render();
+    }
+}
+
+TEST(Lint, ToyIsWarningCleanWithDocumentedWaiver)
+{
+    // scratch is a write-only debug register by design (it exists so
+    // flush minimization has something to discard) — the one waiver
+    // CI carries for the toy DUT.
+    LintWaivers waivers;
+    waivers.entries = {"W-REG-UNOBSERVABLE:scratch"};
+    const LintReport report =
+        runLint(duts::buildToyAccelShipped(), waivers);
+    EXPECT_TRUE(report.clean(Severity::Warning)) << report.render();
+}
+
+// --- static leak candidates -------------------------------------------
+
+TEST(Leak, ToyShippedClassification)
+{
+    const LeakReport report =
+        analyzeLeakCandidates(duts::buildToyAccelShipped());
+    EXPECT_TRUE(report.hasFlushFacts);
+
+    // The shipped flush only clears `pending`; flush_q is cleared as a
+    // side effect of the flush pulse itself.
+    EXPECT_FALSE(stateOf(report, ToyAccelRegs::pending).surviving);
+    EXPECT_FALSE(stateOf(report, "flush_q").surviving);
+    for (const char *name : {ToyAccelRegs::cfg, ToyAccelRegs::acc,
+                             ToyAccelRegs::dataQ, ToyAccelRegs::opQ,
+                             ToyAccelRegs::scratch})
+        EXPECT_TRUE(stateOf(report, name).surviving) << name;
+
+    // cfg/acc leak through resp_data; scratch survives but is dead.
+    EXPECT_TRUE(stateOf(report, ToyAccelRegs::cfg).observable);
+    EXPECT_TRUE(stateOf(report, ToyAccelRegs::acc).observable);
+    EXPECT_FALSE(stateOf(report, ToyAccelRegs::scratch).observable);
+
+    EXPECT_TRUE(contains(report.observableCandidates(), ToyAccelRegs::cfg));
+    EXPECT_FALSE(
+        contains(report.observableCandidates(), ToyAccelRegs::scratch));
+    EXPECT_TRUE(report.isCandidate(ToyAccelRegs::scratch));
+}
+
+TEST(Leak, ToyFixedFlushesTheChannels)
+{
+    const LeakReport report =
+        analyzeLeakCandidates(duts::buildToyAccelFixed());
+    EXPECT_FALSE(stateOf(report, ToyAccelRegs::cfg).surviving);
+    EXPECT_FALSE(stateOf(report, ToyAccelRegs::acc).surviving);
+    EXPECT_FALSE(stateOf(report, ToyAccelRegs::cfg).contaminated);
+    EXPECT_FALSE(report.isCandidate(ToyAccelRegs::cfg));
+    // The pipeline latches stay un-flushed even in the fixed design
+    // (they are dominated by the flushed valid bit).
+    EXPECT_TRUE(stateOf(report, ToyAccelRegs::dataQ).surviving);
+}
+
+TEST(Leak, MapleConfigRegsTrackTheUpstreamFixes)
+{
+    const LeakReport buggy = analyzeLeakCandidates(duts::buildMaple({}));
+    EXPECT_TRUE(buggy.hasFlushFacts);
+    EXPECT_TRUE(stateOf(buggy, duts::MapleSignals::arrayBase).surviving);
+    EXPECT_TRUE(stateOf(buggy, duts::MapleSignals::tlbEnable).surviving);
+    EXPECT_TRUE(buggy.isCandidate(duts::MapleSignals::arrayBase));
+
+    const LeakReport fixed = analyzeLeakCandidates(duts::buildMapleFixed());
+    EXPECT_FALSE(stateOf(fixed, duts::MapleSignals::arrayBase).surviving);
+    EXPECT_FALSE(stateOf(fixed, duts::MapleSignals::tlbEnable).surviving);
+}
+
+TEST(Leak, MemoriesAlwaysSurviveAndContaminate)
+{
+    // No IR-level per-word clear exists, so a memory survives any
+    // flush — and a register refilled from it post-flush counts as
+    // contaminated even when the flush provably clears it.
+    Netlist nl("memdut");
+    const NodeId clr = nl.input("clr", 1);
+    const NodeId addr = nl.input("addr", 2);
+    const uint32_t mem = nl.memory("tags", 4, 8);
+    nl.memWrite(mem, nl.notOf(clr), addr, nl.input("wdata", 8));
+    const NodeId refill = nl.reg("refill", 8, 0);
+    nl.connectReg(refill,
+                  nl.mux(clr, nl.constant(8, 0), nl.memRead(mem, addr)));
+    nl.output("out", refill);
+    nl.addFlushFact(clr, 1);
+    nl.claimFlushed(nl.signal("refill"));
+
+    const LeakReport report = analyzeLeakCandidates(nl);
+    const StateClass &tags = stateOf(report, "tags");
+    EXPECT_TRUE(tags.isMemory);
+    EXPECT_TRUE(tags.surviving);
+    EXPECT_TRUE(report.isCandidate("tags"));
+    // FindCause names memory words as "mem[word]"; isCandidate must
+    // resolve those against the memory entry.
+    EXPECT_TRUE(report.isCandidate("tags[3]"));
+
+    const StateClass &refillSc = stateOf(report, "refill");
+    EXPECT_FALSE(refillSc.surviving) << "clr pins next to 0";
+    EXPECT_TRUE(refillSc.contaminated) << "refilled from surviving tags";
+    EXPECT_TRUE(report.isCandidate("refill"));
+}
+
+TEST(Leak, MissedByReportsOnlyNonCandidates)
+{
+    const LeakReport report =
+        analyzeLeakCandidates(duts::buildToyAccelShipped());
+    const auto missed = report.missedBy(
+        {ToyAccelRegs::cfg, "no_such_state", ToyAccelRegs::acc});
+    ASSERT_EQ(missed.size(), 1u);
+    EXPECT_EQ(missed[0], "no_such_state");
+}
+
+// --- golden cross-check: FindCause ⊆ static candidates ----------------
+
+TEST(Leak, GoldenToyCexBlamesOnlyStaticCandidates)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    EngineOptions engine;
+    engine.maxDepth = 12;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    ASSERT_FALSE(run.cause.uarchNames().empty());
+    EXPECT_TRUE(run.staticMissed.empty())
+        << "blamed state missing from the static candidate set: "
+        << run.staticMissed[0] << "\n" << run.leaks.render();
+}
+
+// --- cone-of-influence pruning ----------------------------------------
+
+TEST(Coi, PreservesVerdictDepthAndAssertOnToyMiters)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    EngineOptions engine;
+    engine.maxDepth = 12;
+
+    for (const bool fixed : {false, true}) {
+        const Netlist dut = fixed ? duts::buildToyAccelFixed()
+                                  : duts::buildToyAccelShipped();
+        const core::Miter miter = core::buildMiter(dut, opts);
+        const CoiResult pruned = coiPrune(miter.netlist);
+
+        EXPECT_LT(pruned.nodesAfter, pruned.nodesBefore)
+            << "pruning must measurably shrink the toy miter";
+        EXPECT_LE(pruned.regsAfter + 2, pruned.regsBefore)
+            << "both universes' scratch registers leave the cone";
+        EXPECT_EQ(pruned.netlist.asserts().size(),
+                  miter.netlist.asserts().size());
+        EXPECT_EQ(pruned.netlist.assumes().size(),
+                  miter.netlist.assumes().size());
+
+        const formal::CheckResult raw =
+            formal::checkSafety(miter.netlist, engine);
+        const formal::CheckResult coi =
+            formal::checkSafety(pruned.netlist, engine);
+        EXPECT_EQ(raw.status, coi.status) << (fixed ? "fixed" : "shipped");
+        EXPECT_EQ(raw.bound, coi.bound);
+        ASSERT_EQ(raw.cex.has_value(), coi.cex.has_value());
+        if (raw.cex) {
+            EXPECT_EQ(raw.cex->depth, coi.cex->depth);
+            EXPECT_EQ(raw.cex->failedAssert, coi.cex->failedAssert);
+        }
+    }
+}
+
+TEST(Coi, PreservesVerdictOnMapleMiter)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    EngineOptions engine;
+    engine.maxDepth = 8;
+
+    const core::Miter miter = core::buildMiter(duts::buildMaple({}), opts);
+    const CoiResult pruned = coiPrune(miter.netlist);
+    const formal::CheckResult raw = formal::checkSafety(miter.netlist, engine);
+    const formal::CheckResult coi =
+        formal::checkSafety(pruned.netlist, engine);
+    EXPECT_EQ(raw.status, coi.status);
+    ASSERT_EQ(raw.cex.has_value(), coi.cex.has_value());
+    if (raw.cex) {
+        EXPECT_EQ(raw.cex->depth, coi.cex->depth);
+        EXPECT_EQ(raw.cex->failedAssert, coi.cex->failedAssert);
+    }
+}
+
+TEST(Coi, EngineHonorsTheEscapeHatch)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::Miter miter =
+        core::buildMiter(duts::buildToyAccelShipped(), opts);
+
+    EngineOptions on;
+    on.maxDepth = 12;
+    EngineOptions off = on;
+    off.coi = false;
+
+    const formal::CheckResult a = formal::check(miter.netlist, on);
+    const formal::CheckResult b = formal::check(miter.netlist, off);
+    ASSERT_TRUE(a.foundCex());
+    ASSERT_TRUE(b.foundCex());
+    EXPECT_EQ(a.cex->depth, b.cex->depth);
+    EXPECT_EQ(a.cex->failedAssert, b.cex->failedAssert);
+}
+
+TEST(Coi, NetlistWithoutPropertiesIsClonedWhole)
+{
+    const Netlist dut = duts::buildToyAccelShipped();
+    const CoiResult whole = coiPrune(dut);
+    EXPECT_EQ(whole.nodesAfter, whole.nodesBefore);
+    EXPECT_EQ(whole.regsAfter, whole.regsBefore);
+}
+
+TEST(Coi, PrunedCexReplaysThroughFindCause)
+{
+    // End-to-end: the engine (COI on by default) produces a CEX whose
+    // cause analysis still blames the real leaking registers.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    EngineOptions engine;
+    engine.maxDepth = 12;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    const auto names = run.cause.uarchNames();
+    EXPECT_TRUE(contains(names, ToyAccelRegs::cfg) ||
+                contains(names, ToyAccelRegs::acc))
+        << run.cause.render();
+}
+
+} // namespace autocc::analysis

@@ -323,6 +323,18 @@ TEST_F(Cva6Evaluation, C2BlamesPtwState)
     EXPECT_TRUE(found);
 }
 
+TEST_F(Cva6Evaluation, StaticCandidatesCoverEveryBlame)
+{
+    // Golden cross-check for the static leak classifier: every state
+    // element blamed on C1/C2/C3 (and the full-flush CF step) must be
+    // a static candidate.
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.staticMissed.empty())
+            << step.id << " blamed state outside the static candidate "
+            << "set: " << step.staticMissed.front();
+    }
+}
+
 TEST_F(Cva6Evaluation, FixesValidatedByProof)
 {
     const Cva6Step &last = steps().back();

@@ -13,7 +13,7 @@
 #include "core/autocc.hh"
 #include "duts/maple.hh"
 #include "duts/vscale.hh"
-#include "rtl/dot.hh"
+#include "analysis/dot.hh"
 #include "sim/simulator.hh"
 #include "sim/vcd.hh"
 
@@ -212,7 +212,7 @@ TEST(Vcd, CexTraceRoundTripsToFile)
 TEST(Dot, RendersNodesAndEdges)
 {
     const Netlist dut = buildSlowFlushDut();
-    const std::string dot = rtl::toDot(dut);
+    const std::string dot = analysis::toDot(dut);
     EXPECT_NE(dot.find("digraph \"slowflush\""), std::string::npos);
     EXPECT_NE(dot.find("secret"), std::string::npos);
     EXPECT_NE(dot.find("->"), std::string::npos);
@@ -222,10 +222,10 @@ TEST(Dot, RendersNodesAndEdges)
 TEST(Dot, ConeRestrictionShrinksOutput)
 {
     const Netlist dut = duts::buildVscale();
-    const std::string full = rtl::toDot(dut);
-    rtl::DotOptions options;
+    const std::string full = analysis::toDot(dut);
+    analysis::DotOptions options;
     options.roots = {"pipeline.wb_irq_pending"};
-    const std::string cone = rtl::toDot(dut, options);
+    const std::string cone = analysis::toDot(dut, options);
     // Register next-state edges pull most of the pipeline into the
     // cone, but the output-port logic is excluded.
     EXPECT_LT(cone.size(), full.size());

@@ -246,6 +246,17 @@ TEST_F(MapleEvaluation, FixesEliminateAllCexs)
     EXPECT_GE(last.depth, 14u);
 }
 
+TEST_F(MapleEvaluation, StaticCandidatesCoverEveryBlame)
+{
+    // Golden cross-check for the static leak classifier: every state
+    // element blamed on M1/M2/M3 must be a static candidate.
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.staticMissed.empty())
+            << step.id << " blamed state outside the static candidate "
+            << "set: " << step.staticMissed.front();
+    }
+}
+
 TEST_F(MapleEvaluation, EveryStepHasTiming)
 {
     for (const auto &step : steps())

@@ -279,6 +279,18 @@ TEST_F(VscaleRefinement, FindsTheCsrChannelAndBlackboxesIt)
     EXPECT_TRUE(blackboxed);
 }
 
+TEST_F(VscaleRefinement, StaticCandidatesCoverEveryBlame)
+{
+    // Golden cross-check for the static leak classifier: every state
+    // element FindCause blames on a real CEX must already be in the
+    // static candidate set (surviving ∪ contaminated).
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.staticMissed.empty())
+            << step.id << " blamed state outside the static candidate "
+            << "set: " << step.staticMissed.front();
+    }
+}
+
 TEST_F(VscaleRefinement, DepthsAreMinimalTraces)
 {
     // With THRESHOLD=2, no CEX can be shorter than the transfer

@@ -1,20 +1,29 @@
 /**
  * @file
  * Command-line driver for the AutoCC flow — the reproduction of the
- * paper's `autocc.py` entry point.  Point it at a built-in DUT to
- * generate the FPV testbench artifacts, run the exhaustive check,
- * root-cause counterexamples (with a VCD dump for waveform viewers),
- * or attempt an unbounded proof.
+ * paper's `autocc.py` entry point.  Subcommands:
+ *
+ *   autocc_cli list     show the built-in DUTs
+ *   autocc_cli gen      emit the FPV testbench artifacts for a DUT
+ *   autocc_cli lint     structural lint + static leak-candidate report
+ *   autocc_cli check    run the exhaustive covert-channel check and
+ *                       root-cause any counterexample (optional VCD)
+ *   autocc_cli prove    attempt an unbounded proof of channel absence
+ *   autocc_cli exploit  run the Listing-2 M3 attack end to end
  *
  *   autocc_cli list
  *   autocc_cli gen   <dut> [--out DIR]
+ *   autocc_cli lint  <dut> [--strict] [--waive RULE[:path],...]
  *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
- *                          [--vcd FILE]
+ *                          [--vcd FILE] [--jobs N] [--no-coi]
  *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
+ *                          [--jobs N] [--no-coi]
  *   autocc_cli exploit
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -22,13 +31,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dot.hh"
+#include "analysis/leak.hh"
+#include "analysis/lint.hh"
 #include "core/autocc.hh"
 #include "duts/aes.hh"
 #include "duts/cva6.hh"
 #include "duts/maple.hh"
 #include "duts/toy.hh"
 #include "duts/vscale.hh"
-#include "rtl/dot.hh"
 #include "sim/vcd.hh"
 #include "soc/exploit.hh"
 
@@ -98,14 +109,17 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: autocc_cli <list|gen|check|prove|exploit> [args]\n"
+        "usage: autocc_cli <list|gen|lint|check|prove|exploit> [args]\n"
         "  list                      show built-in DUTs\n"
         "  gen   <dut> [--out DIR]   emit wrapper.sv / properties.sv / "
         "netlist.dot\n"
+        "  lint  <dut> [--strict] [--waive RULE[:path],...]\n"
+        "                            structural lint + static leak "
+        "candidates\n"
         "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
-        "[--vcd F] [--jobs N]\n"
+        "[--vcd F] [--jobs N] [--no-coi]\n"
         "  prove <dut> [--depth N] [--threshold N] [--arch a,b] "
-        "[--jobs N]\n"
+        "[--jobs N] [--no-coi]\n"
         "  exploit                   run the Listing-2 M3 attack\n");
     return 2;
 }
@@ -120,7 +134,31 @@ struct Args
     std::set<std::string> arch;
     std::string outDir = ".";
     std::string vcdPath;
+    /** Disable cone-of-influence pruning (check/prove). */
+    bool noCoi = false;
+    /** Treat lint warnings as fatal. */
+    bool strict = false;
+    /** Lint waiver entries ("RULE" or "RULE:path"). */
+    std::vector<std::string> waivers;
 };
+
+/** Parse a non-negative decimal; reject anything else loudly. */
+bool
+parseUnsigned(const char *text, const std::string &flag, unsigned &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        value > 0xffffffffUL) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected a "
+                             "non-negative integer)\n",
+                     flag.c_str(), text);
+        return false;
+    }
+    out = static_cast<unsigned>(value);
+    return true;
+}
 
 bool
 parseArgs(int argc, char **argv, int start, Args &args)
@@ -132,21 +170,35 @@ parseArgs(int argc, char **argv, int start, Args &args)
         const auto next = [&]() -> const char * {
             return ++i < argc ? argv[i] : nullptr;
         };
-        if (flag == "--depth") {
+        if (flag == "--depth" || flag == "--threshold" ||
+            flag == "--jobs" || flag == "-j") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            unsigned *target = flag == "--depth" ? &args.depth
+                               : flag == "--threshold" ? &args.threshold
+                                                       : &args.jobs;
+            if (!parseUnsigned(v, flag, *target))
+                return false;
+        } else if (flag == "--no-coi") {
+            args.noCoi = true;
+        } else if (flag == "--strict") {
+            args.strict = true;
+        } else if (flag == "--waive") {
             const char *v = next();
             if (!v)
                 return false;
-            args.depth = static_cast<unsigned>(std::atoi(v));
-        } else if (flag == "--threshold") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.threshold = static_cast<unsigned>(std::atoi(v));
-        } else if (flag == "--jobs" || flag == "-j") {
-            const char *v = next();
-            if (!v)
-                return false;
-            args.jobs = static_cast<unsigned>(std::atoi(v));
+            std::string list = v;
+            size_t pos = 0;
+            while (pos != std::string::npos) {
+                const size_t comma = list.find(',', pos);
+                args.waivers.push_back(list.substr(
+                    pos, comma == std::string::npos ? comma : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
         } else if (flag == "--arch") {
             const char *v = next();
             if (!v)
@@ -229,8 +281,32 @@ cmdGen(const Args &args)
     ok &= writeText(args.outDir + "/" + args.dut + "_properties.sv",
                     core::emitSvaPropertyFile(miter));
     ok &= writeText(args.outDir + "/" + args.dut + "_netlist.dot",
-                    rtl::toDot(dut));
+                    analysis::toDot(dut));
     return ok ? 0 : 1;
+}
+
+int
+cmdLint(const Args &args)
+{
+    const rtl::Netlist dut = buildDut(args.dut);
+    analysis::LintWaivers waivers;
+    waivers.entries = args.waivers;
+    const analysis::LintReport lint = analysis::runLint(dut, waivers);
+    std::printf("lint of '%s': %zu finding(s)\n", args.dut.c_str(),
+                lint.findings.size());
+    if (!lint.findings.empty())
+        std::printf("%s", lint.render().c_str());
+
+    const analysis::LeakReport leaks = analysis::analyzeLeakCandidates(dut);
+    std::printf("\n%s", leaks.render().c_str());
+    const auto observable = leaks.observableCandidates();
+    std::printf("%zu static covert-channel candidate(s) (surviving + "
+                "observable)\n",
+                observable.size());
+
+    const auto gate = args.strict ? analysis::Severity::Warning
+                                  : analysis::Severity::Error;
+    return lint.clean(gate) ? 0 : 1;
 }
 
 int
@@ -244,12 +320,28 @@ cmdCheck(const Args &args, bool prove)
     engine.maxDepth = args.depth;
     engine.maxInductionK = args.depth + 4;
     engine.jobs = args.jobs;
+    engine.coi = !args.noCoi;
 
     const core::RunResult run = prove
         ? core::proveAutocc(dut, opts, engine)
         : core::runAutocc(dut, opts, engine);
+    {
+        const auto observable = run.leaks.observableCandidates();
+        std::printf("static analysis: %zu covert-channel candidate(s)",
+                    observable.size());
+        for (size_t i = 0; i < observable.size() && i < 8; ++i)
+            std::printf("%s %s", i ? "," : ":", observable[i].c_str());
+        if (observable.size() > 8)
+            std::printf(", ...");
+        std::printf("\n");
+    }
     std::printf("%s: %s\n", args.dut.c_str(),
                 formal::describe(run.check).c_str());
+    for (const auto &missed : run.staticMissed) {
+        std::printf("WARNING: divergent state '%s' was not a static "
+                    "leak candidate\n",
+                    missed.c_str());
+    }
     if (run.portfolio.jobs > 1) {
         std::printf("portfolio (%u workers):\n%s", run.portfolio.jobs,
                     run.portfolio.render().c_str());
@@ -311,6 +403,8 @@ main(int argc, char **argv)
         return usage();
     if (command == "gen")
         return cmdGen(args);
+    if (command == "lint")
+        return cmdLint(args);
     if (command == "check")
         return cmdCheck(args, false);
     if (command == "prove")
