@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable result sidecar for the bench/ executables.
+ *
+ * Every bench that opts in writes `BENCH_<name>.json` next to its
+ * stdout report, with the fixed schema
+ *
+ *   {"name": "...", "wall_seconds": N, "counters": {"k": N, ...}}
+ *
+ * so CI can upload the numbers as artifacts and trend them without
+ * parsing human-oriented tables.  Counter values are doubles (seconds,
+ * sizes, speedup ratios alike); names follow the same dotted
+ * convention as the obs/ stats registry.
+ */
+
+#ifndef AUTOCC_BENCH_BENCH_REPORT_HH
+#define AUTOCC_BENCH_BENCH_REPORT_HH
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/stats.hh"
+
+namespace autocc::bench
+{
+
+/** One bench run's numbers; write() emits BENCH_<name>.json. */
+struct Report
+{
+    std::string name;
+    double wallSeconds = 0.0;
+    std::map<std::string, double> counters;
+
+    explicit Report(std::string name_) : name(std::move(name_)) {}
+
+    void counter(const std::string &key, double value)
+    {
+        counters[key] = value;
+    }
+
+    std::string json() const
+    {
+        std::string out = "{\"name\": \"" + obs::jsonEscape(name) + "\"";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", wallSeconds);
+        out += ", \"wall_seconds\": ";
+        out += buf;
+        out += ", \"counters\": {";
+        bool first = true;
+        for (const auto &[key, value] : counters) {
+            if (!first)
+                out += ", ";
+            first = false;
+            std::snprintf(buf, sizeof(buf), "%.9g", value);
+            out += "\"" + obs::jsonEscape(key) + "\": ";
+            out += buf;
+        }
+        out += "}}\n";
+        return out;
+    }
+
+    /** Write BENCH_<name>.json into the working directory. */
+    bool write() const
+    {
+        const std::string path = "BENCH_" + name + ".json";
+        std::ofstream out(path);
+        out << json();
+        const bool ok = static_cast<bool>(out);
+        std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                    path.c_str());
+        return ok;
+    }
+};
+
+} // namespace autocc::bench
+
+#endif // AUTOCC_BENCH_BENCH_REPORT_HH

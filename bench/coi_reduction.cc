@@ -25,6 +25,7 @@
 #include "analysis/coi.hh"
 #include "base/table.hh"
 #include "base/timer.hh"
+#include "bench_report.hh"
 #include "core/autocc.hh"
 #include "duts/aes.hh"
 #include "duts/cva6.hh"
@@ -96,6 +97,8 @@ main()
     std::printf("cone-of-influence reduction per DUT miter\n\n");
     Table table({"miter", "depth", "nodes", "regs", "inputs", "vars",
                  "clauses", "check s", "coi check s"});
+    Stopwatch total;
+    bench::Report report("coi_reduction");
 
     for (const Case &c : cases) {
         core::AutoccOptions opts;
@@ -148,10 +151,26 @@ main()
                           percent(raw.clauses, coi.clauses) + ")",
                       formatSeconds(rawSeconds),
                       formatSeconds(coiSeconds)});
+
+        const std::string prefix = c.name;
+        report.counter(prefix + ".nodes_before",
+                       static_cast<double>(pruned.nodesBefore));
+        report.counter(prefix + ".nodes_after",
+                       static_cast<double>(pruned.nodesAfter));
+        report.counter(prefix + ".vars_before", raw.vars);
+        report.counter(prefix + ".vars_after", coi.vars);
+        report.counter(prefix + ".clauses_before",
+                       static_cast<double>(raw.clauses));
+        report.counter(prefix + ".clauses_after",
+                       static_cast<double>(coi.clauses));
+        report.counter(prefix + ".check_seconds", rawSeconds);
+        report.counter(prefix + ".coi_check_seconds", coiSeconds);
     }
 
     table.print();
     std::printf("\nevery row cross-checked: identical verdict, depth and "
                 "blamed assertion with and without pruning\n");
+    report.wallSeconds = total.seconds();
+    report.write();
     return 0;
 }

@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "base/rng.hh"
+#include "base/timer.hh"
+#include "bench_report.hh"
 #include "core/autocc.hh"
 #include "duts/toy.hh"
 #include "duts/vscale.hh"
@@ -104,6 +106,43 @@ BM_EmitSva(benchmark::State &state)
 }
 BENCHMARK(BM_EmitSva);
 
+/**
+ * Console reporter that additionally captures each benchmark's
+ * adjusted real time (nanoseconds, per iteration) for the
+ * BENCH_micro_engines.json sidecar.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::map<std::string, double> realTimes;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (!run.error_occurred)
+                realTimes[run.benchmark_name()] = run.GetAdjustedRealTime();
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    Stopwatch total;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    bench::Report report("micro_engines");
+    report.wallSeconds = total.seconds();
+    for (const auto &[name, nanos] : reporter.realTimes)
+        report.counter(name + ".real_ns", nanos);
+    report.write();
+    benchmark::Shutdown();
+    return 0;
+}

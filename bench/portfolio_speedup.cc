@@ -29,6 +29,7 @@
 
 #include "base/table.hh"
 #include "base/timer.hh"
+#include "bench_report.hh"
 #include "core/autocc.hh"
 #include "duts/maple.hh"
 #include "duts/vscale.hh"
@@ -89,6 +90,9 @@ main()
                 kJobs);
     Table table({"Miter", "Mode", "jobs=1", "jobs=4", "Speedup"});
     bool ok = true;
+    Stopwatch total;
+    bench::Report report("portfolio_speedup");
+    report.counter("jobs", kJobs);
 
     for (const HuntCase &hc : huntCases) {
         core::AutoccOptions opts;
@@ -148,6 +152,16 @@ main()
                       formatSeconds(minSeconds), buf});
         table.addSeparator();
 
+        const std::string prefix = hc.name;
+        report.counter(prefix + ".seq_seconds", seqSeconds);
+        report.counter(prefix + ".hunt_seconds", huntSeconds);
+        report.counter(prefix + ".minimal_seconds", minSeconds);
+        report.counter(prefix + ".hunt_speedup", seqSeconds / huntSeconds);
+        report.counter(prefix + ".minimal_speedup",
+                       seqSeconds / minSeconds);
+        report.counter(prefix + ".seq_conflicts",
+                       static_cast<double>(seq.solver.conflicts));
+
         std::printf("%s hunt-mode workers (last run):\n%s\n", hc.name,
                     huntStats.render().c_str());
 
@@ -165,5 +179,8 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("%s\n", ok ? "portfolio speedup: OK"
                            : "portfolio speedup: MISMATCH");
+    report.wallSeconds = total.seconds();
+    report.counter("ok", ok ? 1 : 0);
+    report.write();
     return ok ? 0 : 1;
 }

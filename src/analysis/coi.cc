@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "analysis/dataflow.hh"
+#include "obs/stats.hh"
 #include "rtl/clone.hh"
 
 namespace autocc::analysis
@@ -62,6 +63,20 @@ coiPrune(const Netlist &src)
     result.memsAfter = result.netlist.mems().size();
     result.inputsAfter = countInputs(result.netlist);
     return result;
+}
+
+void
+CoiResult::exportStats(obs::Registry &registry) const
+{
+    registry.add("coi.runs");
+    registry.add("coi.nodes_before", nodesBefore);
+    registry.add("coi.nodes_after", nodesAfter);
+    registry.add("coi.nodes_pruned", nodesBefore - nodesAfter);
+    registry.add("coi.regs_before", regsBefore);
+    registry.add("coi.regs_after", regsAfter);
+    registry.add("coi.regs_pruned", regsBefore - regsAfter);
+    registry.add("coi.mems_pruned", memsBefore - memsAfter);
+    registry.add("coi.inputs_pruned", inputsBefore - inputsAfter);
 }
 
 std::string

@@ -30,6 +30,11 @@
 
 #include "rtl/netlist.hh"
 
+namespace autocc::obs
+{
+class Registry;
+}
+
 namespace autocc::analysis
 {
 
@@ -49,6 +54,12 @@ struct CoiResult
 
     /** One-line "kept X/Y nodes, ..." summary. */
     std::string render() const;
+
+    /**
+     * Record the prune under `coi.*` (nodes/regs/mems/inputs before,
+     * after and pruned) into a stats registry.
+     */
+    void exportStats(obs::Registry &registry) const;
 };
 
 /**

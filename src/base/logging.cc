@@ -1,25 +1,41 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace autocc
 {
 
 namespace
 {
-bool verboseFlag = true;
+
+// Portfolio worker threads read the flag while the main thread (or a
+// bench) flips it; atomic keeps that exchange well-defined.
+std::atomic<bool> verboseFlag{true};
+
+// One sink mutex for warn()/inform() so concurrent workers emit whole
+// lines instead of sheared fragments.  panic()/fatal() stay lock-free:
+// they must never deadlock on a mutex a crashing thread already holds.
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -42,14 +58,17 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (!verbose())
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

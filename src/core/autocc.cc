@@ -1,6 +1,7 @@
 #include "core/autocc.hh"
 
 #include "base/logging.hh"
+#include "base/timer.hh"
 
 namespace autocc::core
 {
@@ -23,6 +24,68 @@ crossCheckLeaks(RunResult &result)
     }
 }
 
+/**
+ * Per-run observability plumbing shared by runAutocc/proveAutocc: a
+ * registry (the caller's or a private fallback) plus an optional
+ * single-writer trace buffer for the top-level flow spans.
+ */
+struct FlowObs
+{
+    obs::Registry localReg;
+    formal::EngineOptions engine;
+    obs::TraceBuffer *trace = nullptr;
+
+    explicit FlowObs(const formal::EngineOptions &base) : engine(base)
+    {
+        if (!engine.obs.stats)
+            engine.obs.stats = &localReg;
+        if (engine.obs.tracer)
+            trace = engine.obs.tracer->newBuffer("core");
+    }
+
+    obs::Registry &reg() { return *engine.obs.stats; }
+
+    /** Static leak analysis + FT construction, instrumented. */
+    void prepare(RunResult &result, const rtl::Netlist &dut,
+                 const AutoccOptions &autocc)
+    {
+        {
+            const Stopwatch watch;
+            obs::Span span(trace, "leak analysis");
+            result.leaks = analysis::analyzeLeakCandidates(dut);
+            reg().addSeconds("leak.seconds", watch.seconds());
+        }
+        reg().set("leak.candidates",
+                  static_cast<double>(result.leaks.candidates().size()));
+        reg().set("leak.observable_candidates",
+                  static_cast<double>(
+                      result.leaks.observableCandidates().size()));
+        {
+            const Stopwatch watch;
+            obs::Span span(trace, "build miter");
+            result.miter = buildMiter(dut, autocc);
+            reg().addSeconds("miter.seconds", watch.seconds());
+        }
+        reg().set("miter.nodes",
+                  static_cast<double>(result.miter.netlist.numNodes()));
+    }
+
+    /** CEX cause analysis + static/formal cross-check, instrumented. */
+    void analyze(RunResult &result)
+    {
+        if (result.check.foundCex()) {
+            const Stopwatch watch;
+            obs::Span span(trace, "find cause");
+            result.cause = findCause(result.miter, *result.check.cex);
+            reg().addSeconds("cause.seconds", watch.seconds());
+            reg().set("cause.uarch_states",
+                      static_cast<double>(result.cause.uarchNames().size()));
+        }
+        crossCheckLeaks(result);
+        result.stats = reg().snapshot();
+    }
+};
+
 } // namespace
 
 RunResult
@@ -30,13 +93,11 @@ runAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
           const formal::EngineOptions &engine)
 {
     RunResult result;
-    result.leaks = analysis::analyzeLeakCandidates(dut);
-    result.miter = buildMiter(dut, autocc);
+    FlowObs flow(engine);
+    flow.prepare(result, dut, autocc);
     result.check =
-        formal::check(result.miter.netlist, engine, &result.portfolio);
-    if (result.check.foundCex())
-        result.cause = findCause(result.miter, *result.check.cex);
-    crossCheckLeaks(result);
+        formal::check(result.miter.netlist, flow.engine, &result.portfolio);
+    flow.analyze(result);
     return result;
 }
 
@@ -45,16 +106,16 @@ proveAutocc(const rtl::Netlist &dut, const AutoccOptions &autocc,
             const formal::EngineOptions &engine)
 {
     RunResult result;
-    result.leaks = analysis::analyzeLeakCandidates(dut);
-    result.miter = buildMiter(dut, autocc);
+    FlowObs flow(engine);
+    flow.prepare(result, dut, autocc);
     const std::vector<rtl::NodeId> candidates =
         makeEqualityInvariantCandidates(result.miter);
+    flow.reg().set("invariants.generated",
+                   static_cast<double>(candidates.size()));
     result.check =
         formal::proveWithInvariants(result.miter.netlist, candidates,
-                                    engine);
-    if (result.check.foundCex())
-        result.cause = findCause(result.miter, *result.check.cex);
-    crossCheckLeaks(result);
+                                    flow.engine);
+    flow.analyze(result);
     return result;
 }
 

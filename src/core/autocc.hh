@@ -50,6 +50,14 @@ struct RunResult
      */
     std::vector<std::string> staticMissed;
 
+    /**
+     * Observability snapshot of the whole run: the engine's counters
+     * (solver.*, unroller.*, engine.*, coi.*, portfolio.*) plus the
+     * core flow's own (leak.*, miter.*, cause.*).  Always populated;
+     * supersets check.stats.
+     */
+    obs::Snapshot stats;
+
     bool foundCex() const { return check.foundCex(); }
     bool proved() const
     {

@@ -16,14 +16,31 @@ namespace
 formal::CheckResult
 oracle(const DutBuilder &build, const rtl::FlushPlan &plan,
        const AutoccOptions &autocc, const formal::EngineOptions &engine,
-       Miter *miter_out)
+       Miter *miter_out, obs::TraceBuffer *trace, unsigned call)
 {
+    obs::Span span(trace, "fpv call " + std::to_string(call) +
+                              " (|flush|=" +
+                              std::to_string(plan.size()) + ")");
     const rtl::Netlist dut = build(plan);
     Miter miter = buildMiter(dut, autocc);
     formal::CheckResult result = formal::checkSafety(miter.netlist, engine);
+    if (engine.obs.stats) {
+        engine.obs.stats->add("flush_synth.fpv_calls");
+        engine.obs.stats->addSeconds("flush_synth.fpv_seconds",
+                                     result.seconds);
+    }
+    span.finish("{\"verdict\": \"" +
+                std::string(result.foundCex() ? "cex" : "clean") + "\"}");
     if (miter_out)
         *miter_out = std::move(miter);
     return result;
+}
+
+/** Trace buffer for a synthesis loop's spans, null when tracing is off. */
+obs::TraceBuffer *
+synthTraceBuffer(const formal::EngineOptions &engine, const char *algo)
+{
+    return engine.obs.tracer ? engine.obs.tracer->newBuffer(algo) : nullptr;
 }
 
 bool
@@ -44,11 +61,13 @@ synthesizeIncremental(const DutBuilder &build,
 {
     Stopwatch watch;
     FlushSynthResult result;
+    obs::TraceBuffer *trace = synthTraceBuffer(engine, "flush_synth.incr");
     // Flush <- {} (Algorithm 1).
     for (unsigned iter = 0; iter < max_iters; ++iter) {
         Miter miter;
         const formal::CheckResult check =
-            oracle(build, result.plan, autocc, engine, &miter);
+            oracle(build, result.plan, autocc, engine, &miter, trace,
+                   result.fpvCalls);
         ++result.fpvCalls;
 
         FlushSynthStep step;
@@ -97,13 +116,15 @@ minimizeDecremental(const DutBuilder &build,
 {
     Stopwatch watch;
     FlushSynthResult result;
+    obs::TraceBuffer *trace = synthTraceBuffer(engine, "flush_synth.decr");
     // Flush <- uarch (all candidates).
     for (const auto &name : candidates)
         result.plan.insert(name);
 
     // The full flush must be correct before minimizing.
     const formal::CheckResult full =
-        oracle(build, result.plan, autocc, engine, nullptr);
+        oracle(build, result.plan, autocc, engine, nullptr, trace,
+               result.fpvCalls);
     ++result.fpvCalls;
     FlushSynthStep first;
     first.plan = result.plan;
@@ -120,7 +141,8 @@ minimizeDecremental(const DutBuilder &build,
     for (const auto &name : candidates) {
         result.plan.erase(name);
         const formal::CheckResult check =
-            oracle(build, result.plan, autocc, engine, nullptr);
+            oracle(build, result.plan, autocc, engine, nullptr, trace,
+                   result.fpvCalls);
         ++result.fpvCalls;
 
         FlushSynthStep step;

@@ -17,6 +17,7 @@ runAesEvaluation(const AesEvalOptions &options)
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
     engine.jobs = options.jobs;
+    engine.obs = options.obs;
 
     AesConfig config;
     config.stages = options.stages;

@@ -45,6 +45,8 @@ struct AesEvalOptions
     unsigned maxDepth = 14;
     /** Portfolio workers per check (1 = sequential, 0 = auto). */
     unsigned jobs = 0;
+    /** Observability sinks threaded into every check of the eval. */
+    obs::Context obs;
 };
 
 /** Run A1 discovery followed by the full-proof refinement. */

@@ -48,6 +48,7 @@ runCva6Evaluation(const Cva6EvalOptions &options)
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
     engine.jobs = options.jobs;
+    engine.obs = options.obs;
     AutoccOptions opts;
     opts.threshold = options.threshold;
     // The paper adds the OS-handled state (PC, regfile, CSR) upfront;

@@ -45,6 +45,8 @@ struct Cva6EvalOptions
     bool includeFullFlush = true;
     /** Portfolio workers per check (1 = sequential, 0 = auto). */
     unsigned jobs = 0;
+    /** Observability sinks threaded into every check of the eval. */
+    obs::Context obs;
 };
 
 /** Run the full evaluation ladder. */

@@ -72,6 +72,7 @@ runMapleEvaluation(const MapleEvalOptions &options)
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
     engine.jobs = options.jobs;
+    engine.obs = options.obs;
     AutoccOptions opts;
     opts.threshold = options.threshold;
 

@@ -42,6 +42,8 @@ struct MapleEvalOptions
     unsigned proofDepth = 14;
     /** Portfolio workers per check (1 = sequential, 0 = auto). */
     unsigned jobs = 0;
+    /** Observability sinks threaded into every check of the eval. */
+    obs::Context obs;
 };
 
 /**

@@ -50,6 +50,7 @@ runVscaleRefinement(const VscaleEvalOptions &options)
     EngineOptions engine;
     engine.maxDepth = options.maxDepth;
     engine.jobs = options.jobs;
+    engine.obs = options.obs;
 
     VscaleConfig config;
     AutoccOptions opts;

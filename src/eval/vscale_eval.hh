@@ -49,6 +49,8 @@ struct VscaleEvalOptions
     unsigned proofDepth = 14; ///< BMC bound for the final proof step
     /** Portfolio workers per check (1 = sequential, 0 = auto). */
     unsigned jobs = 0;
+    /** Observability sinks threaded into every check of the ladder. */
+    obs::Context obs;
 };
 
 /** Run the whole ladder; the last step reports the bounded proof. */

@@ -19,9 +19,7 @@ namespace
 void
 accumulate(CheckResult &result, const sat::Solver &solver)
 {
-    result.conflicts += solver.stats().conflicts;
-    result.decisions += solver.stats().decisions;
-    result.propagations += solver.stats().propagations;
+    result.solver += solver.stats();
 }
 
 /**
@@ -31,11 +29,14 @@ accumulate(CheckResult &result, const sat::Solver &solver)
  */
 sat::SolveResult
 inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
-              CheckResult &result)
+              CheckResult &result, obs::Registry *stats = nullptr,
+              obs::TraceBuffer *trace = nullptr)
 {
+    obs::Span span(trace, "induction k=" + std::to_string(k));
     sat::Solver solver;
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+    unroller.setStats(stats);
 
     const size_t numAsserts = netlist.asserts().size();
     for (unsigned t = 0; t <= k; ++t) {
@@ -60,6 +61,8 @@ inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
 
     const sat::SolveResult sr = solver.solve();
     accumulate(result, solver);
+    if (stats)
+        solver.exportStats(*stats, "solver");
     return sr;
 }
 
@@ -73,10 +76,21 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
     panic_if(netlist.asserts().empty(),
              "checkSafety: netlist '", netlist.name(), "' has no assertions");
 
+    // Observability: record into the caller's registry when one is
+    // threaded through, else into a private one so the result still
+    // carries a snapshot.  Tracing/progress stay pointer tests when
+    // absent.
+    obs::Registry localStats;
+    obs::Registry &stats =
+        options.obs.stats ? *options.obs.stats : localStats;
+    obs::TraceBuffer *trace =
+        options.obs.tracer ? options.obs.tracer->newBuffer("bmc") : nullptr;
+
     // ---------------- bounded model checking -------------------------
     sat::Solver solver;
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    unroller.setStats(&stats);
     const size_t numAsserts = netlist.asserts().size();
 
     auto timeLeft = [&]() {
@@ -89,8 +103,16 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
             result.timedOut = true;
             break;
         }
+        const double frameStart = watch.seconds();
+        const uint64_t frameConflicts0 = solver.stats().conflicts;
+        obs::Span frameSpan(trace, "frame " + std::to_string(depth));
+
         const unsigned t = depth - 1; // frame index of the new cycle
-        unroller.addFrame();
+        sat::SolveResult sr;
+        {
+            obs::Span unrollSpan(trace, "unroll");
+            unroller.addFrame();
+        }
         gates.assertTrue(unroller.assumeOk(t));
 
         std::vector<Lit> holds(numAsserts);
@@ -101,7 +123,30 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         }
         const Lit bad = gates.mkOrAll(violations);
 
-        const sat::SolveResult sr = solver.solve({bad});
+        {
+            obs::Span solveSpan(trace, "solve");
+            sr = solver.solve({bad});
+        }
+
+        const double frameSeconds = watch.seconds() - frameStart;
+        const std::string frameKey =
+            "engine.frame." + std::to_string(depth);
+        stats.add("engine.frames");
+        stats.set(frameKey + ".solve_seconds", frameSeconds);
+        stats.add(frameKey + ".conflicts",
+                  solver.stats().conflicts - frameConflicts0);
+        stats.addSeconds("engine.solve_seconds", frameSeconds);
+        stats.setMax("unroller.vars", solver.numVars());
+        stats.setMax("unroller.clauses",
+                     static_cast<double>(solver.numClauses()));
+        frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
+        if (options.obs.progress) {
+            options.obs.progress->frame({"bmc", depth, solver.numVars(),
+                                         solver.numClauses(),
+                                         solver.stats().conflicts,
+                                         frameSeconds});
+        }
+
         if (sr == sat::SolveResult::Sat) {
             CexInfo cex;
             cex.trace = unroller.extractTrace();
@@ -131,7 +176,10 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
             result.cex = std::move(cex);
             result.bound = depth - 1;
             accumulate(result, solver);
+            solver.exportStats(stats, "solver");
+            stats.set("engine.bound", result.bound);
             result.seconds = watch.seconds();
+            result.stats = stats.snapshot();
             return result;
         }
         // No violation at this depth: lock it in and deepen.
@@ -139,6 +187,7 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         result.bound = depth;
     }
     accumulate(result, solver);
+    solver.exportStats(stats, "solver");
     result.status = result.bound == 0 ? CheckStatus::Unknown
                                       : CheckStatus::BoundedProof;
 
@@ -151,17 +200,27 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 result.timedOut = true;
                 break;
             }
-            const sat::SolveResult sr =
-                inductionStep(netlist, k, options.simplePath, result);
+            const double kStart = watch.seconds();
+            const sat::SolveResult sr = inductionStep(
+                netlist, k, options.simplePath, result, &stats, trace);
+            stats.add("engine.induction.steps");
+            if (options.obs.progress) {
+                options.obs.progress->frame(
+                    {"kind", k, 0, 0, result.solver.conflicts,
+                     watch.seconds() - kStart});
+            }
             if (sr == sat::SolveResult::Unsat) {
                 result.status = CheckStatus::Proved;
                 result.inductionK = k;
+                stats.set("engine.induction.k", k);
                 break;
             }
         }
     }
 
+    stats.set("engine.bound", result.bound);
     result.seconds = watch.seconds();
+    result.stats = stats.snapshot();
     return result;
 }
 
@@ -179,13 +238,27 @@ proveWithInvariants(const rtl::Netlist &netlist,
         return result;
     Stopwatch watch;
 
+    obs::Registry *stats = options.obs.stats;
+    obs::TraceBuffer *trace = options.obs.tracer
+                                  ? options.obs.tracer->newBuffer("houdini")
+                                  : nullptr;
+    const auto exportSolver = [&](const sat::Solver &solver) {
+        accumulate(result, solver);
+        if (stats)
+            solver.exportStats(*stats, "solver");
+    };
+
     std::vector<rtl::NodeId> active = candidates;
+    if (stats)
+        stats->set("invariants.candidates", active.size());
 
     // ---- (1) initiation: drop candidates violated in the reset state.
     {
+        obs::Span span(trace, "initiation");
         sat::Solver solver;
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+        unroller.setStats(stats);
         unroller.addFrame();
         gates.assertTrue(unroller.assumeOk(0));
         for (;;) {
@@ -202,11 +275,10 @@ proveWithInvariants(const rtl::Netlist &netlist,
                     kept.push_back(c);
             }
             active = std::move(kept);
-            accumulate(result, solver);
             if (active.empty())
                 break;
         }
-        accumulate(result, solver);
+        exportSolver(solver);
     }
 
     // ---- (2) consecution fixpoint (Houdini): keep dropping candidates
@@ -214,9 +286,11 @@ proveWithInvariants(const rtl::Netlist &netlist,
     bool changed = true;
     while (changed && !active.empty()) {
         changed = false;
+        obs::Span span(trace, "consecution");
         sat::Solver solver;
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.setStats(stats);
         unroller.addFrame();
         unroller.addFrame();
         gates.assertTrue(unroller.assumeOk(0));
@@ -244,16 +318,20 @@ proveWithInvariants(const rtl::Netlist &netlist,
             }
             break;
         }
-        accumulate(result, solver);
+        exportSolver(solver);
     }
+    if (stats)
+        stats->set("invariants.surviving", active.size());
 
     // ---- (3a) do the assertions follow combinationally from the
     // invariant?
     const size_t numAsserts = netlist.asserts().size();
     {
+        obs::Span span(trace, "implication");
         sat::Solver solver;
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.setStats(stats);
         unroller.addFrame();
         gates.assertTrue(unroller.assumeOk(0));
         for (rtl::NodeId c : active)
@@ -263,11 +341,13 @@ proveWithInvariants(const rtl::Netlist &netlist,
             bad.push_back(~unroller.assertHolds(0, a));
         gates.assertTrue(gates.mkOrAll(bad));
         const sat::SolveResult sr = solver.solve();
-        accumulate(result, solver);
+        exportSolver(solver);
         if (sr == sat::SolveResult::Unsat) {
             result.status = CheckStatus::Proved;
             result.inductionK = 1;
             result.seconds += watch.seconds();
+            if (stats)
+                result.stats = stats->snapshot();
             return result;
         }
     }
@@ -279,9 +359,12 @@ proveWithInvariants(const rtl::Netlist &netlist,
             result.timedOut = true;
             break;
         }
+        obs::Span span(trace, "strengthened induction k=" +
+                                  std::to_string(k));
         sat::Solver solver;
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.setStats(stats);
         for (unsigned t = 0; t <= k; ++t) {
             unroller.addFrame();
             gates.assertTrue(unroller.assumeOk(t));
@@ -297,7 +380,7 @@ proveWithInvariants(const rtl::Netlist &netlist,
             bad.push_back(~unroller.assertHolds(k, a));
         gates.assertTrue(gates.mkOrAll(bad));
         const sat::SolveResult sr = solver.solve();
-        accumulate(result, solver);
+        exportSolver(solver);
         if (sr == sat::SolveResult::Unsat) {
             result.status = CheckStatus::Proved;
             result.inductionK = k;
@@ -306,6 +389,8 @@ proveWithInvariants(const rtl::Netlist &netlist,
     }
 
     result.seconds += watch.seconds();
+    if (stats)
+        result.stats = stats->snapshot();
     return result;
 }
 
@@ -328,10 +413,12 @@ describe(const CheckResult &result)
         os << "unknown (budget exhausted)";
         break;
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), " [%.2fs, %llu conflicts]",
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " [%.2fs, %llu conflicts, %llu restarts]",
                   result.seconds,
-                  static_cast<unsigned long long>(result.conflicts));
+                  static_cast<unsigned long long>(result.solver.conflicts),
+                  static_cast<unsigned long long>(result.solver.restarts));
     os << buf;
     return os.str();
 }

@@ -15,7 +15,9 @@
 #include <optional>
 #include <string>
 
+#include "obs/obs.hh"
 #include "rtl/netlist.hh"
+#include "sat/solver.hh"
 #include "sim/trace.hh"
 
 namespace autocc::formal
@@ -72,6 +74,15 @@ struct EngineOptions
      * differential tests can compare raw against pruned runs.
      */
     bool coi = true;
+
+    /**
+     * Observability sinks (stats registry / event tracer / progress
+     * reporter, see obs/obs.hh) recorded into by every layer the check
+     * touches.  All-null by default: the engines then keep a private
+     * registry so CheckResult::stats is always populated, and tracing
+     * and progress hooks reduce to one pointer test each.
+     */
+    obs::Context obs{};
 };
 
 /** Result of a safety check. */
@@ -85,10 +96,18 @@ struct CheckResult
     unsigned inductionK = 0;
     /** Wall-clock seconds spent. */
     double seconds = 0.0;
-    /** Aggregate solver statistics. */
-    uint64_t conflicts = 0;
-    uint64_t decisions = 0;
-    uint64_t propagations = 0;
+    /**
+     * Aggregate SAT statistics over every query of the check — the
+     * full sat::SolverStats struct (restarts, learnt literals and
+     * removed clauses included), not a hand-copied subset.
+     */
+    sat::SolverStats solver;
+    /**
+     * Observability snapshot: solver.*, unroller.*, engine.* (and
+     * coi.* / portfolio.* when those layers ran) — see DESIGN.md §8
+     * for the naming scheme.  Always populated.
+     */
+    obs::Snapshot stats;
     /** True when the time limit cut the exploration short. */
     bool timedOut = false;
 

@@ -26,6 +26,18 @@ namespace
 constexpr unsigned kNoCex = 0xffffffffu;
 
 /**
+ * Per-worker slice of the run's observability: the shared stats
+ * registry (thread-safe) plus this worker's private trace buffer
+ * (single-writer).  All-null when observability is off.
+ */
+struct WorkerObs
+{
+    obs::Registry *stats = nullptr;
+    obs::TraceBuffer *trace = nullptr;
+    obs::ProgressSink *progress = nullptr;
+};
+
+/**
  * State shared by all workers of one portfolio run.  The atomics are
  * the fast path (read every worker-loop iteration); the mutex guards
  * the candidate counterexample and the proof slot.
@@ -119,12 +131,18 @@ offerProof(Race &race, unsigned k, int worker)
     race.stop.store(true);
 }
 
+/**
+ * Fold a finished solver's work into the worker record and the shared
+ * registry's `solver.*` aggregates.  Called once per solver, off every
+ * search loop.
+ */
 void
-accumulate(WorkerStats &ws, const sat::Solver &solver)
+accumulate(WorkerStats &ws, const sat::Solver &solver,
+           const WorkerObs &obs)
 {
-    ws.conflicts = solver.stats().conflicts;
-    ws.decisions = solver.stats().decisions;
-    ws.propagations = solver.stats().propagations;
+    ws.solver += solver.stats();
+    if (obs.stats)
+        solver.exportStats(*obs.stats, "solver");
 }
 
 /** Truncate a trace to its first `depth` cycles. */
@@ -143,13 +161,14 @@ truncateTrace(sim::Trace &trace, size_t depth)
 void
 deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                 const sat::SolverOptions &solverOptions, Race &race,
-                WorkerStats &ws, int wi)
+                WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
     sat::Solver solver(solverOptions);
     solver.setInterruptFlag(&race.stop);
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    unroller.setStats(obs.stats);
     const size_t numAsserts = netlist.asserts().size();
 
     for (unsigned depth = 1; depth <= engine.maxDepth; ++depth) {
@@ -160,8 +179,14 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         if (cap != kNoCex && depth >= cap)
             break;
 
+        const double frameStart = watch.seconds();
+        obs::Span frameSpan(obs.trace, "frame " + std::to_string(depth));
+
         const unsigned t = depth - 1;
-        unroller.addFrame();
+        {
+            obs::Span unrollSpan(obs.trace, "unroll");
+            unroller.addFrame();
+        }
         gates.assertTrue(unroller.assumeOk(t));
 
         std::vector<Lit> holds(numAsserts);
@@ -172,7 +197,18 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         }
         const Lit bad = gates.mkOrAll(violations);
 
-        const sat::SolveResult sr = solver.solve({bad});
+        sat::SolveResult sr;
+        {
+            obs::Span solveSpan(obs.trace, "solve");
+            sr = solver.solve({bad});
+        }
+        frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
+        if (obs.progress) {
+            obs.progress->frame({ws.name, depth, solver.numVars(),
+                                 solver.numClauses(),
+                                 solver.stats().conflicts,
+                                 watch.seconds() - frameStart});
+        }
         if (sr == sat::SolveResult::Unknown)
             break; // interrupted
         if (sr == sat::SolveResult::Sat) {
@@ -195,7 +231,7 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     }
     if (ws.outcome.empty())
         ws.outcome = "bound=" + std::to_string(ws.depthReached);
-    accumulate(ws, solver);
+    accumulate(ws, solver, obs);
     ws.seconds = watch.seconds();
 }
 
@@ -208,15 +244,17 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
 void
 leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
            const sat::SolverOptions &solverOptions, Race &race,
-           WorkerStats &ws, int wi)
+           WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
     sat::Solver solver(solverOptions);
     solver.setInterruptFlag(&race.stop);
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
+    unroller.setStats(obs.stats);
     const size_t numAsserts = netlist.asserts().size();
 
+    obs::Span buildSpan(obs.trace, "unroll budget");
     std::vector<Lit> frameBad;
     std::vector<std::vector<Lit>> frameHolds;
     for (unsigned t = 0; t < engine.maxDepth && !race.stop.load(); ++t) {
@@ -231,8 +269,10 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         frameBad.push_back(gates.mkOrAll(violations));
         frameHolds.push_back(std::move(holds));
     }
+    buildSpan.finish("{\"frames\": " + std::to_string(frameBad.size()) +
+                     "}");
     if (frameBad.size() < engine.maxDepth) {
-        accumulate(ws, solver);
+        accumulate(ws, solver, obs);
         ws.seconds = watch.seconds();
         ws.outcome = "cancelled";
         return;
@@ -263,7 +303,11 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         return cex;
     };
 
-    sat::SolveResult sr = solver.solve({anyBadBefore(engine.maxDepth)});
+    sat::SolveResult sr;
+    {
+        obs::Span solveSpan(obs.trace, "solve budget");
+        sr = solver.solve({anyBadBefore(engine.maxDepth)});
+    }
     if (sr == sat::SolveResult::Unsat) {
         ws.depthReached = engine.maxDepth;
         ws.outcome = "bound=" + std::to_string(engine.maxDepth);
@@ -274,6 +318,8 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         // Top-down minimization: keep asking for a strictly earlier
         // violation until UNSAT proves frames 0..best-1 clean.
         while (best > 0 && !race.stop.load()) {
+            obs::Span minSpan(obs.trace,
+                              "minimize <" + std::to_string(best));
             sr = solver.solve({anyBadBefore(best)});
             if (sr == sat::SolveResult::Sat) {
                 best = earliestViolatedFrame();
@@ -290,7 +336,7 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     } else {
         ws.outcome = "cancelled";
     }
-    accumulate(ws, solver);
+    accumulate(ws, solver, obs);
     ws.seconds = watch.seconds();
 }
 
@@ -303,17 +349,20 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
 void
 inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                 const sat::SolverOptions &solverOptions, Race &race,
-                WorkerStats &ws, int wi)
+                WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
     const size_t numAsserts = netlist.asserts().size();
     const unsigned maxK = std::min(engine.maxInductionK, engine.maxDepth);
 
     for (unsigned k = 1; k <= maxK && !race.stop.load(); ++k) {
+        const double kStart = watch.seconds();
+        obs::Span kSpan(obs.trace, "induction k=" + std::to_string(k));
         sat::Solver solver(solverOptions);
         solver.setInterruptFlag(&race.stop);
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
+        unroller.setStats(obs.stats);
         for (unsigned t = 0; t <= k; ++t) {
             unroller.addFrame();
             gates.assertTrue(unroller.assumeOk(t));
@@ -334,14 +383,20 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         }
 
         const sat::SolveResult sr = solver.solve();
-        ws.conflicts += solver.stats().conflicts;
-        ws.decisions += solver.stats().decisions;
-        ws.propagations += solver.stats().propagations;
+        accumulate(ws, solver, obs);
         ws.depthReached = k;
+        if (obs.progress) {
+            obs.progress->frame({ws.name, k, solver.numVars(),
+                                 solver.numClauses(),
+                                 solver.stats().conflicts,
+                                 watch.seconds() - kStart});
+        }
         if (sr == sat::SolveResult::Unknown)
             break; // interrupted
         if (sr == sat::SolveResult::Unsat) {
-            // Step holds at k; wait for the base case to reach k.
+            // Step holds at k; wait for the base case to reach k.  End
+            // the span first so it doesn't absorb the idle wait.
+            kSpan.finish();
             while (!race.stop.load() && race.bound.load() < k &&
                    race.bmcActive.load() > 0) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -403,7 +458,7 @@ groupInputs(const rtl::Netlist &netlist)
 
 void
 simHunterWorker(const rtl::Netlist &netlist, const PortfolioOptions &options,
-                Race &race, WorkerStats &ws, int wi)
+                Race &race, WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
     const unsigned maxDepth = options.engine.maxDepth;
@@ -509,12 +564,18 @@ simHunterWorker(const rtl::Netlist &netlist, const PortfolioOptions &options,
             bestOwnDepth = cex.depth;
             ws.outcome = "cex@" + std::to_string(depth);
         }
+        if (obs.trace) {
+            obs.trace->instant("sim cex",
+                               "{\"depth\": " + std::to_string(depth) + "}");
+        }
         offerCex(race, std::move(cex), wi);
         // Keep hunting: a later episode may find a shallower CEX
         // while the BMC workers verify minimality.
     }
     if (ws.outcome.empty())
         ws.outcome = "dry";
+    if (obs.stats)
+        obs.stats->add("portfolio.sim_cycles", ws.simCycles);
     ws.seconds = watch.seconds();
 }
 
@@ -554,9 +615,7 @@ canonicalCexAtDepth(const rtl::Netlist &netlist, unsigned depth,
         cex.trace = unroller.extractTrace();
         cex.depth = depth;
         cex.failedAssert = netlist.asserts()[a].name;
-        result.conflicts += solver.stats().conflicts;
-        result.decisions += solver.stats().decisions;
-        result.propagations += solver.stats().propagations;
+        result.solver += solver.stats();
         return cex;
     }
     panic("portfolio: no assertion violable at established CEX depth ",
@@ -651,7 +710,7 @@ PortfolioStats::render() const
                       "  %-8s %-18s depth=%-3u conflicts=%-8llu "
                       "%7.2fs%s\n",
                       ws.name.c_str(), ws.outcome.c_str(), ws.depthReached,
-                      static_cast<unsigned long long>(ws.conflicts),
+                      static_cast<unsigned long long>(ws.solver.conflicts),
                       ws.seconds, ws.winner ? "  << winner" : "");
         os << buf;
     }
@@ -678,10 +737,15 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
             *stats = PortfolioStats{};
             stats->jobs = 1;
             stats->seconds = result.seconds;
-            stats->workers.push_back(WorkerStats{
-                "bmc#0", WorkerKind::BmcDeepening, result.bound,
-                result.conflicts, result.decisions, result.propagations, 0,
-                result.seconds, true, describe(result)});
+            WorkerStats ws;
+            ws.name = "bmc#0";
+            ws.kind = WorkerKind::BmcDeepening;
+            ws.depthReached = result.bound;
+            ws.solver = result.solver;
+            ws.seconds = result.seconds;
+            ws.winner = true;
+            ws.outcome = describe(result);
+            stats->workers.push_back(std::move(ws));
             stats->winner = 0;
         }
         return result;
@@ -692,6 +756,12 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
              "' has no assertions");
     const EngineOptions &engine = options.engine;
     Stopwatch watch;
+
+    // Stats always flow into a registry (caller's or a private one) so
+    // CheckResult::stats is populated either way; trace buffers exist
+    // only when the caller supplied a tracer.
+    obs::Registry localReg;
+    obs::Registry &reg = engine.obs.stats ? *engine.obs.stats : localReg;
 
     Race race;
     race.maxDepth = engine.maxDepth;
@@ -715,10 +785,18 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     }
 
     std::vector<WorkerStats> workerStats(lineup.size());
+    // One private single-writer trace buffer per worker, allocated up
+    // front from the spawning thread and merged by Tracer::json() after
+    // the race — no cross-thread event writes, no locking in workers.
+    std::vector<obs::TraceBuffer *> buffers(lineup.size(), nullptr);
     for (size_t i = 0; i < lineup.size(); ++i) {
         workerStats[i].kind = lineup[i];
         workerStats[i].name =
             std::string(kindName(lineup[i])) + "#" + std::to_string(i);
+        if (engine.obs.tracer) {
+            buffers[i] =
+                engine.obs.tracer->newBuffer(workerStats[i].name);
+        }
         if (lineup[i] == WorkerKind::BmcDeepening ||
             lineup[i] == WorkerKind::BmcLeap) {
             race.bmcActive.fetch_add(1);
@@ -732,27 +810,36 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         const sat::SolverOptions so =
             diversify(options.seed, static_cast<unsigned>(i));
         WorkerStats &ws = workerStats[i];
+        const WorkerObs wobs{&reg, buffers[i], engine.obs.progress};
         switch (lineup[i]) {
           case WorkerKind::BmcDeepening:
-            threads.emplace_back([&, so, wi] {
-                deepeningWorker(netlist, engine, so, race, ws, wi);
+            threads.emplace_back([&, so, wi, wobs] {
+                obs::Span life(wobs.trace, "worker " + ws.name);
+                deepeningWorker(netlist, engine, so, race, ws, wi, wobs);
                 race.bmcActive.fetch_sub(1);
+                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
           case WorkerKind::BmcLeap:
-            threads.emplace_back([&, so, wi] {
-                leapWorker(netlist, engine, so, race, ws, wi);
+            threads.emplace_back([&, so, wi, wobs] {
+                obs::Span life(wobs.trace, "worker " + ws.name);
+                leapWorker(netlist, engine, so, race, ws, wi, wobs);
                 race.bmcActive.fetch_sub(1);
+                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
           case WorkerKind::Induction:
-            threads.emplace_back([&, so, wi] {
-                inductionWorker(netlist, engine, so, race, ws, wi);
+            threads.emplace_back([&, so, wi, wobs] {
+                obs::Span life(wobs.trace, "worker " + ws.name);
+                inductionWorker(netlist, engine, so, race, ws, wi, wobs);
+                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
           case WorkerKind::SimHunter:
-            threads.emplace_back([&, wi] {
-                simHunterWorker(netlist, options, race, ws, wi);
+            threads.emplace_back([&, wi, wobs] {
+                obs::Span life(wobs.trace, "worker " + ws.name);
+                simHunterWorker(netlist, options, race, ws, wi, wobs);
+                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
         }
@@ -785,10 +872,22 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     CheckResult result;
     result.timedOut = race.timedOut.load();
     const unsigned bound = race.bound.load();
-    for (const auto &ws : workerStats) {
-        result.conflicts += ws.conflicts;
-        result.decisions += ws.decisions;
-        result.propagations += ws.propagations;
+    for (const auto &ws : workerStats)
+        result.solver += ws.solver;
+
+    int winnerIndex = -1;
+    {
+        std::lock_guard<std::mutex> lock(race.mutex);
+        winnerIndex = race.winner;
+    }
+    if (winnerIndex >= 0 &&
+        winnerIndex < static_cast<int>(workerStats.size())) {
+        workerStats[winnerIndex].winner = true;
+        if (buffers[winnerIndex]) {
+            buffers[winnerIndex]->instant(
+                "win", "{\"worker\": \"" +
+                           workerStats[winnerIndex].name + "\"}");
+        }
     }
 
     if (race.cex) {
@@ -820,18 +919,26 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     }
     result.seconds = watch.seconds();
 
+    // Per-worker registry keys are written here, after the join, from
+    // this thread only — workers never touch portfolio.worker.*.
+    reg.set("portfolio.jobs", jobs);
+    reg.set("portfolio.winner", winnerIndex);
+    reg.set("engine.bound", result.bound);
+    reg.addSeconds("portfolio.seconds", result.seconds);
+    for (const auto &ws : workerStats) {
+        const std::string p = "portfolio.worker." + ws.name;
+        reg.add(p + ".conflicts", ws.solver.conflicts);
+        reg.add(p + ".decisions", ws.solver.decisions);
+        reg.set(p + ".depth", ws.depthReached);
+        reg.set(p + ".seconds", ws.seconds);
+    }
+    result.stats = reg.snapshot();
+
     if (stats) {
         *stats = PortfolioStats{};
         stats->jobs = jobs;
         stats->workers = std::move(workerStats);
-        {
-            std::lock_guard<std::mutex> lock(race.mutex);
-            stats->winner = race.winner;
-        }
-        if (stats->winner >= 0 &&
-            stats->winner < static_cast<int>(stats->workers.size())) {
-            stats->workers[stats->winner].winner = true;
-        }
+        stats->winner = winnerIndex;
         stats->seconds = result.seconds;
     }
     return result;
@@ -841,11 +948,29 @@ CheckResult
 check(const rtl::Netlist &netlist, const EngineOptions &options,
       PortfolioStats *stats)
 {
+    // Inject a registry when the caller brought none, so the COI
+    // counters recorded here end up in the same snapshot as the
+    // engine's (CheckResult::stats always has the whole picture).
+    obs::Registry localReg;
     PortfolioOptions portfolio;
     portfolio.engine = options;
     portfolio.jobs = options.jobs;
+    if (!portfolio.engine.obs.stats)
+        portfolio.engine.obs.stats = &localReg;
+    obs::Registry &reg = *portfolio.engine.obs.stats;
+
     if (options.coi && !netlist.asserts().empty()) {
+        obs::TraceBuffer *trace = options.obs.tracer
+            ? options.obs.tracer->newBuffer("prep")
+            : nullptr;
+        const Stopwatch watch;
+        obs::Span span(trace, "coi prune");
         const analysis::CoiResult pruned = analysis::coiPrune(netlist);
+        span.finish("{\"kept\": " + std::to_string(pruned.nodesAfter) +
+                    ", \"of\": " + std::to_string(pruned.nodesBefore) +
+                    "}");
+        pruned.exportStats(reg);
+        reg.addSeconds("coi.seconds", watch.seconds());
         return checkSafetyPortfolio(pruned.netlist, portfolio, stats);
     }
     return checkSafetyPortfolio(netlist, portfolio, stats);

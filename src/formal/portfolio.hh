@@ -52,9 +52,8 @@ struct WorkerStats
     WorkerKind kind = WorkerKind::BmcDeepening;
     /** BMC depth locked in / induction k tried / deepest sim cycle. */
     unsigned depthReached = 0;
-    uint64_t conflicts = 0;
-    uint64_t decisions = 0;
-    uint64_t propagations = 0;
+    /** Full SAT statistics of this worker's solver(s). */
+    sat::SolverStats solver;
     /** Simulation cycles executed (SimHunter only). */
     uint64_t simCycles = 0;
     double seconds = 0.0;

@@ -1,5 +1,7 @@
 #include "formal/unroller.hh"
 
+#include "base/timer.hh"
+
 namespace autocc::formal
 {
 
@@ -31,6 +33,8 @@ Unroller::readMux(const std::vector<Bv> &words, const Bv &addr, size_t lo,
 void
 Unroller::addFrame()
 {
+    // One clock read per frame; nothing per node or per gate.
+    const Stopwatch watch;
     const size_t t = frames_.size();
     frames_.emplace_back();
     Frame &frame = frames_.back();
@@ -149,6 +153,11 @@ Unroller::addFrame()
             break;
         }
         frame.nodes[id] = std::move(v);
+    }
+
+    if (stats_) {
+        stats_->add("unroller.frames");
+        stats_->addSeconds("unroller.unroll_seconds", watch.seconds());
     }
 }
 

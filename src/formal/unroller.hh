@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "formal/gates.hh"
+#include "obs/stats.hh"
 #include "rtl/netlist.hh"
 #include "sim/trace.hh"
 
@@ -29,6 +30,12 @@ class Unroller
      */
     Unroller(const rtl::Netlist &netlist, Gates &gates,
              bool free_initial_state);
+
+    /**
+     * Record unrolling work (`unroller.frames`, `unroller.*_seconds`)
+     * into a stats registry; null (the default) disables the hook.
+     */
+    void setStats(obs::Registry *stats) { stats_ = stats; }
 
     /** Append one time frame. */
     void addFrame();
@@ -71,6 +78,7 @@ class Unroller
     const rtl::Netlist &netlist_;
     Gates &gates_;
     bool freeInitialState_;
+    obs::Registry *stats_ = nullptr;
     std::vector<Frame> frames_;
 };
 

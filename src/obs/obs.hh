@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header and sink bundle for the observability layer.
+ *
+ * A Context is a nullable bundle of the three sinks (stats registry,
+ * event tracer, progress reporter) threaded through EngineOptions into
+ * every layer of the stack.  The all-null default means "observability
+ * off": hook sites cost one pointer test, no clock reads, no
+ * allocation — the invariant that keeps the uninstrumented hot paths
+ * at their historical speed (see DESIGN.md §8).
+ */
+
+#ifndef AUTOCC_OBS_OBS_HH
+#define AUTOCC_OBS_OBS_HH
+
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace autocc::obs
+{
+
+/** The sinks one run records into; any subset may be null. */
+struct Context
+{
+    Registry *stats = nullptr;
+    Tracer *tracer = nullptr;
+    ProgressSink *progress = nullptr;
+
+    bool enabled() const { return stats || tracer || progress; }
+};
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_OBS_HH

@@ -1,0 +1,23 @@
+#include "obs/progress.hh"
+
+#include <cstdio>
+
+namespace autocc::obs
+{
+
+void
+StreamProgress::frame(const FrameProgress &progress)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "## frame %-3u [%-7s] vars=%-8d clauses=%-9llu "
+                  "conflicts=%-8llu +%.3fs",
+                  progress.depth, progress.source.c_str(), progress.vars,
+                  static_cast<unsigned long long>(progress.clauses),
+                  static_cast<unsigned long long>(progress.conflicts),
+                  progress.deltaSeconds);
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << buf << std::endl; // endl: keep lines live while solving
+}
+
+} // namespace autocc::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Live progress reporting for the formal engines: one line per BMC
+ * frame (depth, CNF size, conflict work, wall time), the shape of
+ * feedback SBY / JasperGold users get while a property check runs.
+ * Sinks must tolerate concurrent calls — portfolio workers report
+ * from their own threads.
+ */
+
+#ifndef AUTOCC_OBS_PROGRESS_HH
+#define AUTOCC_OBS_PROGRESS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace autocc::obs
+{
+
+/** What one engine step (BMC frame / induction k) just did. */
+struct FrameProgress
+{
+    /** Reporting engine, e.g. "bmc", "bmc#2", "kind#3". */
+    std::string source;
+    /** BMC depth locked in / induction k attempted. */
+    unsigned depth = 0;
+    /** Solver variables after this frame. */
+    int vars = 0;
+    /** Problem clauses after this frame. */
+    uint64_t clauses = 0;
+    /** Cumulative conflicts of the reporting engine's solver. */
+    uint64_t conflicts = 0;
+    /** Wall-clock seconds this frame took. */
+    double deltaSeconds = 0.0;
+};
+
+/** Receiver of per-frame progress; implementations are thread-safe. */
+class ProgressSink
+{
+  public:
+    virtual ~ProgressSink() = default;
+    virtual void frame(const FrameProgress &progress) = 0;
+};
+
+/** Mutex-guarded one-line-per-frame printer. */
+class StreamProgress : public ProgressSink
+{
+  public:
+    explicit StreamProgress(std::ostream &os) : os_(os) {}
+
+    void frame(const FrameProgress &progress) override;
+
+  private:
+    std::mutex mutex_;
+    std::ostream &os_;
+};
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_PROGRESS_HH

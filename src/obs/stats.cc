@@ -1,0 +1,153 @@
+#include "obs/stats.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace autocc::obs
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+Snapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+double
+Snapshot::gauge(const std::string &name) const
+{
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second;
+}
+
+bool
+Snapshot::has(const std::string &name) const
+{
+    return counters.count(name) != 0 || gauges.count(name) != 0;
+}
+
+size_t
+Snapshot::countPrefix(const std::string &prefix) const
+{
+    size_t n = 0;
+    for (const auto &[name, value] : counters) {
+        (void)value;
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            ++n;
+    }
+    for (const auto &[name, value] : gauges) {
+        (void)value;
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Snapshot::json() const
+{
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << buf;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+void
+Registry::add(const std::string &name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+Registry::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+Registry::setMax(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && value > it->second)
+        it->second = value;
+}
+
+void
+Registry::addSeconds(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] += seconds;
+}
+
+uint64_t
+Registry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+Registry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters = counters_;
+    snap.gauges = gauges_;
+    return snap;
+}
+
+} // namespace autocc::obs

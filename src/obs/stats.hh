@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Hierarchical runtime-statistics registry.
+ *
+ * Names are dot-separated paths (`engine.frame.12.solve_seconds`,
+ * `solver.conflicts`, `coi.nodes_pruned`); the dots are a naming
+ * convention, storage stays flat so snapshots and JSON output are
+ * trivially diffable.  Three kinds of entries:
+ *
+ *  - counters — monotonically increasing uint64 (`add`), summed across
+ *    writers, so portfolio workers can all add into `solver.conflicts`;
+ *  - gauges   — last-write-wins doubles (`set`) or running maxima
+ *    (`setMax`) for sizes like the peak CNF var count;
+ *  - timers   — gauges accumulated with `addSeconds`, named `*_seconds`
+ *    by convention.
+ *
+ * Every method is thread-safe (one mutex; entries are touched once per
+ * BMC frame / SAT solve, never inside the solver's propagate loop, so
+ * contention is irrelevant).  `snapshot()` returns a point-in-time
+ * copy that serializes to JSON; `CheckResult`/`RunResult` carry such
+ * snapshots so callers never need the live registry.
+ */
+
+#ifndef AUTOCC_OBS_STATS_HH
+#define AUTOCC_OBS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace autocc::obs
+{
+
+/** Escape `text` for use inside a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** Point-in-time copy of a Registry's entries. */
+struct Snapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+
+    bool empty() const { return counters.empty() && gauges.empty(); }
+
+    /** Counter value; 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+    /** Gauge value; 0.0 when absent. */
+    double gauge(const std::string &name) const;
+    /** True when either map holds `name`. */
+    bool has(const std::string &name) const;
+    /** Number of entries whose name starts with `prefix`. */
+    size_t countPrefix(const std::string &prefix) const;
+
+    /** Serialize as {"counters": {...}, "gauges": {...}}. */
+    std::string json() const;
+};
+
+/** Thread-safe hierarchical counter/gauge/timer registry. */
+class Registry
+{
+  public:
+    /** Bump a counter. */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Set a gauge (last write wins). */
+    void set(const std::string &name, double value);
+
+    /** Raise a gauge to `value` if it is below it (running maximum). */
+    void setMax(const std::string &name, double value);
+
+    /** Accumulate seconds into a timer gauge. */
+    void addSeconds(const std::string &name, double seconds);
+
+    /** Current counter value; 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+
+    /** Current gauge value; 0.0 when absent. */
+    double gauge(const std::string &name) const;
+
+    /** Point-in-time copy of every entry. */
+    Snapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_STATS_HH

@@ -1,0 +1,125 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/stats.hh"
+
+namespace autocc::obs
+{
+
+namespace
+{
+
+/** The trace describes one process; pid is a constant label. */
+constexpr int kPid = 1;
+
+void
+appendEvent(std::ostringstream &os, const TraceEvent &event, int tid,
+            bool &first)
+{
+    char buf[96];
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << jsonEscape(event.name) << "\", \"ph\": \""
+       << event.phase << "\", \"pid\": " << kPid << ", \"tid\": " << tid;
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f", event.tsMicros);
+    os << buf;
+    if (event.phase == 'X') {
+        std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                      event.durMicros);
+        os << buf;
+    }
+    if (event.phase == 'i')
+        os << ", \"s\": \"t\"";
+    if (!event.args.empty())
+        os << ", \"args\": " << event.args;
+    os << "}";
+}
+
+} // namespace
+
+double
+TraceBuffer::now() const
+{
+    return tracer_->nowMicros();
+}
+
+void
+TraceBuffer::complete(const std::string &name, double beginMicros,
+                      std::string args)
+{
+    const double end = now();
+    TraceEvent event;
+    event.name = name;
+    event.phase = 'X';
+    event.tsMicros = beginMicros;
+    event.durMicros = end > beginMicros ? end - beginMicros : 0.0;
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceBuffer::instant(const std::string &name, std::string args)
+{
+    TraceEvent event;
+    event.name = name;
+    event.phase = 'i';
+    event.tsMicros = now();
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+TraceBuffer *
+Tracer::newBuffer(const std::string &threadName)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int tid = static_cast<int>(buffers_.size()) + 1;
+    buffers_.emplace_back(new TraceBuffer(this, tid, threadName));
+    return buffers_.back().get();
+}
+
+size_t
+Tracer::numBuffers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_.size();
+}
+
+std::string
+Tracer::json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\n  \"traceEvents\": [";
+    bool first = true;
+    for (const auto &buffer : buffers_) {
+        // Thread-name metadata first so viewers label the track.
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << kPid << ", \"tid\": " << buffer->tid_
+           << ", \"args\": {\"name\": \"" << jsonEscape(buffer->threadName_)
+           << "\"}}";
+        for (const TraceEvent &event : buffer->events_)
+            appendEvent(os, event, buffer->tid_, first);
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+    return os.str();
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    out << json();
+    if (!out) {
+        warn("failed to write trace file '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace autocc::obs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto emitter.
+ *
+ * A run creates one Tracer; every thread that wants to record spans
+ * asks it for a TraceBuffer.  Buffers are single-writer by contract
+ * (one per thread), so recording an event is a plain vector push with
+ * no synchronization — tracing stays race-free and cheap even with a
+ * portfolio of racing workers.  The Tracer merges all buffers into one
+ * trace-event JSON array when the run is over (after the writer
+ * threads joined).
+ *
+ * When tracing is off, no Tracer exists and every hook site holds a
+ * null TraceBuffer pointer; Span on a null buffer never reads the
+ * clock, so the disabled cost is one pointer test per span site (and
+ * span sites sit at frame/solve granularity, never in solver inner
+ * loops).
+ *
+ * The output loads directly in `ui.perfetto.dev` or
+ * `chrome://tracing`: complete ('X') events for spans, instant ('i')
+ * events for moments like a portfolio worker winning the race, and
+ * metadata ('M') events naming each thread.
+ */
+
+#ifndef AUTOCC_OBS_TRACE_HH
+#define AUTOCC_OBS_TRACE_HH
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autocc::obs
+{
+
+/** One trace event; `args` is a pre-serialized JSON object or empty. */
+struct TraceEvent
+{
+    std::string name;
+    char phase = 'X'; ///< 'X' complete span, 'i' instant
+    double tsMicros = 0.0;
+    double durMicros = 0.0;
+    std::string args;
+};
+
+class Tracer;
+
+/** Single-writer event sink; one per recording thread. */
+class TraceBuffer
+{
+  public:
+    /** Microseconds since the owning tracer's epoch. */
+    double now() const;
+
+    /** Record a finished span that began at `beginMicros`. */
+    void complete(const std::string &name, double beginMicros,
+                  std::string args = {});
+
+    /** Record a zero-duration moment. */
+    void instant(const std::string &name, std::string args = {});
+
+    int tid() const { return tid_; }
+
+  private:
+    friend class Tracer;
+    TraceBuffer(const Tracer *tracer, int tid, std::string threadName)
+        : tracer_(tracer), tid_(tid), threadName_(std::move(threadName))
+    {
+    }
+
+    const Tracer *tracer_;
+    int tid_;
+    std::string threadName_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII span: records one complete event from construction to
+ * destruction (or an explicit finish()).  A null buffer makes every
+ * operation a no-op, so call sites need no `if (tracing)` guards.
+ */
+class Span
+{
+  public:
+    Span(TraceBuffer *buffer, std::string name)
+        : buffer_(buffer), name_(std::move(name))
+    {
+        if (buffer_)
+            begin_ = buffer_->now();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span() { finish(); }
+
+    /** Close the span early, optionally attaching a JSON args object. */
+    void
+    finish(std::string args = {})
+    {
+        if (buffer_ && !done_)
+            buffer_->complete(name_, begin_, std::move(args));
+        done_ = true;
+    }
+
+  private:
+    TraceBuffer *buffer_;
+    std::string name_;
+    double begin_ = 0.0;
+    bool done_ = false;
+};
+
+/** Owns the epoch and all per-thread buffers of one traced run. */
+class Tracer
+{
+  public:
+    Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+    /** Microseconds since the tracer was created. */
+    double
+    nowMicros() const
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    /**
+     * Create a buffer for one recording thread.  The pointer stays
+     * valid for the tracer's lifetime; hand it to exactly one thread.
+     */
+    TraceBuffer *newBuffer(const std::string &threadName);
+
+    /** Number of buffers handed out so far. */
+    size_t numBuffers() const;
+
+    /**
+     * Merge every buffer into trace-event JSON.  Only call once the
+     * threads writing into the buffers have joined.
+     */
+    std::string json() const;
+
+    /** json() to a file; false (with a warning) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_TRACE_HH

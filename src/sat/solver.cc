@@ -4,9 +4,22 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
 
 namespace autocc::sat
 {
+
+void
+Solver::exportStats(obs::Registry &registry,
+                    const std::string &prefix) const
+{
+    registry.add(prefix + ".decisions", stats_.decisions);
+    registry.add(prefix + ".propagations", stats_.propagations);
+    registry.add(prefix + ".conflicts", stats_.conflicts);
+    registry.add(prefix + ".restarts", stats_.restarts);
+    registry.add(prefix + ".learnt_literals", stats_.learntLiterals);
+    registry.add(prefix + ".removed_clauses", stats_.removedClauses);
+}
 
 // --------------------------------------------------------------------
 // VarOrderHeap

@@ -19,9 +19,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "sat/types.hh"
+
+namespace autocc::obs
+{
+class Registry;
+} // namespace autocc::obs
 
 namespace autocc::sat
 {
@@ -35,6 +41,19 @@ struct SolverStats
     uint64_t restarts = 0;
     uint64_t learntLiterals = 0;
     uint64_t removedClauses = 0;
+
+    /** Fold another solver's work in (engine / portfolio aggregation). */
+    SolverStats &
+    operator+=(const SolverStats &other)
+    {
+        decisions += other.decisions;
+        propagations += other.propagations;
+        conflicts += other.conflicts;
+        restarts += other.restarts;
+        learntLiterals += other.learntLiterals;
+        removedClauses += other.removedClauses;
+        return *this;
+    }
 };
 
 /**
@@ -142,6 +161,17 @@ class Solver
 
     /** Cumulative statistics. */
     const SolverStats &stats() const { return stats_; }
+
+    /**
+     * Add the cumulative statistics to an observability registry as
+     * counters `<prefix>.decisions`, `<prefix>.conflicts`, ....  The
+     * instrumentation hook of the solver: it runs at solve-call
+     * granularity (callers invoke it once per solver, after the last
+     * solve), never inside the propagate/decide loop, so the search
+     * hot path carries no observability cost.
+     */
+    void exportStats(obs::Registry &registry,
+                     const std::string &prefix) const;
 
     /** False once the clause database is known unsatisfiable. */
     bool okay() const { return ok_; }

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Observability layer tests: registry thread-safety, Chrome
+ * trace-event well-formedness, progress formatting, and the golden
+ * set of stats keys a real check populates (the documented contract
+ * of DESIGN.md §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/autocc.hh"
+#include "duts/toy.hh"
+#include "obs/obs.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (objects, arrays, strings,
+// numbers, booleans, null).  Enough to assert our emitters produce
+// well-formed JSON without a third-party parser.
+// ------------------------------------------------------------------
+struct JsonValidator
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    explicit JsonValidator(const std::string &t) : text(t) {}
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool eat(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool string()
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return false;
+            }
+            ++pos;
+        }
+        return eat('"');
+    }
+
+    bool number()
+    {
+        skipWs();
+        const size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        return pos > start;
+    }
+
+    bool literal(const char *word)
+    {
+        skipWs();
+        const size_t len = std::strlen(word);
+        if (text.compare(pos, len, word) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        switch (text[pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        if (!eat('{'))
+            return false;
+        if (eat('}'))
+            return true;
+        do {
+            if (!string() || !eat(':') || !value())
+                return false;
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool array()
+    {
+        if (!eat('['))
+            return false;
+        if (eat(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (eat(','));
+        return eat(']');
+    }
+
+    bool document()
+    {
+        if (!value())
+            return false;
+        skipWs();
+        return pos == text.size();
+    }
+};
+
+bool
+validJson(const std::string &text)
+{
+    return JsonValidator(text).document();
+}
+
+// ------------------------------------------------------------------
+// Registry
+// ------------------------------------------------------------------
+TEST(Registry, CountersGaugesTimers)
+{
+    obs::Registry reg;
+    reg.add("a.count");
+    reg.add("a.count", 4);
+    reg.set("a.gauge", 2.5);
+    reg.set("a.gauge", 3.5);
+    reg.setMax("a.peak", 10);
+    reg.setMax("a.peak", 7);
+    reg.addSeconds("a.t_seconds", 0.25);
+    reg.addSeconds("a.t_seconds", 0.5);
+
+    EXPECT_EQ(reg.counter("a.count"), 5u);
+    EXPECT_EQ(reg.counter("absent"), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("a.gauge"), 3.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("a.peak"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("a.t_seconds"), 0.75);
+
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.has("a.count"));
+    EXPECT_TRUE(snap.has("a.gauge"));
+    EXPECT_FALSE(snap.has("absent"));
+    EXPECT_EQ(snap.countPrefix("a."), 4u);
+    EXPECT_EQ(snap.counter("a.count"), 5u);
+}
+
+TEST(Registry, ConcurrentWritersSumExactly)
+{
+    // Hammer one registry from many threads; counters must sum
+    // exactly and setMax must keep the global maximum.  Run under
+    // -DAUTOCC_TSAN=ON this also proves data-race freedom.
+    obs::Registry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&reg, w] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.add("shared.count");
+                reg.add("worker." + std::to_string(w) + ".count");
+                reg.setMax("shared.peak", w * 1000 + i);
+                reg.addSeconds("shared.t_seconds", 0.001);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("shared.count"),
+              static_cast<uint64_t>(kThreads) * kIters);
+    for (int w = 0; w < kThreads; ++w) {
+        EXPECT_EQ(snap.counter("worker." + std::to_string(w) + ".count"),
+                  static_cast<uint64_t>(kIters));
+    }
+    EXPECT_DOUBLE_EQ(snap.gauge("shared.peak"),
+                     (kThreads - 1) * 1000.0 + (kIters - 1));
+    EXPECT_NEAR(snap.gauge("shared.t_seconds"), kThreads * kIters * 0.001,
+                1e-6);
+}
+
+TEST(Registry, SnapshotJsonIsWellFormed)
+{
+    obs::Registry reg;
+    reg.add("solver.conflicts", 42);
+    reg.set("engine.bound", 12);
+    reg.set("weird.\"name\"\\path", 1.0);
+    const std::string json = reg.snapshot().json();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"solver.conflicts\": 42"), std::string::npos);
+}
+
+TEST(Registry, EmptySnapshot)
+{
+    obs::Registry reg;
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_TRUE(validJson(snap.json()));
+}
+
+// ------------------------------------------------------------------
+// Tracer
+// ------------------------------------------------------------------
+TEST(Tracer, SpansNestAndSerialize)
+{
+    obs::Tracer tracer;
+    obs::TraceBuffer *buf = tracer.newBuffer("main");
+    {
+        obs::Span outer(buf, "outer");
+        {
+            obs::Span inner(buf, "inner");
+            inner.finish("{\"k\": 1}");
+        }
+        buf->instant("moment");
+    }
+    const std::string json = tracer.json();
+    EXPECT_TRUE(validJson(json)) << json;
+
+    // Spans must nest: inner is recorded first (completion order) and
+    // must lie inside outer's [ts, ts+dur] window.
+    const size_t innerPos = json.find("\"inner\"");
+    const size_t outerPos = json.find("\"outer\"");
+    ASSERT_NE(innerPos, std::string::npos);
+    ASSERT_NE(outerPos, std::string::npos);
+    EXPECT_LT(innerPos, outerPos);
+
+    // Every event needs pid/tid for Perfetto's track model, and the
+    // thread_name metadata event labels the track.
+    EXPECT_NE(json.find("\"pid\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"main\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Tracer, NullBufferSpanIsNoop)
+{
+    // The disabled path: a Span over a null buffer must be safe and
+    // side-effect free (this is what every hook site relies on).
+    obs::Span span(nullptr, "nothing");
+    span.finish("{\"ignored\": true}");
+    obs::Tracer tracer;
+    EXPECT_EQ(tracer.numBuffers(), 0u);
+    EXPECT_TRUE(validJson(tracer.json()));
+}
+
+TEST(Tracer, BuffersGetDistinctTids)
+{
+    obs::Tracer tracer;
+    obs::TraceBuffer *a = tracer.newBuffer("a");
+    obs::TraceBuffer *b = tracer.newBuffer("b");
+    EXPECT_NE(a->tid(), b->tid());
+    EXPECT_EQ(tracer.numBuffers(), 2u);
+}
+
+// ------------------------------------------------------------------
+// Progress
+// ------------------------------------------------------------------
+TEST(Progress, FrameLineFormat)
+{
+    std::ostringstream os;
+    obs::StreamProgress sink(os);
+    sink.frame({"bmc", 3, 120, 456, 7, 0.125});
+    const std::string line = os.str();
+    EXPECT_NE(line.find("frame 3"), std::string::npos) << line;
+    EXPECT_NE(line.find("bmc"), std::string::npos);
+    EXPECT_NE(line.find("vars=120"), std::string::npos);
+    EXPECT_NE(line.find("clauses=456"), std::string::npos);
+    EXPECT_NE(line.find("conflicts=7"), std::string::npos);
+    EXPECT_EQ(line.back(), '\n');
+}
+
+// ------------------------------------------------------------------
+// End-to-end: a real check populates the documented key families.
+// ------------------------------------------------------------------
+TEST(ObsEndToEnd, ToyCheckPopulatesGoldenKeys)
+{
+    obs::Registry reg;
+    obs::Tracer tracer;
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 1;
+    engine.obs.stats = &reg;
+    engine.obs.tracer = &tracer;
+
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+
+    // The documented contract: solver.*, unroller.*, engine.*, coi.*
+    // counters plus the core flow's own families.
+    const obs::Snapshot &s = run.stats;
+    EXPECT_GT(s.counter("solver.decisions"), 0u);
+    EXPECT_GT(s.counter("solver.propagations"), 0u);
+    EXPECT_TRUE(s.has("solver.conflicts"));
+    EXPECT_GT(s.counter("unroller.frames"), 0u);
+    EXPECT_TRUE(s.has("unroller.unroll_seconds"));
+    EXPECT_GT(s.counter("engine.frames"), 0u);
+    EXPECT_TRUE(s.has("engine.bound"));
+    EXPECT_TRUE(s.has("engine.solve_seconds"));
+    EXPECT_GT(s.counter("coi.runs"), 0u);
+    EXPECT_TRUE(s.has("coi.nodes_before"));
+    EXPECT_TRUE(s.has("coi.nodes_pruned"));
+    EXPECT_TRUE(s.has("leak.candidates"));
+    EXPECT_TRUE(s.has("miter.seconds"));
+    EXPECT_TRUE(s.has("cause.seconds"));
+    // Per-frame keys exist up to the CEX depth.
+    EXPECT_TRUE(s.has("engine.frame.1.solve_seconds"));
+    EXPECT_GE(s.countPrefix("engine.frame."), 2u);
+
+    // CheckResult's own snapshot is the engine's subset of the same
+    // registry and must agree on shared counters.
+    EXPECT_EQ(run.check.stats.counter("solver.decisions"),
+              s.counter("solver.decisions"));
+    EXPECT_EQ(run.check.solver.conflicts, s.counter("solver.conflicts"));
+
+    // The trace: valid JSON, with at least one span per BMC frame.
+    const std::string trace = tracer.json();
+    EXPECT_TRUE(validJson(trace)) << trace.substr(0, 400);
+    for (unsigned d = 1; d <= run.check.cex->depth; ++d) {
+        EXPECT_NE(trace.find("frame " + std::to_string(d)),
+                  std::string::npos)
+            << "missing span for frame " << d;
+    }
+    EXPECT_NE(trace.find("coi prune"), std::string::npos);
+    EXPECT_NE(trace.find("find cause"), std::string::npos);
+}
+
+TEST(ObsEndToEnd, PortfolioCheckMergesWorkerBuffers)
+{
+    obs::Registry reg;
+    obs::Tracer tracer;
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 3;
+    engine.obs.stats = &reg;
+    engine.obs.tracer = &tracer;
+
+    const rtl::Netlist dut = duts::buildToyAccelShipped();
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run = core::runAutocc(dut, opts, engine);
+    ASSERT_TRUE(run.foundCex());
+
+    const obs::Snapshot &s = run.stats;
+    EXPECT_DOUBLE_EQ(s.gauge("portfolio.jobs"), 3.0);
+    EXPECT_GE(s.countPrefix("portfolio.worker."), 3u);
+    EXPECT_GT(s.counter("solver.decisions"), 0u);
+
+    // One merged trace: a buffer per worker plus the core flow's.
+    EXPECT_GE(tracer.numBuffers(), 4u);
+    const std::string trace = tracer.json();
+    EXPECT_TRUE(validJson(trace)) << trace.substr(0, 400);
+    EXPECT_NE(trace.find("worker bmc#0"), std::string::npos);
+}
+
+TEST(ObsEndToEnd, StatsAlwaysPopulatedWithoutSinks)
+{
+    // No Context at all: the engine's private-registry fallback must
+    // still fill CheckResult::stats / RunResult::stats.
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 1;
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    EXPECT_FALSE(run.check.stats.empty());
+    EXPECT_GT(run.stats.counter("solver.decisions"), 0u);
+    EXPECT_GT(run.stats.counter("engine.frames"), 0u);
+}
+
+} // namespace

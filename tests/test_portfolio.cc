@@ -178,7 +178,7 @@ TEST(Portfolio, SingleJobDelegatesToSequentialEngine)
     EXPECT_EQ(par.cex->depth, seq.cex->depth);
     EXPECT_EQ(par.cex->failedAssert, seq.cex->failedAssert);
     EXPECT_EQ(par.bound, seq.bound);
-    EXPECT_EQ(par.conflicts, seq.conflicts);
+    EXPECT_EQ(par.solver.conflicts, seq.solver.conflicts);
     EXPECT_EQ(stats.jobs, 1u);
     ASSERT_EQ(stats.workers.size(), 1u);
     EXPECT_TRUE(stats.workers[0].winner);

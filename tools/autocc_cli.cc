@@ -16,9 +16,17 @@
  *   autocc_cli lint  <dut> [--strict] [--waive RULE[:path],...]
  *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
  *                          [--vcd FILE] [--jobs N] [--no-coi]
+ *                          [--stats-json FILE] [--trace-out FILE]
+ *                          [--progress]
  *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
- *                          [--jobs N] [--no-coi]
+ *                          [--jobs N] [--no-coi] [--stats-json FILE]
+ *                          [--trace-out FILE] [--progress]
  *   autocc_cli exploit
+ *
+ * The three observability flags tap the obs/ layer: --stats-json dumps
+ * the run's counter/gauge snapshot, --trace-out writes a Chrome
+ * trace-event file (load in ui.perfetto.dev or chrome://tracing), and
+ * --progress prints one line per BMC/induction frame as it completes.
  */
 
 #include <cerrno>
@@ -27,6 +35,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -118,9 +127,16 @@ usage()
         "candidates\n"
         "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--vcd F] [--jobs N] [--no-coi]\n"
+        "              [--stats-json F] [--trace-out F] [--progress]\n"
         "  prove <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--jobs N] [--no-coi]\n"
-        "  exploit                   run the Listing-2 M3 attack\n");
+        "              [--stats-json F] [--trace-out F] [--progress]\n"
+        "  exploit                   run the Listing-2 M3 attack\n"
+        "observability (check/prove):\n"
+        "  --stats-json F   write the run's counter/gauge snapshot to F\n"
+        "  --trace-out F    write a Chrome trace-event JSON to F "
+        "(ui.perfetto.dev)\n"
+        "  --progress       print one line per BMC/induction frame\n");
     return 2;
 }
 
@@ -134,6 +150,12 @@ struct Args
     std::set<std::string> arch;
     std::string outDir = ".";
     std::string vcdPath;
+    /** Write the observability snapshot (counters/gauges) here. */
+    std::string statsJsonPath;
+    /** Write a Chrome trace-event JSON here. */
+    std::string traceOutPath;
+    /** Print one line per completed BMC/induction frame. */
+    bool progress = false;
     /** Disable cone-of-influence pruning (check/prove). */
     bool noCoi = false;
     /** Treat lint warnings as fatal. */
@@ -185,6 +207,18 @@ parseArgs(int argc, char **argv, int start, Args &args)
                 return false;
         } else if (flag == "--no-coi") {
             args.noCoi = true;
+        } else if (flag == "--progress") {
+            args.progress = true;
+        } else if (flag == "--stats-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.statsJsonPath = v;
+        } else if (flag == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.traceOutPath = v;
         } else if (flag == "--strict") {
             args.strict = true;
         } else if (flag == "--waive") {
@@ -322,6 +356,19 @@ cmdCheck(const Args &args, bool prove)
     engine.jobs = args.jobs;
     engine.coi = !args.noCoi;
 
+    // Observability sinks live here for the whole run; the flow only
+    // sees non-null pointers for what the user asked for (the stats
+    // registry is free, so it is always on — runAutocc would fall back
+    // to a private one anyway).
+    obs::Registry statsReg;
+    obs::Tracer tracer;
+    obs::StreamProgress progressSink(std::cout);
+    engine.obs.stats = &statsReg;
+    if (!args.traceOutPath.empty())
+        engine.obs.tracer = &tracer;
+    if (args.progress)
+        engine.obs.progress = &progressSink;
+
     const core::RunResult run = prove
         ? core::proveAutocc(dut, opts, engine)
         : core::runAutocc(dut, opts, engine);
@@ -345,6 +392,17 @@ cmdCheck(const Args &args, bool prove)
     if (run.portfolio.jobs > 1) {
         std::printf("portfolio (%u workers):\n%s", run.portfolio.jobs,
                     run.portfolio.render().c_str());
+    }
+    if (!args.statsJsonPath.empty()) {
+        if (writeText(args.statsJsonPath, run.stats.json() + "\n"))
+            std::printf("  (%zu counters, %zu gauges)\n",
+                        run.stats.counters.size(),
+                        run.stats.gauges.size());
+    }
+    if (!args.traceOutPath.empty() && tracer.writeFile(args.traceOutPath)) {
+        std::printf("  wrote %s (%zu trace threads; open in "
+                    "ui.perfetto.dev)\n",
+                    args.traceOutPath.c_str(), tracer.numBuffers());
     }
     if (run.foundCex()) {
         std::printf("\n%s", run.cause.render().c_str());
