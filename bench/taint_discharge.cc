@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Information-flow discharge ablation: how much property and solver
+ * work the static taint engine saves on each DUT miter.
+ *
+ * For every built-in DUT (plus the two refined configurations whose
+ * flush/arch declarations actually enable discharge — the idle-flush
+ * AES and the fully refined Vscale) this reports:
+ *
+ *  - how many of the miter's output-equality assertions the engine
+ *    proves statically unviolable (the discharged fraction);
+ *  - CNF size of a BMC unrolling of the checked netlist at the DUT's
+ *    Table-1 CEX depth, with and without the taint slice (slice +
+ *    COI prune vs COI prune alone) — the clauses every SAT call
+ *    downstream pays for;
+ *  - end-to-end wall-clock of the full AutoCC run with the discharge
+ *    on vs off, cross-checked to return the identical verdict, depth
+ *    and blamed assertion.
+ *
+ * Unrefined DUTs honestly discharge nothing (every output can carry
+ * surviving state); the refined rows show the payoff: the idle-flush
+ * AES drops half its assertions, and the fully refined Vscale
+ * discharges all of them — a bounded proof with zero SAT queries.
+ */
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "analysis/coi.hh"
+#include "analysis/taint.hh"
+#include "base/table.hh"
+#include "base/timer.hh"
+#include "bench_report.hh"
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+#include "formal/engine.hh"
+#include "formal/unroller.hh"
+#include "rtl/clone.hh"
+#include "sat/solver.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+struct Case
+{
+    const char *name;
+    rtl::Netlist (*build)();
+    unsigned depth; ///< unroll bound (the reproduced CEX depth)
+    /** Extra archEq refinement (the paper's trusted-OS assumption). */
+    std::set<std::string> (*archEq)() = nullptr;
+};
+
+struct Cnf
+{
+    int vars = 0;
+    uint64_t clauses = 0;
+};
+
+/** CNF size of `depth` BMC frames (reset initial state). */
+Cnf
+unrollSize(const rtl::Netlist &netlist, unsigned depth)
+{
+    sat::Solver solver;
+    formal::Gates gates(solver);
+    formal::Unroller unroller(netlist, gates, false);
+    for (unsigned t = 0; t <= depth; ++t) {
+        unroller.addFrame();
+        unroller.assumeOk(t);
+        for (size_t a = 0; a < netlist.asserts().size(); ++a)
+            unroller.assertHolds(t, a);
+    }
+    return Cnf{solver.numVars(), solver.numClauses()};
+}
+
+/** What check() unrolls with the discharge on: slice + COI prune. */
+Cnf
+slicedSize(const rtl::Netlist &miter,
+           const std::vector<std::string> &discharged, unsigned depth)
+{
+    if (discharged.empty())
+        return unrollSize(analysis::coiPrune(miter).netlist, depth);
+    const std::unordered_set<std::string> drop(discharged.begin(),
+                                               discharged.end());
+    rtl::Netlist sliced;
+    sliced.setName(miter.name());
+    const rtl::CloneResult clone =
+        rtl::cloneInto(miter, sliced, "", nullptr);
+    size_t kept = 0;
+    for (const auto &assertion : clone.asserts) {
+        if (!drop.count(assertion.name)) {
+            sliced.addAssert(assertion.name, assertion.node);
+            ++kept;
+        }
+    }
+    if (kept == 0)
+        return Cnf{}; // short-circuited: zero SAT work
+    return unrollSize(analysis::coiPrune(sliced).netlist, depth);
+}
+
+std::string
+percent(uint64_t before, uint64_t after)
+{
+    if (before == 0)
+        return "-";
+    const double saved = 100.0 * (double)(before - after) / (double)before;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "-%.1f%%", saved);
+    return buf;
+}
+
+std::set<std::string>
+vscaleRefinedArchEq()
+{
+    std::set<std::string> arch;
+    for (const auto &group :
+         {duts::VscaleSignals::regfile(), duts::VscaleSignals::pcChain(),
+          duts::VscaleSignals::decodeStage(),
+          duts::VscaleSignals::interrupt()}) {
+        arch.insert(group.begin(), group.end());
+    }
+    return arch;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Case cases[] = {
+        {"toy", duts::buildToyAccelShipped, 6},
+        {"vscale", [] { return duts::buildVscale({}); }, 5},
+        {"vscale-ref",
+         [] {
+             duts::VscaleConfig config;
+             config.blackboxCsr = true;
+             return duts::buildVscale(config);
+         },
+         5, vscaleRefinedArchEq},
+        {"cva6", [] { return duts::buildCva6({}); }, 11},
+        {"maple", [] { return duts::buildMaple({}); }, 7},
+        {"aes", [] { return duts::buildAes({}); }, 9},
+        {"aes-idleflush",
+         [] {
+             duts::AesConfig config;
+             config.declareIdleFlushDone = true;
+             return duts::buildAes(config);
+         },
+         9},
+    };
+
+    std::printf("static information-flow discharge per DUT miter\n\n");
+    Table table({"miter", "depth", "discharged", "clauses", "off s",
+                 "on s", "speedup"});
+    Stopwatch total;
+    bench::Report report("taint_discharge");
+
+    for (const Case &c : cases) {
+        core::AutoccOptions opts;
+        opts.threshold = 2;
+        if (c.archEq)
+            opts.archEq = c.archEq();
+        formal::EngineOptions engine;
+        engine.maxDepth = c.depth + 2;
+
+        Stopwatch offTimer;
+        engine.taintDischarge = false;
+        const core::RunResult off =
+            core::runAutocc(c.build(), opts, engine);
+        const double offSeconds = offTimer.seconds();
+
+        Stopwatch onTimer;
+        engine.taintDischarge = true;
+        const core::RunResult on = core::runAutocc(c.build(), opts, engine);
+        const double onSeconds = onTimer.seconds();
+
+        // Cross-check: the discharge must not change the answer.
+        if (on.check.status != off.check.status ||
+            on.foundCex() != off.foundCex() ||
+            (on.foundCex() &&
+             (on.check.cex->depth != off.check.cex->depth ||
+              on.check.cex->failedAssert != off.check.cex->failedAssert)) ||
+            !on.taintUnsoundCex.empty() || !off.taintUnsoundCex.empty()) {
+            std::printf("MISMATCH on %s: discharge changed the verdict\n",
+                        c.name);
+            return 1;
+        }
+
+        const size_t totalAsserts = on.miter.netlist.asserts().size();
+        const size_t discharged = on.taintDischargeable.size();
+        const Cnf full =
+            unrollSize(analysis::coiPrune(on.miter.netlist).netlist,
+                       c.depth);
+        const Cnf sliced =
+            slicedSize(on.miter.netlist, on.taintDischargeable, c.depth);
+
+        char ratio[32];
+        std::snprintf(ratio, sizeof ratio, "%.2fx",
+                      onSeconds > 0 ? offSeconds / onSeconds : 0.0);
+        table.addRow({c.name, std::to_string(c.depth),
+                      std::to_string(discharged) + "/" +
+                          std::to_string(totalAsserts),
+                      std::to_string(sliced.clauses) + "/" +
+                          std::to_string(full.clauses) + " (" +
+                          percent(full.clauses, sliced.clauses) + ")",
+                      formatSeconds(offSeconds), formatSeconds(onSeconds),
+                      ratio});
+
+        const std::string prefix = c.name;
+        report.counter(prefix + ".asserts_total",
+                       static_cast<double>(totalAsserts));
+        report.counter(prefix + ".asserts_discharged",
+                       static_cast<double>(discharged));
+        report.counter(prefix + ".clauses_full",
+                       static_cast<double>(full.clauses));
+        report.counter(prefix + ".clauses_sliced",
+                       static_cast<double>(sliced.clauses));
+        report.counter(prefix + ".check_seconds_off", offSeconds);
+        report.counter(prefix + ".check_seconds_on", onSeconds);
+    }
+
+    table.print();
+    std::printf("\nevery row cross-checked: identical verdict, depth and "
+                "blamed assertion with the discharge on and off, and no "
+                "CEX violates a discharged assertion\n");
+    report.wallSeconds = total.seconds();
+    report.write();
+    return 0;
+}

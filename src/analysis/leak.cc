@@ -1,5 +1,6 @@
 #include "analysis/leak.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
@@ -120,6 +121,24 @@ LeakReport::observableCandidates() const
         if (sc.candidate() && sc.observable)
             names.push_back(sc.name);
     }
+    return names;
+}
+
+std::vector<std::string>
+LeakReport::rankedCandidates() const
+{
+    std::vector<const StateClass *> ranked;
+    for (const auto &sc : states) {
+        if (sc.candidate())
+            ranked.push_back(&sc);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const StateClass *a, const StateClass *b) {
+                         return a->taintDepth < b->taintDepth;
+                     });
+    std::vector<std::string> names;
+    for (const StateClass *sc : ranked)
+        names.push_back(sc->name);
     return names;
 }
 

@@ -59,6 +59,14 @@ struct StateClass
     /** The builder claimed the flush clears this register. */
     bool claimed = false;
 
+    /**
+     * Earliest cycle at which the information-flow engine says
+     * divergent data can reach this state (attachTaintDepths, see
+     * analysis/taint.hh); taintNever (0xffffffff) when provably clean
+     * or when no taint labels were attached.
+     */
+    unsigned taintDepth = 0xffffffffu;
+
     /** Can this state still differ across universes at spy start? */
     bool candidate() const { return surviving || contaminated; }
 };
@@ -76,6 +84,15 @@ struct LeakReport
 
     /** The headline list: candidates that are also observable. */
     std::vector<std::string> observableCandidates() const;
+
+    /**
+     * Candidates re-ranked by attached taint labels: earliest first
+     * divergence first (a state whose taint arrives sooner is the
+     * likelier formal blame), declaration order breaking ties — which
+     * makes this the plain candidate order when no labels are
+     * attached.
+     */
+    std::vector<std::string> rankedCandidates() const;
 
     /**
      * True if `name` (a register name, memory name, or FindCause-style

@@ -5,6 +5,7 @@
 
 #include "analysis/dataflow.hh"
 #include "analysis/leak.hh"
+#include "analysis/taint.hh"
 #include "analysis/ternary.hh"
 
 namespace autocc::analysis
@@ -71,6 +72,7 @@ class Linter
     void checkTransactions();
     void checkLiveness();
     void checkFlushClaims();
+    void checkTaint();
 
     const Netlist &netlist_;
     const LintWaivers &waivers_;
@@ -318,6 +320,54 @@ Linter::checkFlushClaims()
     }
 }
 
+// W-TAINT-FLUSH-GAP / W-TAINT-OUT-UNCHECKED: information-flow smells
+// (analysis/taint.hh).  A DUT that declares a flush but leaves a
+// register tainted has a gap in its flush cone; an assert-bearing
+// netlist whose tainted output feeds no assertion has divergence its
+// properties cannot see.
+void
+Linter::checkTaint()
+{
+    const TaintReport taint = analyzeTaint(netlist_);
+
+    if (taint.hasFlushFacts || taint.hasFlushDone) {
+        for (size_t i = 0; i < netlist_.regs().size(); ++i) {
+            const TaintState &ts = taint.states[i];
+            if (!ts.label.tainted())
+                continue;
+            if (ts.source) {
+                add("W-TAINT-FLUSH-GAP", Severity::Warning, ts.name,
+                    "register is outside the declared flush cone and "
+                    "survives the context switch as a taint source");
+            } else {
+                add("W-TAINT-FLUSH-GAP", Severity::Warning, ts.name,
+                    "register is cleared by the flush but re-tainted "
+                    "by surviving state at cycle " +
+                        std::to_string(ts.label.depth));
+            }
+        }
+    }
+
+    if (!netlist_.asserts().empty()) {
+        std::vector<NodeId> roots;
+        for (const auto &property : netlist_.asserts())
+            roots.push_back(property.node);
+        const Cone checked = graph_.backwardCone(roots);
+        for (const auto &out : taint.outputs) {
+            if (!out.label.tainted())
+                continue;
+            const rtl::Port *port = netlist_.findPort(out.name);
+            if (port && !checked.contains(port->node)) {
+                add("W-TAINT-OUT-UNCHECKED", Severity::Warning, out.name,
+                    "tainted output port (first divergence at cycle " +
+                        std::to_string(out.label.depth) +
+                        ") is outside the backward cone of every "
+                        "embedded assertion");
+            }
+        }
+    }
+}
+
 LintReport
 Linter::run()
 {
@@ -326,6 +376,7 @@ Linter::run()
     checkTransactions();
     checkLiveness();
     checkFlushClaims();
+    checkTaint();
     return std::move(report_);
 }
 

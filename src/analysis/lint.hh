@@ -22,6 +22,16 @@
  *                    the spy can provably never observe
  *   W-FLUSH-CLAIM    flush sequence does not actually drive a
  *                    register it claims to clear to a constant
+ *   W-TAINT-FLUSH-GAP on a DUT that declares a flush, a register the
+ *                    information-flow engine still labels tainted —
+ *                    either outside the flush cone entirely (a taint
+ *                    source) or cleared but re-tainted by surviving
+ *                    state (analysis/taint.hh)
+ *   W-TAINT-OUT-UNCHECKED tainted output port outside the backward
+ *                    cone of every embedded assertion — divergence the
+ *                    properties cannot see (skipped on netlists with
+ *                    no assertions: DUT outputs are normally covered
+ *                    by the *generated* miter equality asserts)
  *   W-INPUT-UNUSED   input port drives nothing
  *   I-DEAD-NODE      unnamed combinational node with no fan-out
  *

@@ -1,0 +1,506 @@
+#include "analysis/taint.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/leak.hh"
+#include "analysis/ternary.hh"
+#include "base/table.hh"
+#include "obs/stats.hh"
+
+namespace autocc::analysis
+{
+
+using rtl::Netlist;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace
+{
+
+/**
+ * Ternary valuation grown by a forward/backward implication fixpoint.
+ * Knowledge only accumulates; a bit that would contradict an earlier
+ * deduction is dropped rather than overwritten, so an infeasible pin
+ * (a flush-done that can never be 1) degrades to fewer pins — more
+ * taint sources — never to an unsound claim.
+ */
+struct PinnedValues
+{
+    explicit PinnedValues(const Netlist &netlist)
+        : netlist(netlist), vals(netlist.numNodes())
+    {
+    }
+
+    const Netlist &netlist;
+    std::vector<Ternary> vals;
+    bool changed = false;
+
+    void
+    imply(NodeId id, uint64_t value, uint64_t known)
+    {
+        known &= Ternary::mask(netlist.width(id));
+        Ternary &t = vals[id];
+        const uint64_t fresh = known & ~t.known;
+        if (!fresh)
+            return;
+        t.value = (t.value & t.known) | (value & fresh);
+        t.known |= fresh;
+        changed = true;
+    }
+
+    void
+    forwardSweep()
+    {
+        for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+            const Ternary t = evalTernaryNode(netlist, id, vals);
+            imply(id, t.value, t.known);
+        }
+    }
+
+    /** Push known output bits back into operands where implied. */
+    void
+    backwardSweep()
+    {
+        for (NodeId id = netlist.numNodes(); id-- > 0;) {
+            const Node &node = netlist.node(id);
+            const Ternary &out = vals[id];
+            if (!out.known)
+                continue;
+            const NodeId a = node.operands[0];
+            const NodeId b = node.operands[1];
+            switch (node.op) {
+              case Op::Not:
+                imply(a, ~out.value, out.known);
+                break;
+              case Op::And: {
+                // A known 1 output bit needs both operands 1.
+                const uint64_t ones = out.known & out.value;
+                imply(a, ~uint64_t{0}, ones);
+                imply(b, ~uint64_t{0}, ones);
+                break;
+              }
+              case Op::Or: {
+                const uint64_t zeros = out.known & ~out.value;
+                imply(a, 0, zeros);
+                imply(b, 0, zeros);
+                break;
+              }
+              case Op::Xor: {
+                const Ternary &va = vals[a], &vb = vals[b];
+                imply(b, out.value ^ va.value, out.known & va.known);
+                imply(a, out.value ^ vb.value, out.known & vb.known);
+                break;
+              }
+              case Op::Mux: {
+                const Ternary &sel = vals[a];
+                if (sel.known & 1) {
+                    const NodeId taken =
+                        (sel.value & 1) ? b : node.operands[2];
+                    imply(taken, out.value, out.known);
+                }
+                break;
+              }
+              case Op::Eq:
+                // out == 1 makes the operands equal bit for bit.
+                if ((out.known & 1) && (out.value & 1)) {
+                    const Ternary &va = vals[a], &vb = vals[b];
+                    imply(b, va.value, va.known);
+                    imply(a, vb.value, vb.known);
+                }
+                break;
+              case Op::ShlC:
+                imply(a, out.value >> node.aux, out.known >> node.aux);
+                break;
+              case Op::ShrC:
+                imply(a, out.value << node.aux, out.known << node.aux);
+                break;
+              case Op::Concat: {
+                const unsigned lw = netlist.width(b);
+                imply(b, out.value, out.known);
+                imply(a, out.value >> lw, out.known >> lw);
+                break;
+              }
+              case Op::Slice:
+                imply(a, out.value << node.aux, out.known << node.aux);
+                break;
+              case Op::RedOr:
+                if ((out.known & 1) && !(out.value & 1))
+                    imply(a, 0, ~uint64_t{0});
+                break;
+              case Op::RedAnd:
+                if ((out.known & 1) && (out.value & 1))
+                    imply(a, ~uint64_t{0}, ~uint64_t{0});
+                break;
+              default:
+                break; // Input/Const/Reg/MemRead/arith: no implication
+            }
+        }
+    }
+};
+
+/**
+ * Current-cycle values pinned by "flush_done = 1": the idle-flush
+ * frame.  A register whose output comes out fully known here holds
+ * the same value in both universes when the transfer window opens —
+ * the AES pipeline's valid chain under `pipe_idle`, for instance —
+ * even though no flush fact ever clears it.
+ */
+std::vector<Ternary>
+idlePinnedValues(const Netlist &dut, NodeId flush_done)
+{
+    PinnedValues pins(dut);
+    pins.imply(flush_done, 1, 1);
+    // Each productive sweep pair pins at least one new bit, so this
+    // terminates; the cap only guards degenerate netlists, and hitting
+    // it is sound (fewer pins mean more taint sources).
+    for (int iter = 0; iter < 256; ++iter) {
+        pins.changed = false;
+        pins.imply(flush_done, 1, 1);
+        pins.forwardSweep();
+        pins.backwardSweep();
+        if (!pins.changed)
+            break;
+    }
+    return std::move(pins.vals);
+}
+
+unsigned
+minDepth(unsigned a, unsigned b)
+{
+    return a < b ? a : b;
+}
+
+unsigned
+nextCycle(unsigned depth)
+{
+    return depth == taintNever ? taintNever : depth + 1;
+}
+
+const char *
+originName(TaintOrigin origin)
+{
+    switch (origin) {
+      case TaintOrigin::Surviving:
+        return "survives";
+      case TaintOrigin::Memory:
+        return "memory";
+      case TaintOrigin::Flushed:
+        return "flushed";
+      case TaintOrigin::FlushImplied:
+        return "flush-implied";
+      case TaintOrigin::Equalized:
+        return "equalized";
+    }
+    return "?";
+}
+
+std::string
+depthText(const TaintLabel &label)
+{
+    return label.tainted() ? std::to_string(label.depth) : "-";
+}
+
+} // namespace
+
+TaintReport
+analyzeTaint(const Netlist &dut, const TaintOptions &options)
+{
+    TaintReport report;
+    report.dutName = dut.name();
+    report.hasFlushFacts = !dut.flushFacts().empty();
+    report.hasFlushDone = dut.flushDoneSignal().has_value();
+
+    // ---- clearing-pulse frame: registers whose next-state is a full
+    // constant under the flush facts are cleared by the flush — the
+    // leak classifier's criterion, reused verbatim so the two analyses
+    // can never disagree about what "flushed" means.
+    std::vector<std::pair<NodeId, uint64_t>> forced;
+    for (const auto &fact : dut.flushFacts())
+        forced.emplace_back(fact.node, fact.value);
+    const std::vector<Ternary> flushVals = evalTernary(dut, forced);
+
+    // ---- window-start frame: values pinned by flush_done = 1.
+    std::vector<Ternary> idleVals;
+    if (report.hasFlushDone) {
+        idleVals =
+            idlePinnedValues(dut, dut.signal(*dut.flushDoneSignal()));
+    }
+
+    // ---- unconditional constants, for the control-taint refinement:
+    // a node that is the same constant in every execution is equal
+    // across the universes whatever its operands' labels say.
+    const std::vector<Ternary> constVals = evalTernary(dut, {});
+
+    // ---- taint sources.
+    const size_t n = dut.numNodes();
+    std::vector<unsigned> depth(n, taintNever);
+    std::vector<unsigned> memData(dut.mems().size(), taintNever);
+    std::vector<unsigned> memAddr(dut.mems().size(), taintNever);
+    std::vector<bool> sourceReg(dut.regs().size(), false);
+
+    for (size_t i = 0; i < dut.regs().size(); ++i) {
+        const auto &reg = dut.regs()[i];
+        const unsigned width = dut.width(reg.node);
+        TaintState ts;
+        ts.name = reg.name;
+        if (report.hasFlushFacts && reg.next != rtl::invalidNode &&
+            flushVals[reg.next].fullyKnown(width)) {
+            ts.origin = TaintOrigin::Flushed;
+        } else if (report.hasFlushDone &&
+                   idleVals[reg.node].fullyKnown(width)) {
+            ts.origin = TaintOrigin::FlushImplied;
+        } else if (options.equalizedRegs.count(reg.name)) {
+            ts.origin = TaintOrigin::Equalized;
+        } else {
+            ts.origin = TaintOrigin::Surviving;
+            ts.source = true;
+            sourceReg[i] = true;
+            depth[reg.node] = 0;
+        }
+        report.states.push_back(std::move(ts));
+    }
+    for (const auto &mem : dut.mems()) {
+        TaintState ts;
+        ts.name = mem.name;
+        ts.isMemory = true;
+        ts.source = true;
+        ts.origin = TaintOrigin::Memory;
+        report.states.push_back(std::move(ts));
+    }
+    for (uint32_t m = 0; m < dut.mems().size(); ++m)
+        memData[m] = 0;
+
+    // Replicated inputs are assumed equal in spy mode — except a
+    // transaction payload, whose equality assumption the miter gates
+    // by the transaction valid: while the valid is low the payload
+    // may legally differ across the universes, so it is a source.
+    for (const auto &txn : dut.transactions()) {
+        const rtl::Port *valid = dut.findPort(txn.validPort);
+        if (!valid || valid->dir != rtl::PortDir::In)
+            continue;
+        for (const auto &name : txn.payloadPorts) {
+            const rtl::Port *payload = dut.findPort(name);
+            if (!payload || payload->dir != rtl::PortDir::In ||
+                payload->common) {
+                continue;
+            }
+            depth[payload->node] = 0;
+            report.gatedInputs.push_back(name);
+        }
+    }
+
+    // ---- forward sequential min-depth fixpoint.  Labels start at
+    // "never" and only decrease, so every sweep that changes anything
+    // lowers at least one label and the loop terminates.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (NodeId id = 0; id < n; ++id) {
+            const Node &node = dut.node(id);
+            unsigned cand = taintNever;
+            switch (node.op) {
+              case Op::Input:
+              case Op::Const:
+                continue; // sources pre-seeded; constants clean
+              case Op::Reg: {
+                if (sourceReg[node.aux])
+                    continue;
+                const auto &reg = dut.regs()[node.aux];
+                if (reg.next != rtl::invalidNode)
+                    cand = nextCycle(depth[reg.next]);
+                break;
+              }
+              case Op::MemRead:
+                // Divergent stored data, divergent placement of the
+                // stored data, or a divergent read address all make
+                // the read value differ.
+                cand = minDepth(memData[node.aux],
+                                minDepth(memAddr[node.aux],
+                                         depth[node.operands[0]]));
+                break;
+              case Op::Mux: {
+                const NodeId sel = node.operands[0];
+                const NodeId t = node.operands[1];
+                const NodeId e = node.operands[2];
+                const Ternary &sc = constVals[sel];
+                if (sc.known & 1) {
+                    cand = depth[(sc.value & 1) ? t : e];
+                } else if (t == e) {
+                    // Control taint cannot matter: both branches are
+                    // the same value, so either choice agrees.
+                    cand = depth[t];
+                } else {
+                    cand = minDepth(depth[sel],
+                                    minDepth(depth[t], depth[e]));
+                }
+                break;
+              }
+              default:
+                for (unsigned i = 0; i < node.numOperands; ++i)
+                    cand = minDepth(cand, depth[node.operands[i]]);
+                break;
+            }
+            if (constVals[id].fullyKnown(node.width))
+                cand = taintNever;
+            if (cand < depth[id]) {
+                depth[id] = cand;
+                changed = true;
+            }
+        }
+        for (const auto &write : dut.memWrites()) {
+            // A divergent enable or address changes *where* data
+            // lands; divergent data changes *what* lands.  Both take
+            // effect at the next clock edge.
+            const unsigned addrCand = nextCycle(
+                minDepth(depth[write.enable], depth[write.addr]));
+            if (addrCand < memAddr[write.mem]) {
+                memAddr[write.mem] = addrCand;
+                changed = true;
+            }
+            const unsigned dataCand = nextCycle(depth[write.data]);
+            if (dataCand < memData[write.mem]) {
+                memData[write.mem] = dataCand;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- fill the report.
+    report.nodes.resize(n);
+    for (NodeId id = 0; id < n; ++id)
+        report.nodes[id].depth = depth[id];
+    for (size_t i = 0; i < dut.regs().size(); ++i)
+        report.states[i].label = report.nodes[dut.regs()[i].node];
+    for (uint32_t m = 0; m < dut.mems().size(); ++m) {
+        TaintState &ts = report.states[dut.regs().size() + m];
+        ts.addrChannel.depth = memAddr[m];
+        ts.dataChannel.depth = memData[m];
+        ts.label.depth = minDepth(memAddr[m], memData[m]);
+    }
+
+    std::unordered_set<std::string> gatedOutputs;
+    for (const auto &txn : dut.transactions()) {
+        const rtl::Port *valid = dut.findPort(txn.validPort);
+        if (!valid || valid->dir != rtl::PortDir::Out)
+            continue;
+        for (const auto &name : txn.payloadPorts)
+            gatedOutputs.insert(name);
+    }
+    for (const auto &port : dut.ports()) {
+        if (port.dir != rtl::PortDir::Out)
+            continue;
+        TaintOutput out;
+        out.name = port.name;
+        out.gated = gatedOutputs.count(port.name) > 0;
+        out.label = report.nodes[port.node];
+        report.outputs.push_back(std::move(out));
+    }
+    return report;
+}
+
+TaintLabel
+TaintReport::outputLabel(const std::string &name) const
+{
+    for (const auto &out : outputs) {
+        if (out.name == name)
+            return out.label;
+    }
+    return TaintLabel{0}; // unknown port: assume the worst
+}
+
+std::vector<std::string>
+TaintReport::untaintedOutputs() const
+{
+    std::vector<std::string> names;
+    for (const auto &out : outputs) {
+        if (!out.label.tainted())
+            names.push_back(out.name);
+    }
+    return names;
+}
+
+size_t
+TaintReport::numSources() const
+{
+    size_t count = 0;
+    for (const auto &ts : states)
+        count += ts.source;
+    return count;
+}
+
+void
+TaintReport::exportStats(obs::Registry &registry) const
+{
+    size_t statesTainted = 0;
+    for (const auto &ts : states)
+        statesTainted += ts.label.tainted();
+    size_t outputsTainted = 0;
+    for (const auto &out : outputs)
+        outputsTainted += out.label.tainted();
+    registry.add("taint.runs");
+    registry.add("taint.sources", numSources());
+    registry.add("taint.gated_inputs", gatedInputs.size());
+    registry.add("taint.states_tainted", statesTainted);
+    registry.add("taint.states_untainted", states.size() - statesTainted);
+    registry.add("taint.outputs_tainted", outputsTainted);
+    registry.add("taint.outputs_untainted",
+                 outputs.size() - outputsTainted);
+}
+
+void
+attachTaintDepths(LeakReport &leaks, const TaintReport &taint)
+{
+    std::unordered_map<std::string, unsigned> depths;
+    for (const auto &ts : taint.states)
+        depths.emplace(ts.name, ts.label.depth);
+    for (auto &sc : leaks.states) {
+        const auto it = depths.find(sc.name);
+        if (it != depths.end())
+            sc.taintDepth = it->second;
+    }
+}
+
+std::string
+TaintReport::render() const
+{
+    std::ostringstream os;
+    os << "information-flow labels of '" << dutName << "'";
+    if (!hasFlushFacts && !hasFlushDone)
+        os << " (no flush declared: only equalized registers are clean)";
+    os << "\n";
+    Table states_table({"state", "class", "source", "tainted", "depth"});
+    for (const auto &ts : states) {
+        std::string depthCol = depthText(ts.label);
+        if (ts.isMemory) {
+            depthCol += " (addr " + depthText(ts.addrChannel) +
+                        ", data " + depthText(ts.dataChannel) + ")";
+        }
+        states_table.addRow({ts.name, originName(ts.origin),
+                             ts.source ? "YES" : "-",
+                             ts.label.tainted() ? "YES" : "-", depthCol});
+    }
+    os << states_table.render();
+    if (!gatedInputs.empty()) {
+        os << "valid-gated input payloads (sources): ";
+        for (size_t i = 0; i < gatedInputs.size(); ++i)
+            os << (i ? ", " : "") << gatedInputs[i];
+        os << "\n";
+    }
+    os << "\n";
+    Table out_table({"output", "tainted", "first divergence", "gated"});
+    for (const auto &out : outputs) {
+        out_table.addRow({out.name, out.label.tainted() ? "YES" : "-",
+                          out.label.tainted()
+                              ? "cycle " + std::to_string(out.label.depth)
+                              : "never (provably equal)",
+                          out.gated ? "yes" : "-"});
+    }
+    os << out_table.render();
+    return os.str();
+}
+
+} // namespace autocc::analysis

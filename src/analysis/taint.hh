@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Word-level two-universe information-flow (taint) engine.
+ *
+ * AutoCC's miter asks, per output and cycle, whether state left
+ * behind by the victim can make the two universes diverge once the
+ * spy runs.  That is an information-flow question, and a sound
+ * structural over-approximation of it needs no SAT call (the same
+ * observation behind UPEC's structural pre-analysis and the fence.t
+ * flush-cone argument): label everything that *may differ across the
+ * universes at the modeled context switch* as a taint source, run a
+ * forward sequential fixpoint, and every output whose label stays
+ * clean is statically proven non-interfering — its spy-mode equality
+ * assertion can never fail, so the formal engine may skip its
+ * unrolled clauses entirely (EngineOptions::taintDischarge).
+ *
+ * Taint sources — state that may still differ when the transfer
+ * window opens:
+ *
+ *  - registers that are neither cleared by the flush (next-state
+ *    ternary-constant under the declared flush facts, exactly the
+ *    leak classifier's criterion), nor pinned by the flush-done
+ *    signal (a forward/backward constant fixpoint under
+ *    "flush_done = 1" — how an idle-pipeline flush like the AES
+ *    DUT's proves its valid chain equal with no flush facts at all),
+ *    nor equalized by the modeled context switch
+ *    (TaintOptions::equalizedRegs, the miter's
+ *    architectural_state_eq refinement set: state the OS swaps);
+ *  - every memory (no per-word clear exists in the IR);
+ *  - replicated input ports whose equality assumption the miter
+ *    gates by a transaction valid: when the valid is low in spy
+ *    mode, the payload may legally differ across universes.
+ *
+ * Propagation distinguishes mux control from data (a tainted select
+ * only propagates when the two branches can actually differ), splits
+ * memory taint into an address channel (which word is written may
+ * differ) and a data channel (what is written may differ), and kills
+ * false control taint with a ternary-eval refinement: any node that
+ * evaluates to a full constant with no assumptions is identical in
+ * both universes forever, whatever its operands' labels say.
+ *
+ * Every label carries the earliest cycle (counted from the context
+ * switch) at which divergent data can arrive — depth 0 means "can
+ * already differ when the spy starts", an output's depth is its first
+ * possible divergence.  Soundness rests on the same declared-flush
+ * contract the leak classifier golden-tests via
+ * RunResult::staticMissed; RunResult::taintUnsoundCex is the runtime
+ * tripwire that replays every counterexample against the discharged
+ * assertions.
+ */
+
+#ifndef AUTOCC_ANALYSIS_TAINT_HH
+#define AUTOCC_ANALYSIS_TAINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace autocc::obs
+{
+class Registry;
+}
+
+namespace autocc::analysis
+{
+
+struct LeakReport;
+
+/** Depth value meaning "taint can never arrive". */
+constexpr unsigned taintNever = 0xffffffffu;
+
+/** Options for the taint analysis. */
+struct TaintOptions
+{
+    /**
+     * Register names (DUT-relative) equalized by the modeled context
+     * switch — the miter's architectural_state_eq refinement set
+     * (AutoccOptions::archEq).  These hold equal values when spy mode
+     * starts, so they are not taint sources (they can still become
+     * tainted later through propagation).  Entries that do not name a
+     * register are ignored: equalizing a derived wire pins no state.
+     */
+    std::set<std::string> equalizedRegs;
+};
+
+/** Taint label of one node / memory channel. */
+struct TaintLabel
+{
+    /** Earliest cycle divergent data can arrive; taintNever if none. */
+    unsigned depth = taintNever;
+
+    bool tainted() const { return depth != taintNever; }
+};
+
+/** Why a state element is, or is not, a taint source. */
+enum class TaintOrigin : uint8_t {
+    Surviving,     ///< not equalized/flushed: differs at the switch
+    Memory,        ///< memories always survive (no per-word clear)
+    Flushed,       ///< next-state constant under the flush facts
+    FlushImplied,  ///< value pinned by the flush-done=1 fixpoint
+    Equalized,     ///< in TaintOptions::equalizedRegs (OS-swapped)
+};
+
+/** Per-register / per-memory taint classification. */
+struct TaintState
+{
+    std::string name;  ///< hierarchical path (DUT-relative)
+    bool isMemory = false;
+    bool source = false;
+    TaintOrigin origin = TaintOrigin::Surviving;
+    TaintLabel label;
+    /** Memory only: taint via which-word-is-written divergence. */
+    TaintLabel addrChannel;
+    /** Memory only: taint via written-data divergence (or source). */
+    TaintLabel dataChannel;
+};
+
+/** Per-output-port taint result. */
+struct TaintOutput
+{
+    std::string name;   ///< port name
+    bool gated = false; ///< payload of a same-direction transaction
+    TaintLabel label;   ///< depth = first possible divergence
+};
+
+/** Full information-flow report for one DUT. */
+struct TaintReport
+{
+    std::string dutName;
+    bool hasFlushFacts = false;
+    bool hasFlushDone = false;
+
+    /** Per-node labels, indexed by NodeId. */
+    std::vector<TaintLabel> nodes;
+    /** Register and memory rows, regs first (Netlist order). */
+    std::vector<TaintState> states;
+    /** One row per output port (Netlist order). */
+    std::vector<TaintOutput> outputs;
+    /** Gated input payload ports treated as sources. */
+    std::vector<std::string> gatedInputs;
+
+    bool tainted(rtl::NodeId id) const { return nodes[id].tainted(); }
+
+    /** Taint label of output port `name`; tainted if unknown. */
+    TaintLabel outputLabel(const std::string &name) const;
+
+    /** True unless `name` is a provably untainted output port. */
+    bool outputTainted(const std::string &name) const
+    {
+        return outputLabel(name).tainted();
+    }
+
+    /** Output ports proven untainted (spy-equality holds statically). */
+    std::vector<std::string> untaintedOutputs() const;
+
+    /** Number of source state elements. */
+    size_t numSources() const;
+
+    /** Record taint.* keys (sources, tainted/untainted counts). */
+    void exportStats(obs::Registry &registry) const;
+
+    /** Human-readable label table + per-output divergence depths. */
+    std::string render() const;
+};
+
+/** Run the information-flow analysis on `dut`; see file comment. */
+TaintReport analyzeTaint(const rtl::Netlist &dut,
+                         const TaintOptions &options = {});
+
+/**
+ * Copy per-state first-divergence depths into a leak report's
+ * StateClass::taintDepth fields (matched by name), so
+ * LeakReport::rankedCandidates() can order candidates by how soon
+ * divergent data can reach them.
+ */
+void attachTaintDepths(LeakReport &leaks, const TaintReport &taint);
+
+} // namespace autocc::analysis
+
+#endif // AUTOCC_ANALYSIS_TAINT_HH

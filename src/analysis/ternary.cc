@@ -148,6 +148,13 @@ evalNode(const Netlist &netlist, const Node &node,
 
 } // namespace
 
+Ternary
+evalTernaryNode(const Netlist &netlist, NodeId id,
+                const std::vector<Ternary> &vals)
+{
+    return evalNode(netlist, netlist.node(id), vals);
+}
+
 std::vector<Ternary>
 evalTernary(const Netlist &netlist,
             const std::vector<std::pair<NodeId, uint64_t>> &forced)

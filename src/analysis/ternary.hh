@@ -55,6 +55,16 @@ std::vector<Ternary> evalTernary(
     const rtl::Netlist &netlist,
     const std::vector<std::pair<rtl::NodeId, uint64_t>> &forced);
 
+/**
+ * Evaluate a single node from its operands' values in `vals` (which
+ * must already cover every operand).  Inputs, registers and memory
+ * reads come out unknown — exposed so iterative analyses (e.g. the
+ * taint engine's forward/backward constant fixpoint) can re-sweep a
+ * netlist while folding in externally derived knowledge.
+ */
+Ternary evalTernaryNode(const rtl::Netlist &netlist, rtl::NodeId id,
+                        const std::vector<Ternary> &vals);
+
 } // namespace autocc::analysis
 
 #endif // AUTOCC_ANALYSIS_TERNARY_HH

@@ -1,7 +1,10 @@
 #include "core/autocc.hh"
 
+#include <unordered_set>
+
 #include "base/logging.hh"
 #include "base/timer.hh"
+#include "sim/simulator.hh"
 
 namespace autocc::core
 {
@@ -21,6 +24,50 @@ crossCheckLeaks(RunResult &result)
         warn("static leak analysis missed ", result.staticMissed.size(),
              " divergent state(s), e.g. '", result.staticMissed.front(),
              "' — candidate set is not a sound over-approximation");
+    }
+}
+
+/**
+ * Soundness tripwire: replay the counterexample on the *full* miter
+ * (the engine may have checked a taint slice / COI prune of it) and
+ * collect every discharge-claimed assertion the trace violates.  The
+ * trace is a genuine execution — pruned inputs default to 0, and both
+ * slice and prune keep all assumptions as cone roots — so any hit
+ * here is a hard refutation of the engine's "untainted" label, not a
+ * replay artifact.
+ */
+void
+crossCheckTaint(RunResult &result)
+{
+    if (!result.check.foundCex() || result.taintDischargeable.empty())
+        return;
+    const rtl::Netlist &netlist = result.miter.netlist;
+    const sim::Trace &trace = result.check.cex->trace;
+    const std::unordered_set<std::string> claimed(
+        result.taintDischargeable.begin(), result.taintDischargeable.end());
+    std::unordered_set<std::string> violated;
+    sim::Simulator sim(netlist);
+    for (size_t t = 0; t < trace.depth(); ++t) {
+        for (const auto &[name, value] : trace.inputs[t])
+            sim.poke(name, value);
+        sim.eval();
+        for (const auto &assertion : netlist.asserts()) {
+            if (claimed.count(assertion.name) &&
+                sim.peek(assertion.node) == 0) {
+                violated.insert(assertion.name);
+            }
+        }
+        sim.step();
+    }
+    for (const auto &assertion : netlist.asserts()) {
+        if (violated.count(assertion.name))
+            result.taintUnsoundCex.push_back(assertion.name);
+    }
+    if (!result.taintUnsoundCex.empty()) {
+        warn("taint engine discharged ", result.taintUnsoundCex.size(),
+             " assertion(s) the counterexample violates, e.g. '",
+             result.taintUnsoundCex.front(),
+             "' — untainted labels are not sound for this DUT");
     }
 }
 
@@ -68,6 +115,28 @@ struct FlowObs
         }
         reg().set("miter.nodes",
                   static_cast<double>(result.miter.netlist.numNodes()));
+        {
+            const Stopwatch watch;
+            obs::Span span(trace, "taint analysis");
+            analysis::TaintOptions taintOpts;
+            taintOpts.equalizedRegs = result.miter.archEq;
+            result.taint = analysis::analyzeTaint(dut, taintOpts);
+            reg().addSeconds("taint.seconds", watch.seconds());
+        }
+        result.taint.exportStats(reg());
+        analysis::attachTaintDepths(result.leaks, result.taint);
+        if (!autocc.syncAtFlushStart) {
+            for (const auto &handling : result.miter.handling) {
+                if (!handling.isInput &&
+                    !result.taint.outputTainted(handling.port)) {
+                    result.taintDischargeable.push_back(
+                        handling.propertyName);
+                }
+            }
+        }
+        reg().set("taint.dischargeable",
+                  static_cast<double>(result.taintDischargeable.size()));
+        engine.untaintedAsserts = result.taintDischargeable;
     }
 
     /** CEX cause analysis + static/formal cross-check, instrumented. */
@@ -82,6 +151,14 @@ struct FlowObs
                       static_cast<double>(result.cause.uarchNames().size()));
         }
         crossCheckLeaks(result);
+        if (result.check.foundCex() && !result.taintDischargeable.empty()) {
+            const Stopwatch watch;
+            obs::Span span(trace, "taint tripwire");
+            crossCheckTaint(result);
+            reg().addSeconds("taint.tripwire_seconds", watch.seconds());
+            reg().set("taint.unsound_cex",
+                      static_cast<double>(result.taintUnsoundCex.size()));
+        }
         result.stats = reg().snapshot();
     }
 };

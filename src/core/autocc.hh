@@ -16,6 +16,7 @@
 #define AUTOCC_CORE_AUTOCC_HH
 
 #include "analysis/leak.hh"
+#include "analysis/taint.hh"
 #include "core/analysis.hh"
 #include "core/invariants.hh"
 #include "core/flush_synth.hh"
@@ -49,6 +50,34 @@ struct RunResult
      * (always expected empty; cross-checked by the evals).
      */
     std::vector<std::string> staticMissed;
+
+    /**
+     * Information-flow labels of the DUT (analysis/taint.hh),
+     * computed with the run's archEq refinement as the equalized set.
+     * Depths are also attached to `leaks` (StateClass::taintDepth).
+     */
+    analysis::TaintReport taint;
+
+    /**
+     * Miter output-equality assertions whose DUT output the taint
+     * engine proved untainted — statically unviolable, so the check
+     * may skip them (EngineOptions::untaintedAsserts).  Always
+     * computed, even with discharge off, so the tripwire below has
+     * something to test; left empty under syncAtFlushStart (the flush
+     * then runs *inside* the window and "flushed ⇒ equal at spy
+     * start" no longer holds).
+     */
+    std::vector<std::string> taintDischargeable;
+
+    /**
+     * Soundness tripwire: assertions from `taintDischargeable` that
+     * the counterexample trace actually violates on a full-miter
+     * replay.  Non-empty means the taint engine's untainted claim is
+     * wrong for this DUT — a lying flush fact or an engine bug
+     * (always expected empty; golden-checked on every reproduced
+     * Table-1 CEX, mirroring `staticMissed`).
+     */
+    std::vector<std::string> taintUnsoundCex;
 
     /**
      * Observability snapshot of the whole run: the engine's counters

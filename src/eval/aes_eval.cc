@@ -36,6 +36,7 @@ runAesEvaluation(const AesEvalOptions &options)
             result.a1FailedAssert = run.check.cex->failedAssert;
             result.a1Blamed = run.cause.uarchNames();
             result.staticMissed = run.staticMissed;
+            result.taintUnsound = run.taintUnsoundCex;
         }
     }
 

@@ -29,6 +29,8 @@ struct AesEvalResult
     std::vector<std::string> a1Blamed;
     /** Blamed state missing from the static candidate set (expect []). */
     std::vector<std::string> staticMissed;
+    /** Discharge-claimed asserts the CEX violates (expect []). */
+    std::vector<std::string> taintUnsound;
 
     /** Full proof after the idle-pipeline refinement. */
     bool proved = false;

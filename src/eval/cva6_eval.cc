@@ -35,6 +35,7 @@ record(const RunResult &run)
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
         step.staticMissed = run.staticMissed;
+        step.taintUnsound = run.taintUnsoundCex;
     }
     return step;
 }

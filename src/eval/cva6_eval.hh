@@ -33,6 +33,8 @@ struct Cva6Step
     std::vector<std::string> blamed;
     /** Blamed state missing from the static candidate set (expect []). */
     std::vector<std::string> staticMissed;
+    /** Discharge-claimed asserts the CEX violates (expect []). */
+    std::vector<std::string> taintUnsound;
 };
 
 /** Options for the CVA6 run. */

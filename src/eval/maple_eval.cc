@@ -92,6 +92,7 @@ runMapleEvaluation(const MapleEvalOptions &options)
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
         step.staticMissed = run.staticMissed;
+        step.taintUnsound = run.taintUnsoundCex;
 
         // One user action per CEX, mirroring the paper's responses.
         if (!config.fixTlbEnable &&

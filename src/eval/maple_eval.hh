@@ -32,6 +32,8 @@ struct MapleStep
     std::vector<std::string> blamed;
     /** Blamed state missing from the static candidate set (expect []). */
     std::vector<std::string> staticMissed;
+    /** Discharge-claimed asserts the CEX violates (expect []). */
+    std::vector<std::string> taintUnsound;
 };
 
 /** Options for the MAPLE run. */

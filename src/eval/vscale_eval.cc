@@ -74,6 +74,7 @@ runVscaleRefinement(const VscaleEvalOptions &options)
         step.failedAssert = run.check.cex->failedAssert;
         step.blamed = run.cause.uarchNames();
         step.staticMissed = run.staticMissed;
+        step.taintUnsound = run.taintUnsoundCex;
         step.description = classify(step.blamed);
 
         bool blackboxedNow = false;

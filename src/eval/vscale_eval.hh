@@ -39,6 +39,8 @@ struct VscaleStep
     std::vector<std::string> blamed; ///< FindCause uarch output
     /** Blamed state missing from the static candidate set (expect []). */
     std::vector<std::string> staticMissed;
+    /** Discharge-claimed asserts the CEX violates (expect []). */
+    std::vector<std::string> taintUnsound;
 };
 
 /** Options for the run. */

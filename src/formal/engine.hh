@@ -76,6 +76,29 @@ struct EngineOptions
     bool coi = true;
 
     /**
+     * Statically discharge the assertions named in `untaintedAsserts`
+     * before unrolling: their clauses are never generated, and the
+     * cone feeding only them falls to the COI prune (a taint slice).
+     * When every assertion is discharged the check short-circuits to
+     * a bounded proof at `maxDepth` with zero SAT queries.  Escape
+     * hatch: `--no-taint` / taintDischarge = false keeps the list
+     * around for the soundness tripwire but checks everything.
+     * Honored by formal::check(); plain checkSafety() never slices.
+     */
+    bool taintDischarge = true;
+
+    /**
+     * Assertions the information-flow engine proved unviolable
+     * (analysis::analyzeTaint: their output's label is untainted, so
+     * the two universes agree on it in every reachable cycle).  Names
+     * not present in the netlist are ignored.  Filled by core::
+     * runAutocc / proveAutocc from the DUT-level taint labels mapped
+     * through the miter's port handling; empty means "discharge
+     * nothing" and the check is byte-identical to a plain one.
+     */
+    std::vector<std::string> untaintedAsserts;
+
+    /**
      * Observability sinks (stats registry / event tracer / progress
      * reporter, see obs/obs.hh) recorded into by every layer the check
      * touches.  All-null by default: the engines then keep a private

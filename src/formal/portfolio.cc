@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "analysis/coi.hh"
 #include "base/logging.hh"
@@ -14,6 +15,7 @@
 #include "base/timer.hh"
 #include "formal/gates.hh"
 #include "formal/unroller.hh"
+#include "rtl/clone.hh"
 #include "sat/solver.hh"
 #include "sim/simulator.hh"
 
@@ -959,13 +961,64 @@ check(const rtl::Netlist &netlist, const EngineOptions &options,
         portfolio.engine.obs.stats = &localReg;
     obs::Registry &reg = *portfolio.engine.obs.stats;
 
-    if (options.coi && !netlist.asserts().empty()) {
+    // ---- taint slice: drop assertions the information-flow engine
+    // proved unviolable, before any unrolling.  Removing an assert
+    // only shrinks the property set, and a discharged assert is
+    // statically true in every reachable cycle, so verdict, CEX depth
+    // and the canonical first-violated blame are all preserved; the
+    // COI prune below then reclaims the cone that fed only the
+    // discharged assertions.
+    const rtl::Netlist *target = &netlist;
+    rtl::Netlist sliced;
+    if (options.taintDischarge && !options.untaintedAsserts.empty() &&
+        !netlist.asserts().empty()) {
+        const std::unordered_set<std::string> discharged(
+            options.untaintedAsserts.begin(),
+            options.untaintedAsserts.end());
+        size_t kept = 0;
+        for (const auto &assertion : netlist.asserts())
+            kept += discharged.count(assertion.name) == 0;
+        const size_t total = netlist.asserts().size();
+        reg.add("taint.discharge.asserts_total", total);
+        reg.add("taint.discharge.asserts_discharged", total - kept);
+        if (kept == 0) {
+            // Every assertion is statically unviolable: a bounded
+            // proof at the full requested depth with zero SAT work.
+            reg.add("taint.discharge.short_circuit");
+            CheckResult result;
+            result.status = CheckStatus::BoundedProof;
+            result.bound = options.maxDepth;
+            result.stats = reg.snapshot();
+            return result;
+        }
+        if (kept < total) {
+            obs::TraceBuffer *trace = options.obs.tracer
+                ? options.obs.tracer->newBuffer("prep")
+                : nullptr;
+            obs::Span span(trace, "taint slice");
+            sliced.setName(netlist.name());
+            const rtl::CloneResult clone =
+                rtl::cloneInto(netlist, sliced, "", nullptr);
+            // cloneInto installs assumes but only returns asserts;
+            // reinstall the survivors in source order so the engine
+            // blames the same assertion as an unsliced run.
+            for (const auto &assertion : clone.asserts) {
+                if (!discharged.count(assertion.name))
+                    sliced.addAssert(assertion.name, assertion.node);
+            }
+            span.finish("{\"kept\": " + std::to_string(kept) +
+                        ", \"of\": " + std::to_string(total) + "}");
+            target = &sliced;
+        }
+    }
+
+    if (options.coi && !target->asserts().empty()) {
         obs::TraceBuffer *trace = options.obs.tracer
             ? options.obs.tracer->newBuffer("prep")
             : nullptr;
         const Stopwatch watch;
         obs::Span span(trace, "coi prune");
-        const analysis::CoiResult pruned = analysis::coiPrune(netlist);
+        const analysis::CoiResult pruned = analysis::coiPrune(*target);
         span.finish("{\"kept\": " + std::to_string(pruned.nodesAfter) +
                     ", \"of\": " + std::to_string(pruned.nodesBefore) +
                     "}");
@@ -973,7 +1026,7 @@ check(const rtl::Netlist &netlist, const EngineOptions &options,
         reg.addSeconds("coi.seconds", watch.seconds());
         return checkSafetyPortfolio(pruned.netlist, portfolio, stats);
     }
-    return checkSafetyPortfolio(netlist, portfolio, stats);
+    return checkSafetyPortfolio(*target, portfolio, stats);
 }
 
 } // namespace autocc::formal

@@ -141,6 +141,15 @@ TEST_F(AesEvaluation, StaticCandidatesCoverTheA1Blame)
         << result().staticMissed.front();
 }
 
+TEST_F(AesEvaluation, TaintLabelsSoundOnTheA1Cex)
+{
+    // Tripwire golden: the A1 CEX may not violate any assertion the
+    // information-flow engine offered for discharge.
+    EXPECT_TRUE(result().taintUnsound.empty())
+        << "CEX violates discharged assertion "
+        << result().taintUnsound.front();
+}
+
 TEST_F(AesEvaluation, A1DepthCoversPipelineDrain)
 {
     // The in-flight request must hide deeper than the transfer

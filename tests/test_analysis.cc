@@ -302,10 +302,12 @@ TEST(Lint, BuiltinDutsHaveNoErrors)
 TEST(Lint, ToyIsWarningCleanWithDocumentedWaiver)
 {
     // scratch is a write-only debug register by design (it exists so
-    // flush minimization has something to discard) — the one waiver
-    // CI carries for the toy DUT.
+    // flush minimization has something to discard), and the shipped
+    // toy flush is deliberately leaky — its taint flush gaps are the
+    // whole point of the quickstart DUT.  These are the waivers CI
+    // carries for it.
     LintWaivers waivers;
-    waivers.entries = {"W-REG-UNOBSERVABLE:scratch"};
+    waivers.entries = {"W-REG-UNOBSERVABLE:scratch", "W-TAINT-FLUSH-GAP"};
     const LintReport report =
         runLint(duts::buildToyAccelShipped(), waivers);
     EXPECT_TRUE(report.clean(Severity::Warning)) << report.render();
@@ -422,6 +424,10 @@ TEST(Leak, GoldenToyCexBlamesOnlyStaticCandidates)
     EXPECT_TRUE(run.staticMissed.empty())
         << "blamed state missing from the static candidate set: "
         << run.staticMissed[0] << "\n" << run.leaks.render();
+    // And the taint tripwire stays silent on an honest DUT.
+    EXPECT_TRUE(run.taintUnsoundCex.empty())
+        << "CEX violates discharged assertion "
+        << run.taintUnsoundCex[0];
 }
 
 // --- cone-of-influence pruning ----------------------------------------

@@ -335,6 +335,17 @@ TEST_F(Cva6Evaluation, StaticCandidatesCoverEveryBlame)
     }
 }
 
+TEST_F(Cva6Evaluation, TaintLabelsSoundOnEveryCex)
+{
+    // Tripwire golden: no reproduced CEX may violate an assertion the
+    // information-flow engine offered for discharge.
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.taintUnsound.empty())
+            << step.id << " CEX violates discharged assertion "
+            << step.taintUnsound.front();
+    }
+}
+
 TEST_F(Cva6Evaluation, FixesValidatedByProof)
 {
     const Cva6Step &last = steps().back();

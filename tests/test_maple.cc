@@ -257,6 +257,17 @@ TEST_F(MapleEvaluation, StaticCandidatesCoverEveryBlame)
     }
 }
 
+TEST_F(MapleEvaluation, TaintLabelsSoundOnEveryCex)
+{
+    // Tripwire golden: no reproduced CEX may violate an assertion the
+    // information-flow engine offered for discharge.
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.taintUnsound.empty())
+            << step.id << " CEX violates discharged assertion "
+            << step.taintUnsound.front();
+    }
+}
+
 TEST_F(MapleEvaluation, EveryStepHasTiming)
 {
     for (const auto &step : steps())

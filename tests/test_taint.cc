@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the word-level information-flow engine (analysis/taint.hh):
+ * label goldens on the built-in DUTs, the discharge differential (the
+ * taint slice must never change a verdict), the soundness tripwire on
+ * a DUT whose declared flush facts lie, and the taint lint rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/leak.hh"
+#include "analysis/lint.hh"
+#include "analysis/taint.hh"
+#include "core/autocc.hh"
+#include "duts/aes.hh"
+#include "duts/cva6.hh"
+#include "duts/maple.hh"
+#include "duts/toy.hh"
+#include "duts/vscale.hh"
+
+namespace autocc::analysis
+{
+
+using core::AutoccOptions;
+using core::RunResult;
+using duts::VscaleSignals;
+using formal::CheckStatus;
+using formal::EngineOptions;
+using rtl::Netlist;
+using rtl::NodeId;
+
+namespace
+{
+
+const TaintState &
+stateNamed(const TaintReport &report, const std::string &name)
+{
+    for (const auto &state : report.states) {
+        if (state.name == name)
+            return state;
+    }
+    ADD_FAILURE() << "no taint state named " << name;
+    static const TaintState none;
+    return none;
+}
+
+/** The paper's final Vscale refinement: blackboxed CSR + V1/V3/V4/V5
+ * state declared architectural (the OS swaps it). */
+std::set<std::string>
+vscaleRefinedArchEq()
+{
+    std::set<std::string> arch;
+    for (const auto &group :
+         {VscaleSignals::regfile(), VscaleSignals::pcChain(),
+          VscaleSignals::decodeStage(), VscaleSignals::interrupt()}) {
+        arch.insert(group.begin(), group.end());
+    }
+    return arch;
+}
+
+EngineOptions
+engineAt(unsigned depth, bool discharge)
+{
+    EngineOptions engine;
+    engine.maxDepth = depth;
+    engine.taintDischarge = discharge;
+    return engine;
+}
+
+/**
+ * A DUT whose flush facts LIE: `secret` is cleared only while the free
+ * `purge` input is high, but the facts claim the clearing pulse forces
+ * purge = 1.  The engine believes the flush, labels every output
+ * clean, and offers `as__out_eq` for discharge — which the real design
+ * violates (the spy raises `expose` and reads the surviving secret).
+ */
+Netlist
+buildLyingFlushDut()
+{
+    Netlist nl("lying_flush");
+    const NodeId load = nl.input("load", 1);
+    const NodeId secretIn = nl.input("secret_in", 8);
+    const NodeId expose = nl.input("expose", 1);
+    const NodeId purge = nl.input("purge", 1);
+    const NodeId flush = nl.input("flush", 1);
+
+    const NodeId secret = nl.reg("secret", 8, 0);
+    const NodeId mode = nl.reg("mode", 1, 0);
+    const NodeId flushQ = nl.reg("flush_q", 1, 0);
+
+    // The expose-mode register really is cleared by the flush...
+    nl.connectReg(mode, nl.mux(flush, nl.zero(), expose));
+    nl.claimFlushed(mode);
+    // ...but the secret survives unless purge also happens to be high.
+    const NodeId clr = nl.andOf(flush, purge);
+    nl.connectReg(secret, nl.mux(clr, nl.constant(8, 0),
+                                 nl.mux(load, secretIn, secret)));
+    nl.claimFlushed(secret);
+
+    nl.connectReg(flushQ, flush);
+    nl.nameNode(flushQ, "flush_done");
+    nl.setFlushDone("flush_done");
+
+    nl.addFlushFact(flush, 1);
+    // The lie: nothing makes the miter hold purge high during the
+    // flush — it is an ordinary replicated input.
+    nl.addFlushFact(purge, 1);
+
+    nl.output("out", nl.mux(mode, secret, nl.constant(8, 0)));
+    nl.validate();
+    return nl;
+}
+
+/**
+ * The honest sibling: `secret` genuinely cleared by the flush (so
+ * `out` is correctly discharged), plus a surviving `junk` register
+ * leaking through a valid-gated response — a real CEX that must NOT
+ * trip the wire, because it violates a kept assertion, not a
+ * discharged one.
+ */
+Netlist
+buildHonestFlushDut()
+{
+    Netlist nl("honest_flush");
+    const NodeId load = nl.input("load", 1);
+    const NodeId secretIn = nl.input("secret_in", 8);
+    const NodeId lvSet = nl.input("lv_set", 1);
+    const NodeId flush = nl.input("flush", 1);
+
+    const NodeId secret = nl.reg("secret", 8, 0);
+    const NodeId junk = nl.reg("junk", 8, 0);
+    const NodeId lv = nl.reg("lv", 1, 0);
+    const NodeId flushQ = nl.reg("flush_q", 1, 0);
+
+    nl.connectReg(secret, nl.mux(flush, nl.constant(8, 0),
+                                 nl.mux(load, secretIn, secret)));
+    nl.claimFlushed(secret);
+    nl.connectReg(junk, nl.mux(load, secretIn, junk));
+    nl.connectReg(lv, nl.mux(flush, nl.zero(), lvSet));
+    nl.claimFlushed(lv);
+
+    nl.connectReg(flushQ, flush);
+    nl.nameNode(flushQ, "flush_done");
+    nl.setFlushDone("flush_done");
+    nl.addFlushFact(flush, 1);
+
+    nl.output("out", secret);
+    nl.output("leak_valid", lv);
+    nl.output("leak", junk);
+    nl.transaction("leak", "leak_valid", {"leak"});
+    nl.validate();
+    return nl;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Label goldens
+// ----------------------------------------------------------------------
+
+TEST(TaintLabels, ToyShippedFlushGap)
+{
+    const TaintReport report =
+        analyzeTaint(duts::buildToyAccelShipped());
+    EXPECT_TRUE(report.hasFlushFacts);
+    EXPECT_TRUE(report.hasFlushDone);
+
+    // Unflushed registers survive the context switch as sources.
+    for (const char *name : {"cfg", "acc", "data_q", "op_q", "scratch"}) {
+        const TaintState &state = stateNamed(report, name);
+        EXPECT_TRUE(state.source) << name;
+        EXPECT_EQ(state.origin, TaintOrigin::Surviving) << name;
+        EXPECT_EQ(state.label.depth, 0u) << name;
+    }
+    // pending is genuinely cleared but re-tainted one cycle later (the
+    // spy issues a request decoded from surviving op_q/cfg paths).
+    const TaintState &pending = stateNamed(report, "pending");
+    EXPECT_FALSE(pending.source);
+    EXPECT_EQ(pending.origin, TaintOrigin::Flushed);
+    EXPECT_EQ(pending.label.depth, 1u);
+    // flush_q only tracks the common flush input: provably clean.
+    EXPECT_FALSE(stateNamed(report, "flush_q").label.tainted());
+
+    // Both outputs can diverge — nothing is dischargeable on the toy.
+    EXPECT_TRUE(report.outputTainted("resp_valid"));
+    EXPECT_TRUE(report.outputTainted("resp_data"));
+    EXPECT_TRUE(report.untaintedOutputs().empty());
+}
+
+TEST(TaintLabels, AesIdleFlushProvesRespValidClean)
+{
+    // Without the idle-flush refinement nothing pins the pipeline.
+    const TaintReport plain = analyzeTaint(duts::buildAes());
+    EXPECT_TRUE(plain.untaintedOutputs().empty());
+
+    // "flush done = pipeline idle" pins every stage valid to 0 via the
+    // flush-done fixpoint, so resp_valid (the OR of them) is provably
+    // equal across universes; the datapath still diverges.
+    duts::AesConfig config;
+    config.declareIdleFlushDone = true;
+    const TaintReport idle = analyzeTaint(duts::buildAes(config));
+    EXPECT_EQ(stateNamed(idle, "s0_valid").origin,
+              TaintOrigin::FlushImplied);
+    EXPECT_FALSE(idle.outputTainted("resp_valid"));
+    EXPECT_TRUE(idle.outputTainted("resp_data"));
+    EXPECT_EQ(idle.untaintedOutputs(),
+              std::vector<std::string>{"resp_valid"});
+}
+
+TEST(TaintLabels, VscaleRefinedAllOutputsClean)
+{
+    // Unrefined: no flush, nothing equalized — everything diverges.
+    const TaintReport plain = analyzeTaint(duts::buildVscale());
+    EXPECT_TRUE(plain.untaintedOutputs().empty());
+    EXPECT_EQ(plain.numSources(), plain.states.size());
+
+    // The paper's final configuration (blackboxed CSR, V1/V3/V4/V5
+    // state swapped by the OS) leaves no taint source at all: the
+    // non-interference property holds structurally.
+    duts::VscaleConfig config;
+    config.blackboxCsr = true;
+    TaintOptions options;
+    options.equalizedRegs = vscaleRefinedArchEq();
+    const TaintReport refined =
+        analyzeTaint(duts::buildVscale(config), options);
+    EXPECT_EQ(refined.numSources(), 0u);
+    EXPECT_EQ(refined.untaintedOutputs().size(), refined.outputs.size());
+}
+
+TEST(TaintLabels, DepthsAttachToLeakReportAndRankCandidates)
+{
+    const Netlist dut = duts::buildToyAccelShipped();
+    LeakReport leaks = analyzeLeakCandidates(dut);
+    const TaintReport taint = analyzeTaint(dut);
+    attachTaintDepths(leaks, taint);
+
+    for (const auto &state : leaks.states) {
+        if (state.name == "pending") {
+            EXPECT_EQ(state.taintDepth, 1u);
+        } else if (state.name == "cfg") {
+            EXPECT_EQ(state.taintDepth, 0u);
+        } else if (state.name == "flush_q") {
+            EXPECT_EQ(state.taintDepth, taintNever);
+        }
+    }
+    // All candidates are depth-0 sources on the toy, so the ranking
+    // must degrade to plain declaration order (stable ties).
+    EXPECT_EQ(leaks.rankedCandidates(), leaks.candidates());
+}
+
+// ----------------------------------------------------------------------
+// Discharge differential: slicing must never change a verdict
+// ----------------------------------------------------------------------
+
+TEST(TaintDischarge, VerdictsUnchangedAcrossDuts)
+{
+    struct Case
+    {
+        const char *name;
+        Netlist dut;
+        unsigned depth;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"toy", duts::buildToyAccelShipped(), 8});
+    cases.push_back({"vscale", duts::buildVscale(), 6});
+    cases.push_back({"maple", duts::buildMaple(), 7});
+    cases.push_back({"aes", duts::buildAes(), 10});
+    cases.push_back({"cva6", duts::buildCva6(), 11});
+
+    for (const auto &c : cases) {
+        const AutoccOptions opts;
+        const RunResult on =
+            core::runAutocc(c.dut, opts, engineAt(c.depth, true));
+        const RunResult off =
+            core::runAutocc(c.dut, opts, engineAt(c.depth, false));
+
+        EXPECT_EQ(on.check.status, off.check.status) << c.name;
+        ASSERT_EQ(on.foundCex(), off.foundCex()) << c.name;
+        if (on.foundCex()) {
+            EXPECT_EQ(on.check.cex->depth, off.check.cex->depth) << c.name;
+            EXPECT_EQ(on.check.cex->failedAssert,
+                      off.check.cex->failedAssert) << c.name;
+        }
+        // The claim is computed either way, and no reproduced CEX may
+        // violate a claimed assertion.
+        EXPECT_EQ(on.taintDischargeable, off.taintDischargeable) << c.name;
+        EXPECT_TRUE(on.taintUnsoundCex.empty()) << c.name;
+        EXPECT_TRUE(off.taintUnsoundCex.empty()) << c.name;
+    }
+}
+
+TEST(TaintDischarge, AesIdleFlushDischargesRespValid)
+{
+    duts::AesConfig config;
+    config.declareIdleFlushDone = true;
+    const Netlist dut = duts::buildAes(config);
+    const AutoccOptions opts;
+
+    const RunResult on = core::runAutocc(dut, opts, engineAt(8, true));
+    EXPECT_EQ(on.taintDischargeable,
+              std::vector<std::string>{"as__resp_valid_eq"});
+    EXPECT_EQ(on.stats.counter("taint.discharge.asserts_discharged"), 1u);
+
+    // Same verdict with the assertion checked the hard way.
+    const RunResult off = core::runAutocc(dut, opts, engineAt(8, false));
+    EXPECT_EQ(on.check.status, off.check.status);
+    EXPECT_EQ(on.foundCex(), off.foundCex());
+}
+
+TEST(TaintDischarge, VscaleRefinedShortCircuitsToBoundedProof)
+{
+    duts::VscaleConfig config;
+    config.blackboxCsr = true;
+    AutoccOptions opts;
+    opts.archEq = vscaleRefinedArchEq();
+    const Netlist dut = duts::buildVscale(config);
+
+    // Every output is provably untainted, so the check never unrolls:
+    // zero SAT queries, bounded proof at the requested depth.
+    const RunResult on = core::runAutocc(dut, opts, engineAt(6, true));
+    EXPECT_EQ(on.check.status, CheckStatus::BoundedProof);
+    EXPECT_EQ(on.taintDischargeable.size(),
+              on.miter.netlist.asserts().size());
+    EXPECT_TRUE(on.stats.has("taint.discharge.short_circuit"));
+
+    // The full engine agrees (which is what makes the shortcut sound).
+    const RunResult off = core::runAutocc(dut, opts, engineAt(6, false));
+    EXPECT_EQ(off.check.status, CheckStatus::BoundedProof);
+    EXPECT_FALSE(off.stats.has("taint.discharge.short_circuit"));
+}
+
+// ----------------------------------------------------------------------
+// Soundness tripwire
+// ----------------------------------------------------------------------
+
+TEST(TaintTripwire, FiresWhenFlushFactsLie)
+{
+    const Netlist dut = buildLyingFlushDut();
+    AutoccOptions opts;
+    opts.threshold = 2;
+
+    // With the discharge disabled the engine still checks everything,
+    // finds the CEX the lying facts hid — and the replay catches the
+    // bogus "untainted" claim red-handed.
+    const RunResult r = core::runAutocc(dut, opts, engineAt(10, false));
+    ASSERT_TRUE(r.foundCex());
+    EXPECT_EQ(r.check.cex->failedAssert, "as__out_eq");
+    EXPECT_EQ(r.taintDischargeable,
+              std::vector<std::string>{"as__out_eq"});
+    EXPECT_EQ(r.taintUnsoundCex,
+              std::vector<std::string>{"as__out_eq"});
+}
+
+TEST(TaintTripwire, LyingFactsWithDischargeOnMissTheChannel)
+{
+    // The same lie with the discharge enabled silently proves the
+    // design safe — exactly the failure mode the tripwire exists to
+    // surface.  Declared flush facts are trusted input; garbage in,
+    // bounded proof out.
+    const Netlist dut = buildLyingFlushDut();
+    AutoccOptions opts;
+    opts.threshold = 2;
+    const RunResult r = core::runAutocc(dut, opts, engineAt(10, true));
+    EXPECT_FALSE(r.foundCex());
+    EXPECT_EQ(r.check.status, CheckStatus::BoundedProof);
+    EXPECT_TRUE(r.stats.has("taint.discharge.short_circuit"));
+}
+
+TEST(TaintTripwire, SilentOnHonestDischarge)
+{
+    // A genuine CEX through a *kept* assertion must not trip the wire
+    // even though other assertions were discharged on the same run.
+    const Netlist dut = buildHonestFlushDut();
+    AutoccOptions opts;
+    opts.threshold = 2;
+    const RunResult r = core::runAutocc(dut, opts, engineAt(10, true));
+    ASSERT_TRUE(r.foundCex());
+    EXPECT_EQ(r.check.cex->failedAssert, "as__leak_eq");
+    EXPECT_EQ(r.taintDischargeable,
+              (std::vector<std::string>{"as__out_eq",
+                                        "as__leak_valid_eq"}));
+    EXPECT_TRUE(r.taintUnsoundCex.empty());
+}
+
+// ----------------------------------------------------------------------
+// Lint rules
+// ----------------------------------------------------------------------
+
+TEST(TaintLint, FlushGapFiresOnToyAndIsWaivable)
+{
+    const LintReport plain = runLint(duts::buildToyAccelShipped());
+    size_t gaps = 0;
+    for (const auto &finding : plain.findings) {
+        if (finding.rule == "W-TAINT-FLUSH-GAP" && !finding.waived)
+            ++gaps;
+    }
+    // Five surviving sources plus the re-tainted pending register.
+    EXPECT_EQ(gaps, 6u);
+
+    LintWaivers waivers;
+    waivers.entries = {"W-TAINT-FLUSH-GAP"};
+    const LintReport waived =
+        runLint(duts::buildToyAccelShipped(), waivers);
+    for (const auto &finding : waived.findings) {
+        if (finding.rule == "W-TAINT-FLUSH-GAP") {
+            EXPECT_TRUE(finding.waived) << finding.path;
+        }
+    }
+}
+
+TEST(TaintLint, OutUncheckedFiresOnUncoveredTaintedOutput)
+{
+    // `leaky` carries surviving-register taint but no embedded
+    // assertion looks at it; `echo` is input-only and clean.
+    Netlist nl("uncovered");
+    const NodeId a = nl.input("a", 8);
+    const NodeId s = nl.reg("s", 8, 0);
+    nl.connectReg(s, nl.add(s, a));
+    nl.output("leaky", s);
+    nl.output("echo", a);
+    nl.addAssert("echo_sane", nl.eqConst(nl.xorOf(a, a), 0));
+    nl.validate();
+
+    const LintReport report = runLint(nl);
+    bool onLeaky = false, onEcho = false;
+    for (const auto &finding : report.findings) {
+        if (finding.rule != "W-TAINT-OUT-UNCHECKED")
+            continue;
+        onLeaky |= finding.path == "leaky";
+        onEcho |= finding.path == "echo";
+    }
+    EXPECT_TRUE(onLeaky);
+    EXPECT_FALSE(onEcho);
+
+    LintWaivers waivers;
+    waivers.entries = {"W-TAINT-OUT-UNCHECKED:leaky"};
+    const LintReport waived = runLint(nl, waivers);
+    for (const auto &finding : waived.findings) {
+        if (finding.rule == "W-TAINT-OUT-UNCHECKED") {
+            EXPECT_TRUE(finding.waived);
+        }
+    }
+}
+
+} // namespace autocc::analysis

@@ -291,6 +291,17 @@ TEST_F(VscaleRefinement, StaticCandidatesCoverEveryBlame)
     }
 }
 
+TEST_F(VscaleRefinement, TaintLabelsSoundOnEveryCex)
+{
+    // Tripwire golden: no reproduced CEX may violate an assertion the
+    // information-flow engine offered for discharge.
+    for (const auto &step : steps()) {
+        EXPECT_TRUE(step.taintUnsound.empty())
+            << step.id << " CEX violates discharged assertion "
+            << step.taintUnsound.front();
+    }
+}
+
 TEST_F(VscaleRefinement, DepthsAreMinimalTraces)
 {
     // With THRESHOLD=2, no CEX can be shorter than the transfer

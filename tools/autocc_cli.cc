@@ -6,6 +6,8 @@
  *   autocc_cli list     show the built-in DUTs
  *   autocc_cli gen      emit the FPV testbench artifacts for a DUT
  *   autocc_cli lint     structural lint + static leak-candidate report
+ *   autocc_cli taint    information-flow label table and per-output
+ *                       first-divergence depths (analysis/taint.hh)
  *   autocc_cli check    run the exhaustive covert-channel check and
  *                       root-cause any counterexample (optional VCD)
  *   autocc_cli prove    attempt an unbounded proof of channel absence
@@ -14,14 +16,23 @@
  *   autocc_cli list
  *   autocc_cli gen   <dut> [--out DIR]
  *   autocc_cli lint  <dut> [--strict] [--waive RULE[:path],...]
+ *   autocc_cli taint <dut> [--arch a,b,...] [--stats-json FILE]
+ *                          [--trace-out FILE]
  *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
  *                          [--vcd FILE] [--jobs N] [--no-coi]
+ *                          [--no-taint | --taint-discharge]
  *                          [--stats-json FILE] [--trace-out FILE]
  *                          [--progress]
  *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
- *                          [--jobs N] [--no-coi] [--stats-json FILE]
- *                          [--trace-out FILE] [--progress]
+ *                          [--jobs N] [--no-coi]
+ *                          [--no-taint | --taint-discharge]
+ *                          [--stats-json FILE] [--trace-out FILE]
+ *                          [--progress]
  *   autocc_cli exploit
+ *
+ * check/prove statically discharge output-equality assertions whose
+ * DUT output the taint engine proves untainted (--taint-discharge, the
+ * default; --no-taint is the escape hatch that checks everything).
  *
  * The three observability flags tap the obs/ layer: --stats-json dumps
  * the run's counter/gauge snapshot, --trace-out writes a Chrome
@@ -43,6 +54,8 @@
 #include "analysis/dot.hh"
 #include "analysis/leak.hh"
 #include "analysis/lint.hh"
+#include "analysis/taint.hh"
+#include "base/timer.hh"
 #include "core/autocc.hh"
 #include "duts/aes.hh"
 #include "duts/cva6.hh"
@@ -118,20 +131,30 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: autocc_cli <list|gen|lint|check|prove|exploit> [args]\n"
+        "usage: autocc_cli <list|gen|lint|taint|check|prove|exploit> "
+        "[args]\n"
         "  list                      show built-in DUTs\n"
         "  gen   <dut> [--out DIR]   emit wrapper.sv / properties.sv / "
         "netlist.dot\n"
         "  lint  <dut> [--strict] [--waive RULE[:path],...]\n"
         "                            structural lint + static leak "
         "candidates\n"
+        "  taint <dut> [--arch a,b] [--stats-json F] [--trace-out F]\n"
+        "                            information-flow labels + "
+        "per-output divergence depths\n"
         "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--vcd F] [--jobs N] [--no-coi]\n"
-        "              [--stats-json F] [--trace-out F] [--progress]\n"
+        "              [--no-taint] [--stats-json F] [--trace-out F] "
+        "[--progress]\n"
         "  prove <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--jobs N] [--no-coi]\n"
-        "              [--stats-json F] [--trace-out F] [--progress]\n"
+        "              [--no-taint] [--stats-json F] [--trace-out F] "
+        "[--progress]\n"
         "  exploit                   run the Listing-2 M3 attack\n"
+        "taint discharge (check/prove):\n"
+        "  --taint-discharge  statically skip assertions whose output "
+        "is provably untainted (default)\n"
+        "  --no-taint         escape hatch: check every assertion\n"
         "observability (check/prove):\n"
         "  --stats-json F   write the run's counter/gauge snapshot to F\n"
         "  --trace-out F    write a Chrome trace-event JSON to F "
@@ -158,6 +181,8 @@ struct Args
     bool progress = false;
     /** Disable cone-of-influence pruning (check/prove). */
     bool noCoi = false;
+    /** Disable static taint discharge of untainted assertions. */
+    bool noTaint = false;
     /** Treat lint warnings as fatal. */
     bool strict = false;
     /** Lint waiver entries ("RULE" or "RULE:path"). */
@@ -207,6 +232,10 @@ parseArgs(int argc, char **argv, int start, Args &args)
                 return false;
         } else if (flag == "--no-coi") {
             args.noCoi = true;
+        } else if (flag == "--no-taint") {
+            args.noTaint = true;
+        } else if (flag == "--taint-discharge") {
+            args.noTaint = false;
         } else if (flag == "--progress") {
             args.progress = true;
         } else if (flag == "--stats-json") {
@@ -344,6 +373,41 @@ cmdLint(const Args &args)
 }
 
 int
+cmdTaint(const Args &args)
+{
+    const rtl::Netlist dut = buildDut(args.dut);
+    obs::Registry statsReg;
+    obs::Tracer tracer;
+    obs::TraceBuffer *buffer = args.traceOutPath.empty()
+        ? nullptr
+        : tracer.newBuffer("cli");
+    analysis::TaintOptions opts;
+    // --arch plays the same role as in check/prove: equalized state.
+    opts.equalizedRegs = args.arch;
+    const Stopwatch watch;
+    analysis::TaintReport report;
+    {
+        obs::Span span(buffer, "taint analysis");
+        report = analysis::analyzeTaint(dut, opts);
+    }
+    statsReg.addSeconds("taint.seconds", watch.seconds());
+    report.exportStats(statsReg);
+
+    std::printf("%s", report.render().c_str());
+    const auto untainted = report.untaintedOutputs();
+    std::printf("\n%zu taint source(s), %zu of %zu output(s) provably "
+                "untainted (their spy-mode equality asserts are "
+                "statically dischargeable)\n",
+                report.numSources(), untainted.size(),
+                report.outputs.size());
+    if (!args.statsJsonPath.empty())
+        writeText(args.statsJsonPath, statsReg.snapshot().json() + "\n");
+    if (!args.traceOutPath.empty() && tracer.writeFile(args.traceOutPath))
+        std::printf("  wrote %s\n", args.traceOutPath.c_str());
+    return 0;
+}
+
+int
 cmdCheck(const Args &args, bool prove)
 {
     const rtl::Netlist dut = buildDut(args.dut);
@@ -355,6 +419,7 @@ cmdCheck(const Args &args, bool prove)
     engine.maxInductionK = args.depth + 4;
     engine.jobs = args.jobs;
     engine.coi = !args.noCoi;
+    engine.taintDischarge = !args.noTaint;
 
     // Observability sinks live here for the whole run; the flow only
     // sees non-null pointers for what the user asked for (the stats
@@ -382,12 +447,25 @@ cmdCheck(const Args &args, bool prove)
             std::printf(", ...");
         std::printf("\n");
     }
+    if (!run.taintDischargeable.empty()) {
+        std::printf("taint: %zu output-equality assert(s) statically "
+                    "%s\n",
+                    run.taintDischargeable.size(),
+                    args.noTaint ? "dischargeable (--no-taint: checked "
+                                   "anyway)"
+                                 : "discharged");
+    }
     std::printf("%s: %s\n", args.dut.c_str(),
                 formal::describe(run.check).c_str());
     for (const auto &missed : run.staticMissed) {
         std::printf("WARNING: divergent state '%s' was not a static "
                     "leak candidate\n",
                     missed.c_str());
+    }
+    for (const auto &name : run.taintUnsoundCex) {
+        std::printf("WARNING: discharged assert '%s' is violated by "
+                    "the counterexample (taint labels unsound)\n",
+                    name.c_str());
     }
     if (run.portfolio.jobs > 1) {
         std::printf("portfolio (%u workers):\n%s", run.portfolio.jobs,
@@ -463,6 +541,8 @@ main(int argc, char **argv)
         return cmdGen(args);
     if (command == "lint")
         return cmdLint(args);
+    if (command == "taint")
+        return cmdTaint(args);
     if (command == "check")
         return cmdCheck(args, false);
     if (command == "prove")
