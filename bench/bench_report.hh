@@ -17,11 +17,11 @@
 #define AUTOCC_BENCH_BENCH_REPORT_HH
 
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <string>
 
 #include "obs/stats.hh"
+#include "robust/artifact.hh"
 
 namespace autocc::bench
 {
@@ -65,9 +65,9 @@ struct Report
     bool write() const
     {
         const std::string path = "BENCH_" + name + ".json";
-        std::ofstream out(path);
-        out << json();
-        const bool ok = static_cast<bool>(out);
+        // Atomic write: CI archives these sidecars, and a bench killed
+        // mid-report must not replace a valid file with a torn one.
+        const bool ok = robust::atomicWrite(path, json());
         std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
                     path.c_str());
         return ok;

@@ -1,0 +1,66 @@
+#include "base/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace autocc
+{
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // The temporary must live in the target's directory so the final
+    // rename() is a same-filesystem metadata operation (atomic).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("atomicWriteFile: cannot create '", tmp, "': ",
+             std::strerror(errno));
+        return false;
+    }
+
+    size_t written = 0;
+    bool ok = true;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("atomicWriteFile: write to '", tmp, "' failed: ",
+                 std::strerror(errno));
+            ok = false;
+            break;
+        }
+        written += static_cast<size_t>(n);
+    }
+
+    // fsync before rename: otherwise a crash can leave the *new* name
+    // pointing at not-yet-durable (possibly empty) data.
+    if (ok && ::fsync(fd) != 0) {
+        warn("atomicWriteFile: fsync of '", tmp, "' failed: ",
+             std::strerror(errno));
+        ok = false;
+    }
+    if (::close(fd) != 0)
+        ok = false;
+
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("atomicWriteFile: rename '", tmp, "' -> '", path,
+             "' failed: ", std::strerror(errno));
+        ok = false;
+    }
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
+}
+
+} // namespace autocc

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Crash-safe file replacement: write to a temporary sibling, fsync,
+ * then rename over the target.  A reader (or a process resuming after
+ * a SIGKILL) therefore observes either the complete old content or
+ * the complete new content — never a torn prefix.  Every artifact the
+ * tools emit (stats JSON, trace JSON, VCD, bench sidecars, checkpoint
+ * journals) goes through this helper; see DESIGN.md §10.
+ */
+
+#ifndef AUTOCC_BASE_ATOMIC_FILE_HH
+#define AUTOCC_BASE_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace autocc
+{
+
+/**
+ * Atomically replace `path` with `content` (tmp + fsync + rename).
+ *
+ * @return true on success; on failure the temporary file is removed
+ *         and any previous `path` content is left untouched.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content);
+
+} // namespace autocc
+
+#endif // AUTOCC_BASE_ATOMIC_FILE_HH

@@ -1,5 +1,6 @@
 #include "formal/engine.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -7,6 +8,7 @@
 #include "formal/gates.hh"
 #include "formal/portfolio.hh"
 #include "formal/unroller.hh"
+#include "robust/watchdog.hh"
 #include "sat/solver.hh"
 
 namespace autocc::formal
@@ -23,17 +25,54 @@ accumulate(CheckResult &result, const sat::Solver &solver)
 }
 
 /**
+ * Map a solver-level stop cause onto the structured reason carried by
+ * CheckResult.  An interrupt is blamed on the time limit only when the
+ * deadline watchdog actually fired — an external cancellation (e.g. a
+ * portfolio race that already has an answer) stays Interrupted.
+ */
+robust::UnknownReason
+reasonFromStop(sat::StopCause cause, bool deadline_expired)
+{
+    switch (cause) {
+      case sat::StopCause::MemLimit:
+        return robust::UnknownReason::MemLimit;
+      case sat::StopCause::ConflictLimit:
+        return robust::UnknownReason::ConflictBudget;
+      case sat::StopCause::Interrupted:
+        return deadline_expired ? robust::UnknownReason::TimeLimit
+                                : robust::UnknownReason::Interrupted;
+      case sat::StopCause::None:
+        break;
+    }
+    return robust::UnknownReason::None;
+}
+
+/**
  * Run the k-induction step for a given k: frames 0..k start from an
  * arbitrary state, assumptions hold everywhere, assertions hold on
  * frames 0..k-1 and are violated at frame k.  UNSAT => proved.
+ *
+ * `conflicts_spent` is the check's cumulative conflict count so far;
+ * the step's solver gets whatever remains of options.conflictBudget.
+ * On Unknown, `stop_cause` reports why the step's solver gave up.
  */
 sat::SolveResult
-inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
-              CheckResult &result, obs::Registry *stats = nullptr,
+inductionStep(const rtl::Netlist &netlist, unsigned k,
+              const EngineOptions &options, CheckResult &result,
+              uint64_t conflicts_spent, const std::atomic<bool> *stop_flag,
+              sat::StopCause &stop_cause, obs::Registry *stats = nullptr,
               obs::TraceBuffer *trace = nullptr)
 {
     obs::Span span(trace, "induction k=" + std::to_string(k));
     sat::Solver solver;
+    solver.setInterruptFlag(stop_flag);
+    solver.setMemLimitBytes(options.memLimitBytes);
+    if (options.conflictBudget) {
+        solver.setConflictBudget(
+            options.conflictBudget > conflicts_spent
+                ? options.conflictBudget - conflicts_spent
+                : 1);
+    }
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/true);
     unroller.setStats(stats);
@@ -52,7 +91,7 @@ inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
         violations.push_back(~unroller.assertHolds(k, a));
     gates.assertTrue(gates.mkOrAll(violations));
 
-    if (simple_path) {
+    if (options.simplePath) {
         for (unsigned i = 0; i <= k; ++i) {
             for (unsigned j = i + 1; j <= k; ++j)
                 gates.assertTrue(~unroller.statesEqual(i, j));
@@ -60,6 +99,7 @@ inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
     }
 
     const sat::SolveResult sr = solver.solve();
+    stop_cause = solver.stopCause();
     accumulate(result, solver);
     if (stats)
         solver.exportStats(*stats, "solver");
@@ -67,6 +107,59 @@ inductionStep(const rtl::Netlist &netlist, unsigned k, bool simple_path,
 }
 
 } // namespace
+
+std::string
+checkFingerprint(const rtl::Netlist &netlist)
+{
+    // FNV-1a over the property names (with a separator byte so that
+    // {"ab","c"} and {"a","bc"} hash apart), prefixed by the readable
+    // structural identity.
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](const std::string &s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= 0xffu;
+        h *= 1099511628211ull;
+    };
+    for (const auto &a : netlist.asserts())
+        mix(a.name);
+    for (const auto &a : netlist.assumes())
+        mix(a.name);
+    std::ostringstream os;
+    os << netlist.name() << "|n" << netlist.numNodes() << "|r"
+       << netlist.regs().size() << "|p" << std::hex << h;
+    return os.str();
+}
+
+CheckpointSetup
+openCheckpoint(const rtl::Netlist &netlist, const EngineOptions &options)
+{
+    CheckpointSetup setup;
+    if (options.checkpointPath.empty())
+        return setup;
+    const std::string fingerprint = checkFingerprint(netlist);
+    std::vector<std::string> names;
+    names.reserve(netlist.asserts().size());
+    for (const auto &a : netlist.asserts())
+        names.push_back(a.name);
+    if (options.resume) {
+        if (const auto cp = robust::loadCheckpoint(options.checkpointPath)) {
+            if (cp->fingerprint == fingerprint && cp->asserts == names) {
+                setup.resumedBound = std::min(cp->bound, options.maxDepth);
+            } else {
+                warn("checkpoint '", options.checkpointPath,
+                     "' belongs to a different problem (fingerprint ",
+                     cp->fingerprint, " vs ", fingerprint,
+                     "); starting fresh");
+            }
+        }
+    }
+    setup.writer = std::make_unique<robust::CheckpointWriter>(
+        options.checkpointPath, fingerprint, names, setup.resumedBound);
+    return setup;
+}
 
 CheckResult
 checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
@@ -86,105 +179,181 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
     obs::TraceBuffer *trace =
         options.obs.tracer ? options.obs.tracer->newBuffer("bmc") : nullptr;
 
+    // Robustness plumbing (DESIGN.md §10): a watchdog that interrupts
+    // the solver mid-search when the wall-clock limit passes (so one
+    // long solve cannot overshoot it), and the checkpoint journal.
+    robust::Watchdog deadline;
+    if (options.timeLimitSeconds > 0.0)
+        deadline.arm(options.timeLimitSeconds);
+    CheckpointSetup journal = openCheckpoint(netlist, options);
+    result.resumedBound = journal.resumedBound;
+    if (journal.resumedBound)
+        stats.set("engine.resume.bound", journal.resumedBound);
+
     // ---------------- bounded model checking -------------------------
     sat::Solver solver;
+    solver.setInterruptFlag(&deadline.flag());
+    solver.setMemLimitBytes(options.memLimitBytes);
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
     unroller.setStats(&stats);
     const size_t numAsserts = netlist.asserts().size();
 
-    auto timeLeft = [&]() {
-        return options.timeLimitSeconds <= 0.0 ||
-               watch.seconds() < options.timeLimitSeconds;
+    robust::UnknownReason stopReason = robust::UnknownReason::None;
+    // Cumulative conflicts of this check: folded-in finished solvers
+    // plus the live BMC solver.
+    const auto spentConflicts = [&]() -> uint64_t {
+        return result.solver.conflicts + solver.stats().conflicts;
     };
 
-    for (unsigned depth = 1; depth <= options.maxDepth; ++depth) {
-        if (!timeLeft()) {
-            result.timedOut = true;
-            break;
+    const auto finish = [&]() -> CheckResult & {
+        result.unknownReason = stopReason;
+        result.timedOut = stopReason == robust::UnknownReason::TimeLimit;
+        if (stopReason != robust::UnknownReason::None) {
+            stats.set("engine.unknown_reason",
+                      static_cast<double>(static_cast<int>(stopReason)));
         }
-        const double frameStart = watch.seconds();
-        const uint64_t frameConflicts0 = solver.stats().conflicts;
-        obs::Span frameSpan(trace, "frame " + std::to_string(depth));
+        stats.set("engine.bound", result.bound);
+        stats.setMax("solver.mem_bytes",
+                     static_cast<double>(solver.memoryBytes()));
+        result.seconds = watch.seconds();
+        if (journal.writer)
+            journal.writer->recordVerdict(describe(result));
+        result.stats = stats.snapshot();
+        return result;
+    };
 
-        const unsigned t = depth - 1; // frame index of the new cycle
-        sat::SolveResult sr;
-        {
-            obs::Span unrollSpan(trace, "unroll");
+    try {
+        // Resume: re-lock every journaled CEX-free bound — unroll the
+        // frame and assert "no violation here" without solving, which
+        // rebuilds exactly the CNF an uninterrupted run had after
+        // completing that bound.  A journal that already covers
+        // maxDepth leaves no BMC work at all.
+        const unsigned prelock =
+            std::min(journal.resumedBound, options.maxDepth);
+        for (unsigned depth = 1; depth <= prelock; ++depth) {
+            const unsigned t = depth - 1;
             unroller.addFrame();
-        }
-        gates.assertTrue(unroller.assumeOk(t));
-
-        std::vector<Lit> holds(numAsserts);
-        Bv violations;
-        for (size_t a = 0; a < numAsserts; ++a) {
-            holds[a] = unroller.assertHolds(t, a);
-            violations.push_back(~holds[a]);
-        }
-        const Lit bad = gates.mkOrAll(violations);
-
-        {
-            obs::Span solveSpan(trace, "solve");
-            sr = solver.solve({bad});
+            gates.assertTrue(unroller.assumeOk(t));
+            Bv violations;
+            for (size_t a = 0; a < numAsserts; ++a)
+                violations.push_back(~unroller.assertHolds(t, a));
+            gates.assertTrue(~gates.mkOrAll(violations));
+            result.bound = depth;
         }
 
-        const double frameSeconds = watch.seconds() - frameStart;
-        const std::string frameKey =
-            "engine.frame." + std::to_string(depth);
-        stats.add("engine.frames");
-        stats.set(frameKey + ".solve_seconds", frameSeconds);
-        stats.add(frameKey + ".conflicts",
-                  solver.stats().conflicts - frameConflicts0);
-        stats.addSeconds("engine.solve_seconds", frameSeconds);
-        stats.setMax("unroller.vars", solver.numVars());
-        stats.setMax("unroller.clauses",
-                     static_cast<double>(solver.numClauses()));
-        frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
-        if (options.obs.progress) {
-            options.obs.progress->frame({"bmc", depth, solver.numVars(),
-                                         solver.numClauses(),
-                                         solver.stats().conflicts,
-                                         frameSeconds});
-        }
-
-        if (sr == sat::SolveResult::Sat) {
-            CexInfo cex;
-            cex.trace = unroller.extractTrace();
-            cex.depth = depth;
-            for (size_t a = 0; a < numAsserts; ++a) {
-                if (!solver.modelValue(holds[a])) {
-                    cex.failedAssert = netlist.asserts()[a].name;
-                    break;
-                }
+        for (unsigned depth = prelock + 1; depth <= options.maxDepth;
+             ++depth) {
+            if (deadline.expired()) {
+                stopReason = robust::UnknownReason::TimeLimit;
+                break;
             }
-            // Canonicalize which assertion is blamed: the first one in
-            // netlist order that is violable at this depth.  This is a
-            // semantic property of the netlist (not an artifact of
-            // which model the solver happened to find), so any engine
-            // — in particular the portfolio checker — arrives at the
-            // same answer and results stay comparable across engines.
-            for (size_t a = 0; a < numAsserts; ++a) {
-                if (netlist.asserts()[a].name == cex.failedAssert)
-                    break; // already the canonical choice
-                if (solver.solve({~holds[a]}) == sat::SolveResult::Sat) {
-                    cex.trace = unroller.extractTrace();
-                    cex.failedAssert = netlist.asserts()[a].name;
-                    break;
-                }
+            if (options.conflictBudget &&
+                spentConflicts() >= options.conflictBudget) {
+                stopReason = robust::UnknownReason::ConflictBudget;
+                break;
             }
-            result.status = CheckStatus::Cex;
-            result.cex = std::move(cex);
-            result.bound = depth - 1;
-            accumulate(result, solver);
-            solver.exportStats(stats, "solver");
-            stats.set("engine.bound", result.bound);
-            result.seconds = watch.seconds();
-            result.stats = stats.snapshot();
-            return result;
+            const double frameStart = watch.seconds();
+            const uint64_t frameConflicts0 = solver.stats().conflicts;
+            obs::Span frameSpan(trace, "frame " + std::to_string(depth));
+
+            const unsigned t = depth - 1; // frame index of the new cycle
+            sat::SolveResult sr;
+            {
+                obs::Span unrollSpan(trace, "unroll");
+                unroller.addFrame();
+            }
+            gates.assertTrue(unroller.assumeOk(t));
+
+            std::vector<Lit> holds(numAsserts);
+            Bv violations;
+            for (size_t a = 0; a < numAsserts; ++a) {
+                holds[a] = unroller.assertHolds(t, a);
+                violations.push_back(~holds[a]);
+            }
+            const Lit bad = gates.mkOrAll(violations);
+
+            if (options.conflictBudget) {
+                solver.setConflictBudget(options.conflictBudget -
+                                         spentConflicts());
+            }
+            {
+                obs::Span solveSpan(trace, "solve");
+                sr = solver.solve({bad});
+            }
+
+            const double frameSeconds = watch.seconds() - frameStart;
+            const std::string frameKey =
+                "engine.frame." + std::to_string(depth);
+            stats.add("engine.frames");
+            stats.set(frameKey + ".solve_seconds", frameSeconds);
+            stats.add(frameKey + ".conflicts",
+                      solver.stats().conflicts - frameConflicts0);
+            stats.addSeconds("engine.solve_seconds", frameSeconds);
+            stats.setMax("unroller.vars", solver.numVars());
+            stats.setMax("unroller.clauses",
+                         static_cast<double>(solver.numClauses()));
+            frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
+            if (options.obs.progress) {
+                options.obs.progress->frame({"bmc", depth, solver.numVars(),
+                                             solver.numClauses(),
+                                             solver.stats().conflicts,
+                                             frameSeconds});
+            }
+
+            if (sr == sat::SolveResult::Unknown) {
+                stopReason =
+                    reasonFromStop(solver.stopCause(), deadline.expired());
+                break;
+            }
+            if (sr == sat::SolveResult::Sat) {
+                // The budget already paid for finding the CEX; don't
+                // let its remainder starve blame canonicalization.
+                solver.setConflictBudget(0);
+                CexInfo cex;
+                cex.trace = unroller.extractTrace();
+                cex.depth = depth;
+                for (size_t a = 0; a < numAsserts; ++a) {
+                    if (!solver.modelValue(holds[a])) {
+                        cex.failedAssert = netlist.asserts()[a].name;
+                        break;
+                    }
+                }
+                // Canonicalize which assertion is blamed: the first one
+                // in netlist order that is violable at this depth.
+                // This is a semantic property of the netlist (not an
+                // artifact of which model the solver happened to find),
+                // so any engine — in particular the portfolio checker —
+                // arrives at the same answer and results stay
+                // comparable across engines.
+                for (size_t a = 0; a < numAsserts; ++a) {
+                    if (netlist.asserts()[a].name == cex.failedAssert)
+                        break; // already the canonical choice
+                    if (solver.solve({~holds[a]}) ==
+                        sat::SolveResult::Sat) {
+                        cex.trace = unroller.extractTrace();
+                        cex.failedAssert = netlist.asserts()[a].name;
+                        break;
+                    }
+                }
+                result.status = CheckStatus::Cex;
+                result.cex = std::move(cex);
+                result.bound = depth - 1;
+                accumulate(result, solver);
+                solver.exportStats(stats, "solver");
+                return finish();
+            }
+            // No violation at this depth: lock it in and deepen.
+            solver.addClause(~bad);
+            result.bound = depth;
+            if (journal.writer)
+                journal.writer->recordBound(depth);
         }
-        // No violation at this depth: lock it in and deepen.
-        solver.addClause(~bad);
-        result.bound = depth;
+    } catch (const std::exception &e) {
+        warn("engine: BMC aborted by fault: ", e.what());
+        stopReason = robust::UnknownReason::WorkerFault;
+        result.workerFailures.push_back({"bmc", e.what(), 1});
+        stats.add("robust.worker_failures");
     }
     accumulate(result, solver);
     solver.exportStats(stats, "solver");
@@ -192,36 +361,55 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                                       : CheckStatus::BoundedProof;
 
     // ---------------- k-induction ------------------------------------
-    if (options.tryInduction && !result.timedOut) {
+    // Only after a clean full-depth BMC pass: a budget-clipped base
+    // case must not be silently upgraded to an unbounded proof hunt.
+    if (options.tryInduction &&
+        stopReason == robust::UnknownReason::None) {
         const unsigned maxK =
             std::min(options.maxInductionK, options.maxDepth);
-        for (unsigned k = 1; k <= maxK; ++k) {
-            if (!timeLeft()) {
-                result.timedOut = true;
-                break;
+        try {
+            for (unsigned k = 1; k <= maxK; ++k) {
+                if (deadline.expired()) {
+                    stopReason = robust::UnknownReason::TimeLimit;
+                    break;
+                }
+                if (options.conflictBudget &&
+                    spentConflicts() >= options.conflictBudget) {
+                    stopReason = robust::UnknownReason::ConflictBudget;
+                    break;
+                }
+                const double kStart = watch.seconds();
+                sat::StopCause stepStop = sat::StopCause::None;
+                const sat::SolveResult sr = inductionStep(
+                    netlist, k, options, result, result.solver.conflicts,
+                    &deadline.flag(), stepStop, &stats, trace);
+                stats.add("engine.induction.steps");
+                if (options.obs.progress) {
+                    options.obs.progress->frame(
+                        {"kind", k, 0, 0, result.solver.conflicts,
+                         watch.seconds() - kStart});
+                }
+                if (sr == sat::SolveResult::Unknown) {
+                    stopReason =
+                        reasonFromStop(stepStop, deadline.expired());
+                    break;
+                }
+                if (sr == sat::SolveResult::Unsat) {
+                    result.status = CheckStatus::Proved;
+                    result.inductionK = k;
+                    stats.set("engine.induction.k", k);
+                    break;
+                }
             }
-            const double kStart = watch.seconds();
-            const sat::SolveResult sr = inductionStep(
-                netlist, k, options.simplePath, result, &stats, trace);
-            stats.add("engine.induction.steps");
-            if (options.obs.progress) {
-                options.obs.progress->frame(
-                    {"kind", k, 0, 0, result.solver.conflicts,
-                     watch.seconds() - kStart});
-            }
-            if (sr == sat::SolveResult::Unsat) {
-                result.status = CheckStatus::Proved;
-                result.inductionK = k;
-                stats.set("engine.induction.k", k);
-                break;
-            }
+        } catch (const std::exception &e) {
+            warn("engine: induction aborted by fault: ", e.what());
+            stopReason = robust::UnknownReason::WorkerFault;
+            result.workerFailures.push_back({"induction", e.what(), 1});
+            stats.add("robust.worker_failures");
         }
     }
 
-    stats.set("engine.bound", result.bound);
-    result.seconds = watch.seconds();
-    result.stats = stats.snapshot();
-    return result;
+    return finish();
 }
 
 CheckResult
@@ -232,10 +420,14 @@ proveWithInvariants(const rtl::Netlist &netlist,
     // BMC first: a concrete counterexample beats any proof attempt.
     // Routed through the portfolio dispatcher so EngineOptions::jobs
     // parallelizes the CEX hunt; the invariant synthesis below stays
-    // sequential (its queries are small and highly incremental).
+    // sequential (its queries are small and highly incremental).  A
+    // budget-clipped BMC pass also preempts the proof: its bound may
+    // not cover the base case the induction below would rely on.
     CheckResult result = check(netlist, options);
-    if (result.foundCex() || result.timedOut)
+    if (result.foundCex() ||
+        result.unknownReason != robust::UnknownReason::None) {
         return result;
+    }
     Stopwatch watch;
 
     obs::Registry *stats = options.obs.stats;
@@ -248,14 +440,62 @@ proveWithInvariants(const rtl::Netlist &netlist,
             solver.exportStats(*stats, "solver");
     };
 
+    // The proof phases get their own deadline (the BMC pass above
+    // consumed its own) and the same structured-Unknown plumbing as
+    // checkSafety.  Critically, a solver that gives up mid-phase must
+    // abort the whole proof: carrying on with a half-filtered candidate
+    // set could "prove" assertions from a non-invariant.
+    robust::Watchdog deadline;
+    if (options.timeLimitSeconds > 0.0)
+        deadline.arm(options.timeLimitSeconds);
+    robust::UnknownReason cut = robust::UnknownReason::None;
+    const auto governor = [&](sat::Solver &solver) {
+        solver.setInterruptFlag(&deadline.flag());
+        solver.setMemLimitBytes(options.memLimitBytes);
+    };
+    // Arm the remaining conflict budget before a solve; false when the
+    // check has already spent it all.
+    const auto armBudget = [&](sat::Solver &solver) {
+        if (!options.conflictBudget)
+            return true;
+        const uint64_t spent =
+            result.solver.conflicts + solver.stats().conflicts;
+        if (spent >= options.conflictBudget) {
+            cut = robust::UnknownReason::ConflictBudget;
+            return false;
+        }
+        solver.setConflictBudget(options.conflictBudget - spent);
+        return true;
+    };
+    const auto cutBy = [&](const sat::Solver &solver) {
+        cut = reasonFromStop(solver.stopCause(), deadline.expired());
+        if (cut == robust::UnknownReason::None)
+            cut = robust::UnknownReason::Interrupted;
+    };
+    const auto finish = [&]() -> CheckResult & {
+        result.unknownReason = cut;
+        result.timedOut = cut == robust::UnknownReason::TimeLimit;
+        if (stats && cut != robust::UnknownReason::None) {
+            stats->set("engine.unknown_reason",
+                       static_cast<double>(static_cast<int>(cut)));
+        }
+        result.seconds += watch.seconds();
+        if (stats)
+            result.stats = stats->snapshot();
+        return result;
+    };
+
     std::vector<rtl::NodeId> active = candidates;
     if (stats)
         stats->set("invariants.candidates", active.size());
+
+    try {
 
     // ---- (1) initiation: drop candidates violated in the reset state.
     {
         obs::Span span(trace, "initiation");
         sat::Solver solver;
+        governor(solver);
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/false);
         unroller.setStats(stats);
@@ -265,10 +505,15 @@ proveWithInvariants(const rtl::Netlist &netlist,
             Bv bad;
             for (rtl::NodeId c : active)
                 bad.push_back(~unroller.nodeLits(0, c)[0]);
-            if (solver.solve({gates.mkOrAll(bad)}) !=
-                sat::SolveResult::Sat) {
+            if (!armBudget(solver))
+                break;
+            const sat::SolveResult sr = solver.solve({gates.mkOrAll(bad)});
+            if (sr == sat::SolveResult::Unknown) {
+                cutBy(solver);
                 break;
             }
+            if (sr != sat::SolveResult::Sat)
+                break;
             std::vector<rtl::NodeId> kept;
             for (rtl::NodeId c : active) {
                 if (solver.modelValue(unroller.nodeLits(0, c)[0]))
@@ -279,6 +524,8 @@ proveWithInvariants(const rtl::Netlist &netlist,
                 break;
         }
         exportSolver(solver);
+        if (cut != robust::UnknownReason::None)
+            return finish();
     }
 
     // ---- (2) consecution fixpoint (Houdini): keep dropping candidates
@@ -288,6 +535,7 @@ proveWithInvariants(const rtl::Netlist &netlist,
         changed = false;
         obs::Span span(trace, "consecution");
         sat::Solver solver;
+        governor(solver);
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
         unroller.setStats(stats);
@@ -301,10 +549,15 @@ proveWithInvariants(const rtl::Netlist &netlist,
             Bv bad;
             for (rtl::NodeId c : active)
                 bad.push_back(~unroller.nodeLits(1, c)[0]);
-            if (solver.solve({gates.mkOrAll(bad)}) !=
-                sat::SolveResult::Sat) {
+            if (!armBudget(solver))
+                break;
+            const sat::SolveResult sr = solver.solve({gates.mkOrAll(bad)});
+            if (sr == sat::SolveResult::Unknown) {
+                cutBy(solver);
                 break;
             }
+            if (sr != sat::SolveResult::Sat)
+                break;
             // Dropping a candidate weakens the frame-0 assumption, so
             // restart the solver after this sweep.
             std::vector<rtl::NodeId> kept;
@@ -319,6 +572,8 @@ proveWithInvariants(const rtl::Netlist &netlist,
             break;
         }
         exportSolver(solver);
+        if (cut != robust::UnknownReason::None)
+            return finish();
     }
     if (stats)
         stats->set("invariants.surviving", active.size());
@@ -329,6 +584,7 @@ proveWithInvariants(const rtl::Netlist &netlist,
     {
         obs::Span span(trace, "implication");
         sat::Solver solver;
+        governor(solver);
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
         unroller.setStats(stats);
@@ -340,28 +596,32 @@ proveWithInvariants(const rtl::Netlist &netlist,
         for (size_t a = 0; a < numAsserts; ++a)
             bad.push_back(~unroller.assertHolds(0, a));
         gates.assertTrue(gates.mkOrAll(bad));
-        const sat::SolveResult sr = solver.solve();
+        sat::SolveResult sr = sat::SolveResult::Unknown;
+        if (armBudget(solver)) {
+            sr = solver.solve();
+            if (sr == sat::SolveResult::Unknown)
+                cutBy(solver);
+        }
         exportSolver(solver);
+        if (cut != robust::UnknownReason::None)
+            return finish();
         if (sr == sat::SolveResult::Unsat) {
             result.status = CheckStatus::Proved;
             result.inductionK = 1;
-            result.seconds += watch.seconds();
-            if (stats)
-                result.stats = stats->snapshot();
-            return result;
+            return finish();
         }
     }
 
     // ---- (3b) invariant-strengthened k-induction.
     for (unsigned k = 1; k <= options.maxInductionK; ++k) {
-        if (options.timeLimitSeconds > 0.0 &&
-            watch.seconds() > options.timeLimitSeconds) {
-            result.timedOut = true;
-            break;
+        if (deadline.expired()) {
+            cut = robust::UnknownReason::TimeLimit;
+            return finish();
         }
         obs::Span span(trace, "strengthened induction k=" +
                                   std::to_string(k));
         sat::Solver solver;
+        governor(solver);
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
         unroller.setStats(stats);
@@ -379,8 +639,15 @@ proveWithInvariants(const rtl::Netlist &netlist,
         for (size_t a = 0; a < numAsserts; ++a)
             bad.push_back(~unroller.assertHolds(k, a));
         gates.assertTrue(gates.mkOrAll(bad));
-        const sat::SolveResult sr = solver.solve();
+        sat::SolveResult sr = sat::SolveResult::Unknown;
+        if (armBudget(solver)) {
+            sr = solver.solve();
+            if (sr == sat::SolveResult::Unknown)
+                cutBy(solver);
+        }
         exportSolver(solver);
+        if (cut != robust::UnknownReason::None)
+            return finish();
         if (sr == sat::SolveResult::Unsat) {
             result.status = CheckStatus::Proved;
             result.inductionK = k;
@@ -388,10 +655,15 @@ proveWithInvariants(const rtl::Netlist &netlist,
         }
     }
 
-    result.seconds += watch.seconds();
-    if (stats)
-        result.stats = stats->snapshot();
-    return result;
+    } catch (const std::exception &e) {
+        warn("engine: invariant proof aborted by fault: ", e.what());
+        cut = robust::UnknownReason::WorkerFault;
+        result.workerFailures.push_back({"houdini", e.what(), 1});
+        if (stats)
+            stats->add("robust.worker_failures");
+    }
+
+    return finish();
 }
 
 std::string
@@ -410,8 +682,19 @@ describe(const CheckResult &result)
         os << "full proof (k-induction, k=" << result.inductionK << ")";
         break;
       case CheckStatus::Unknown:
-        os << "unknown (budget exhausted)";
+        os << "unknown ("
+           << (result.unknownReason == robust::UnknownReason::None
+                   ? "budget exhausted"
+                   : robust::unknownReasonName(result.unknownReason))
+           << ")";
         break;
+    }
+    // A bounded proof whose exploration was clipped short of maxDepth
+    // is still a proof to `bound`, but say why it stopped there.
+    if (result.status != CheckStatus::Unknown &&
+        result.unknownReason != robust::UnknownReason::None) {
+        os << " [stopped: "
+           << robust::unknownReasonName(result.unknownReason) << "]";
     }
     char buf[96];
     std::snprintf(buf, sizeof(buf),

@@ -12,10 +12,13 @@
 #ifndef AUTOCC_FORMAL_ENGINE_HH
 #define AUTOCC_FORMAL_ENGINE_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "obs/obs.hh"
+#include "robust/failure.hh"
+#include "robust/journal.hh"
 #include "rtl/netlist.hh"
 #include "sat/solver.hh"
 #include "sim/trace.hh"
@@ -47,8 +50,38 @@ struct EngineOptions
 {
     /** Maximum number of BMC frames to explore. */
     unsigned maxDepth = 30;
-    /** Wall-clock limit in seconds; 0 = unlimited. */
+
+    /**
+     * Wall-clock limit in seconds; 0 = unlimited.  Enforced by a
+     * watchdog that interrupts the SAT solver mid-search, so a single
+     * long solve() cannot overshoot the limit (robust/watchdog.hh).
+     */
     double timeLimitSeconds = 0.0;
+
+    /**
+     * Deterministic resource governor (robust layer, DESIGN.md §10).
+     * `conflictBudget` caps the total SAT conflicts a check may spend
+     * (per worker in the portfolio); `memLimitBytes` caps each
+     * solver's accounted clause-DB bytes, turning would-be OOM kills
+     * into graceful Unknown(MemLimit) verdicts.  0 = unlimited.
+     * Tripping either budget surfaces as CheckResult::unknownReason.
+     */
+    uint64_t conflictBudget = 0;
+    size_t memLimitBytes = 0;
+
+    /**
+     * Checkpoint journal path (robust/journal.hh).  Non-empty: the
+     * engine atomically records every completed CEX-free bound (and
+     * the final verdict) to this file.  With `resume` also set, a
+     * journal left behind by a killed run is loaded first and its
+     * bounds are locked in without re-solving, so the run continues
+     * from the last completed frame and reaches the same verdict as
+     * an uninterrupted one.  A journal written for a different
+     * problem (netlist fingerprint or assertion list mismatch) is
+     * ignored with a warning and the run starts fresh.
+     */
+    std::string checkpointPath;
+    bool resume = false;
     /** Attempt a k-induction proof after BMC finds no CEX. */
     bool tryInduction = false;
     /** Maximum induction depth. */
@@ -134,6 +167,28 @@ struct CheckResult
     /** True when the time limit cut the exploration short. */
     bool timedOut = false;
 
+    /**
+     * Why the exploration stopped short of a definitive answer
+     * (robust/failure.hh).  None for a clean Cex / full-depth bounded
+     * proof / induction proof; otherwise the budget or fault that cut
+     * the run.  Set even when `status` is still BoundedProof because
+     * some bounds completed before the trip — the pair (status, reason)
+     * distinguishes "proved to bound k by choice" from "stopped at
+     * bound k because the conflict budget ran out".  Also exported as
+     * the numeric stats gauge `engine.unknown_reason`.
+     */
+    robust::UnknownReason unknownReason = robust::UnknownReason::None;
+
+    /**
+     * Worker crashes survived by the portfolio supervisor (one entry
+     * per failed attempt, including successful respawns).  Empty for
+     * the sequential engine unless its single body faulted.
+     */
+    std::vector<robust::WorkerFailure> workerFailures;
+
+    /** Bound restored from a checkpoint journal before solving began. */
+    unsigned resumedBound = 0;
+
     bool foundCex() const { return status == CheckStatus::Cex; }
     bool proved() const { return status == CheckStatus::Proved; }
 };
@@ -166,6 +221,33 @@ CheckResult proveWithInvariants(const rtl::Netlist &netlist,
 
 /** Human-readable one-line summary of a result. */
 std::string describe(const CheckResult &result);
+
+/**
+ * Deterministic identity of a checking problem, used to pair a
+ * checkpoint journal with the run it belongs to: netlist name, node /
+ * state counts and an FNV-1a hash over the property names.  Stable
+ * across runs and platforms (no std::hash), so a journal written on
+ * one machine resumes on another.
+ */
+std::string checkFingerprint(const rtl::Netlist &netlist);
+
+/**
+ * Checkpoint journal bound to one checking problem.  Shared between
+ * the sequential and portfolio engines so both speak the same journal
+ * format and resume semantics.  `writer` is null when EngineOptions::
+ * checkpointPath is empty; `resumedBound` is non-zero only when
+ * options.resume found a journal whose fingerprint and assertion list
+ * match this netlist (clamped to options.maxDepth).
+ */
+struct CheckpointSetup
+{
+    std::unique_ptr<robust::CheckpointWriter> writer;
+    unsigned resumedBound = 0;
+};
+
+/** Open (and, with options.resume, load) the checkpoint journal. */
+CheckpointSetup openCheckpoint(const rtl::Netlist &netlist,
+                               const EngineOptions &options);
 
 } // namespace autocc::formal
 

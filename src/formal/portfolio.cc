@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -15,6 +16,8 @@
 #include "base/timer.hh"
 #include "formal/gates.hh"
 #include "formal/unroller.hh"
+#include "robust/fault.hh"
+#include "robust/supervisor.hh"
 #include "rtl/clone.hh"
 #include "sat/solver.hh"
 #include "sim/simulator.hh"
@@ -59,13 +62,64 @@ struct Race
     bool minimalCex = true;
     bool wantInduction = false;
 
+    /** Journaled CEX-free bounds locked in before the race started. */
+    unsigned resumedBound = 0;
+    /** Checkpoint journal (already thread-safe); null when disabled. */
+    robust::CheckpointWriter *journal = nullptr;
+
     std::mutex mutex;
     std::optional<CexInfo> cex; ///< guarded by mutex
     int cexWorker = -1;         ///< guarded by mutex
     bool proved = false;        ///< guarded by mutex
     unsigned inductionK = 0;    ///< guarded by mutex
     int winner = -1;            ///< guarded by mutex
+    std::vector<robust::WorkerFailure> failures; ///< guarded by mutex
 };
+
+/**
+ * Map a worker solver's stop cause onto the structured reason.  An
+ * interrupt is blamed on the time limit only when the race watchdog
+ * fired; a cancellation because somebody else won stays Interrupted
+ * (and is uninteresting — the race still has a definitive answer).
+ */
+robust::UnknownReason
+stopReasonOf(const sat::Solver &solver, const Race &race)
+{
+    switch (solver.stopCause()) {
+      case sat::StopCause::MemLimit:
+        return robust::UnknownReason::MemLimit;
+      case sat::StopCause::ConflictLimit:
+        return robust::UnknownReason::ConflictBudget;
+      case sat::StopCause::Interrupted:
+        return race.timedOut.load() ? robust::UnknownReason::TimeLimit
+                                    : robust::UnknownReason::Interrupted;
+      case sat::StopCause::None:
+        break;
+    }
+    return robust::UnknownReason::None;
+}
+
+/**
+ * Arm the per-worker conflict budget on `solver` before a solve call:
+ * whatever remains of `budget` after `spent` cumulative conflicts.
+ * False (budget exhausted) means the worker must stop.  Budgets are
+ * deliberately per worker, not shared: each worker's cutoff then
+ * depends only on its own deterministic search, so a budget-tripped
+ * verdict is reproducible regardless of scheduling.
+ */
+bool
+armBudget(sat::Solver &solver, uint64_t budget, uint64_t spent,
+          WorkerStats &ws)
+{
+    if (!budget)
+        return true;
+    if (spent >= budget) {
+        ws.stopReason = robust::UnknownReason::ConflictBudget;
+        return false;
+    }
+    solver.setConflictBudget(budget - spent);
+    return true;
+}
 
 /**
  * Finalization rule (callers hold the mutex): a candidate CEX wins
@@ -105,6 +159,10 @@ raiseBound(Race &race, unsigned depth, int worker)
     while (depth > current &&
            !race.bound.compare_exchange_weak(current, depth)) {
     }
+    // The journal keeps the max bound itself, so racing writers are
+    // fine; a killed run resumes from the deepest completed frame.
+    if (race.journal)
+        race.journal->recordBound(depth);
     if (race.cexDepth.load() != kNoCex) {
         std::lock_guard<std::mutex> lock(race.mutex);
         maybeFinalizeLocked(race);
@@ -166,16 +224,41 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                 WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
+    if (race.resumedBound >= engine.maxDepth) {
+        ws.depthReached = race.resumedBound;
+        ws.outcome = "resumed";
+        ws.seconds = watch.seconds();
+        return;
+    }
     sat::Solver solver(solverOptions);
     solver.setInterruptFlag(&race.stop);
+    solver.setMemLimitBytes(engine.memLimitBytes);
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
     unroller.setStats(obs.stats);
     const size_t numAsserts = netlist.asserts().size();
 
-    for (unsigned depth = 1; depth <= engine.maxDepth; ++depth) {
+    // Resume: re-lock the journaled CEX-free bounds without solving
+    // (same CNF an uninterrupted run had after completing them).
+    for (unsigned depth = 1; depth <= race.resumedBound; ++depth) {
+        const unsigned t = depth - 1;
+        unroller.addFrame();
+        gates.assertTrue(unroller.assumeOk(t));
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a)
+            violations.push_back(~unroller.assertHolds(t, a));
+        gates.assertTrue(~gates.mkOrAll(violations));
+        ws.depthReached = depth;
+    }
+
+    for (unsigned depth = race.resumedBound + 1; depth <= engine.maxDepth;
+         ++depth) {
         if (race.stop.load())
             break;
+        if (!armBudget(solver, engine.conflictBudget,
+                       solver.stats().conflicts, ws)) {
+            break;
+        }
         // A candidate CEX at depth d only needs depths 1..d-1 checked.
         const unsigned cap = race.cexDepth.load();
         if (cap != kNoCex && depth >= cap)
@@ -211,8 +294,10 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                                  solver.stats().conflicts,
                                  watch.seconds() - frameStart});
         }
-        if (sr == sat::SolveResult::Unknown)
-            break; // interrupted
+        if (sr == sat::SolveResult::Unknown) {
+            ws.stopReason = stopReasonOf(solver, race);
+            break;
+        }
         if (sr == sat::SolveResult::Sat) {
             CexInfo cex;
             cex.trace = unroller.extractTrace();
@@ -249,8 +334,15 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
            WorkerStats &ws, int wi, const WorkerObs &obs)
 {
     Stopwatch watch;
+    if (race.resumedBound >= engine.maxDepth) {
+        ws.depthReached = race.resumedBound;
+        ws.outcome = "resumed";
+        ws.seconds = watch.seconds();
+        return;
+    }
     sat::Solver solver(solverOptions);
     solver.setInterruptFlag(&race.stop);
+    solver.setMemLimitBytes(engine.memLimitBytes);
     Gates gates(solver);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
     unroller.setStats(obs.stats);
@@ -305,10 +397,21 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         return cex;
     };
 
-    sat::SolveResult sr;
+    // A resumed run already knows the journaled prefix is CEX-free;
+    // telling the solver shortcuts both the one-shot query and the
+    // minimization below to the unexplored frames.
+    for (unsigned t = 0; t < race.resumedBound && t < frameBad.size(); ++t)
+        gates.assertTrue(~frameBad[t]);
+
+    sat::SolveResult sr = sat::SolveResult::Unknown;
     {
         obs::Span solveSpan(obs.trace, "solve budget");
-        sr = solver.solve({anyBadBefore(engine.maxDepth)});
+        if (armBudget(solver, engine.conflictBudget,
+                      solver.stats().conflicts, ws)) {
+            sr = solver.solve({anyBadBefore(engine.maxDepth)});
+            if (sr == sat::SolveResult::Unknown)
+                ws.stopReason = stopReasonOf(solver, race);
+        }
     }
     if (sr == sat::SolveResult::Unsat) {
         ws.depthReached = engine.maxDepth;
@@ -322,6 +425,10 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         while (best > 0 && !race.stop.load()) {
             obs::Span minSpan(obs.trace,
                               "minimize <" + std::to_string(best));
+            if (!armBudget(solver, engine.conflictBudget,
+                           solver.stats().conflicts, ws)) {
+                break;
+            }
             sr = solver.solve({anyBadBefore(best)});
             if (sr == sat::SolveResult::Sat) {
                 best = earliestViolatedFrame();
@@ -330,7 +437,8 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                 raiseBound(race, best, wi);
                 break;
             } else {
-                break; // interrupted
+                ws.stopReason = stopReasonOf(solver, race);
+                break;
             }
         }
         ws.depthReached = best;
@@ -362,6 +470,13 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         obs::Span kSpan(obs.trace, "induction k=" + std::to_string(k));
         sat::Solver solver(solverOptions);
         solver.setInterruptFlag(&race.stop);
+        solver.setMemLimitBytes(engine.memLimitBytes);
+        // Each k gets a fresh solver; the worker's budget is the sum
+        // over all of them, accumulated into ws.solver after each step.
+        if (!armBudget(solver, engine.conflictBudget, ws.solver.conflicts,
+                       ws)) {
+            break;
+        }
         Gates gates(solver);
         Unroller unroller(netlist, gates, /*free_initial_state=*/true);
         unroller.setStats(obs.stats);
@@ -393,8 +508,10 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                                  solver.stats().conflicts,
                                  watch.seconds() - kStart});
         }
-        if (sr == sat::SolveResult::Unknown)
-            break; // interrupted
+        if (sr == sat::SolveResult::Unknown) {
+            ws.stopReason = stopReasonOf(solver, race);
+            break;
+        }
         if (sr == sat::SolveResult::Unsat) {
             // Step holds at k; wait for the base case to reach k.  End
             // the span first so it doesn't absorb the idle wait.
@@ -770,6 +887,42 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     race.minimalCex = options.minimalCex;
     race.wantInduction = engine.tryInduction;
 
+    // Checkpoint journal — same format and resume semantics as the
+    // sequential engine (openCheckpoint), so either engine can resume
+    // a journal the other left behind.
+    CheckpointSetup journal = openCheckpoint(netlist, engine);
+    race.journal = journal.writer.get();
+    race.resumedBound = std::min(journal.resumedBound, engine.maxDepth);
+    if (race.resumedBound) {
+        race.bound.store(race.resumedBound);
+        reg.set("engine.resume.bound", race.resumedBound);
+    }
+
+    // Supervised spawn: an exception escaping a worker body (or an
+    // injected fault) is caught and the worker respawned once with
+    // backoff; a worker that dies permanently degrades the race —
+    // the others keep running — instead of terminating the process.
+    const auto supervise = [&race, &reg](WorkerStats &ws, const char *site,
+                                         const std::function<void()> &body) {
+        std::vector<robust::WorkerFailure> failures = robust::runSupervised(
+            ws.name, [&](unsigned) {
+                robust::injectFault(site);
+                body();
+            });
+        if (failures.empty())
+            return;
+        reg.add("robust.worker_failures", failures.size());
+        if (failures.size() > robust::SupervisorOptions{}.maxRestarts) {
+            ws.stopReason = robust::UnknownReason::WorkerFault;
+            if (ws.outcome.empty())
+                ws.outcome = "fault";
+        }
+        ws.failures = failures;
+        std::lock_guard<std::mutex> lock(race.mutex);
+        for (auto &failure : failures)
+            race.failures.push_back(std::move(failure));
+    };
+
     // Assemble the worker line-up: reference deepening BMC first (so
     // the portfolio can never do worse than the sequential engine at
     // finding an answer), then the diversified engines.
@@ -817,7 +970,10 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
           case WorkerKind::BmcDeepening:
             threads.emplace_back([&, so, wi, wobs] {
                 obs::Span life(wobs.trace, "worker " + ws.name);
-                deepeningWorker(netlist, engine, so, race, ws, wi, wobs);
+                supervise(ws, "worker.bmc", [&] {
+                    deepeningWorker(netlist, engine, so, race, ws, wi,
+                                    wobs);
+                });
                 race.bmcActive.fetch_sub(1);
                 life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
@@ -825,7 +981,9 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
           case WorkerKind::BmcLeap:
             threads.emplace_back([&, so, wi, wobs] {
                 obs::Span life(wobs.trace, "worker " + ws.name);
-                leapWorker(netlist, engine, so, race, ws, wi, wobs);
+                supervise(ws, "worker.leap", [&] {
+                    leapWorker(netlist, engine, so, race, ws, wi, wobs);
+                });
                 race.bmcActive.fetch_sub(1);
                 life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
@@ -833,14 +991,19 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
           case WorkerKind::Induction:
             threads.emplace_back([&, so, wi, wobs] {
                 obs::Span life(wobs.trace, "worker " + ws.name);
-                inductionWorker(netlist, engine, so, race, ws, wi, wobs);
+                supervise(ws, "worker.kind", [&] {
+                    inductionWorker(netlist, engine, so, race, ws, wi,
+                                    wobs);
+                });
                 life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
           case WorkerKind::SimHunter:
             threads.emplace_back([&, wi, wobs] {
                 obs::Span life(wobs.trace, "worker " + ws.name);
-                simHunterWorker(netlist, options, race, ws, wi, wobs);
+                supervise(ws, "worker.sim", [&] {
+                    simHunterWorker(netlist, options, race, ws, wi, wobs);
+                });
                 life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
             });
             break;
@@ -873,6 +1036,7 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     // ---------------- assemble the final answer ----------------------
     CheckResult result;
     result.timedOut = race.timedOut.load();
+    result.resumedBound = race.resumedBound;
     const unsigned bound = race.bound.load();
     for (const auto &ws : workerStats)
         result.solver += ws.solver;
@@ -921,11 +1085,40 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     }
     result.seconds = watch.seconds();
 
+    // Structured stop reason (robust layer): why the race fell short
+    // of a definitive answer.  None for a CEX, a proof, or a bound
+    // that covers the full requested depth.  "Somebody else won" is
+    // not a reason, so per-worker Interrupted records are skipped.
+    if (result.status == CheckStatus::BoundedProof ||
+        result.status == CheckStatus::Unknown) {
+        if (race.timedOut.load()) {
+            result.unknownReason = robust::UnknownReason::TimeLimit;
+        } else if (result.bound < engine.maxDepth) {
+            for (const auto &ws : workerStats) {
+                if (ws.stopReason != robust::UnknownReason::None &&
+                    ws.stopReason != robust::UnknownReason::Interrupted) {
+                    result.unknownReason = ws.stopReason;
+                    break;
+                }
+            }
+            if (result.unknownReason == robust::UnknownReason::None &&
+                !race.failures.empty()) {
+                result.unknownReason = robust::UnknownReason::WorkerFault;
+            }
+        }
+    }
+    result.workerFailures = race.failures;
+
     // Per-worker registry keys are written here, after the join, from
     // this thread only — workers never touch portfolio.worker.*.
     reg.set("portfolio.jobs", jobs);
     reg.set("portfolio.winner", winnerIndex);
     reg.set("engine.bound", result.bound);
+    if (result.unknownReason != robust::UnknownReason::None) {
+        reg.set("engine.unknown_reason",
+                static_cast<double>(
+                    static_cast<int>(result.unknownReason)));
+    }
     reg.addSeconds("portfolio.seconds", result.seconds);
     for (const auto &ws : workerStats) {
         const std::string p = "portfolio.worker." + ws.name;
@@ -934,6 +1127,8 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         reg.set(p + ".depth", ws.depthReached);
         reg.set(p + ".seconds", ws.seconds);
     }
+    if (journal.writer)
+        journal.writer->recordVerdict(describe(result));
     result.stats = reg.snapshot();
 
     if (stats) {

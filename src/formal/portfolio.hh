@@ -59,6 +59,21 @@ struct WorkerStats
     double seconds = 0.0;
     bool winner = false;
     std::string outcome; ///< one-word outcome, e.g. "cex", "bound=12"
+
+    /**
+     * Why this worker stopped short of a definitive contribution
+     * (robust layer): a tripped budget, an interrupt, or — after the
+     * supervisor exhausted its restarts — WorkerFault.
+     */
+    robust::UnknownReason stopReason = robust::UnknownReason::None;
+
+    /**
+     * Crash log from the worker supervisor: one entry per failed
+     * attempt, including attempts whose respawn then succeeded.  A
+     * non-empty log with stopReason != WorkerFault means the worker
+     * recovered and its results still count.
+     */
+    std::vector<robust::WorkerFailure> failures;
 };
 
 /** Per-run portfolio telemetry, surfaced for benches and tests. */

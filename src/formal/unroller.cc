@@ -1,6 +1,7 @@
 #include "formal/unroller.hh"
 
 #include "base/timer.hh"
+#include "robust/fault.hh"
 
 namespace autocc::formal
 {
@@ -33,6 +34,9 @@ Unroller::readMux(const std::vector<Bv> &words, const Bv &addr, size_t lo,
 void
 Unroller::addFrame()
 {
+    // Chaos-harness hook: a frame expansion is the engine's big
+    // allocation burst, so this is where simulated bad_allocs land.
+    robust::injectFault("unroller.frame");
     // One clock read per frame; nothing per node or per gate.
     const Stopwatch watch;
     const size_t t = frames_.size();

@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "obs/stats.hh"
+#include "robust/artifact.hh"
 
 namespace autocc::obs
 {
@@ -113,9 +114,9 @@ Tracer::json() const
 bool
 Tracer::writeFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    out << json();
-    if (!out) {
+    // Atomic tmp+fsync+rename (robust/artifact.hh): a crash mid-write
+    // leaves the previous trace intact, never a torn JSON file.
+    if (!robust::atomicWrite(path, json())) {
         warn("failed to write trace file '", path, "'");
         return false;
     }

@@ -1,0 +1,20 @@
+#include "robust/artifact.hh"
+
+#include "base/atomic_file.hh"
+#include "base/logging.hh"
+#include "robust/fault.hh"
+
+namespace autocc::robust
+{
+
+bool
+atomicWrite(const std::string &path, const std::string &content)
+{
+    if (injectFailure("artifact.write")) {
+        warn("injected artifact-write failure for '", path, "'");
+        return false;
+    }
+    return atomicWriteFile(path, content);
+}
+
+} // namespace autocc::robust

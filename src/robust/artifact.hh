@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Crash-safe artifact writer: the single choke point through which
+ * every user-visible output file (stats JSON, trace JSON, VCD, SVA
+ * emission, bench sidecars, checkpoint journals) is written.  Wraps
+ * base/atomic_file.hh with the `artifact.write` fault-injection site,
+ * so the chaos suite can prove that a failed or injected write never
+ * leaves a torn file behind and never crashes the run.
+ */
+
+#ifndef AUTOCC_ROBUST_ARTIFACT_HH
+#define AUTOCC_ROBUST_ARTIFACT_HH
+
+#include <string>
+
+namespace autocc::robust
+{
+
+/**
+ * Atomically write `content` to `path` (tmp+fsync+rename).  Returns
+ * false — leaving any previous file untouched — on I/O failure or
+ * when the `artifact.write` fault site is armed.
+ */
+bool atomicWrite(const std::string &path, const std::string &content);
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_ARTIFACT_HH

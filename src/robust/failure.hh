@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Failure taxonomy of the fault-tolerant run layer.
+ *
+ * Long FPV campaigns must end in a *trustworthy* verdict even when a
+ * budget trips or a worker dies.  Every early stop is therefore
+ * classified: a CheckResult whose exploration was cut short carries an
+ * UnknownReason, and every supervised worker death is recorded as a
+ * WorkerFailure instead of tearing the process down.  See DESIGN.md
+ * §10 "Failure model and recovery".
+ */
+
+#ifndef AUTOCC_ROBUST_FAILURE_HH
+#define AUTOCC_ROBUST_FAILURE_HH
+
+#include <string>
+
+namespace autocc::robust
+{
+
+/**
+ * Why a check stopped before reaching a definitive verdict.  `None`
+ * means the run completed its full budget (or found a CEX / proof).
+ * The enum values are stable: they are exported as the numeric gauge
+ * `engine.unknown_reason` in stats JSON.
+ */
+enum class UnknownReason {
+    None = 0,       ///< run completed (or was never cut short)
+    TimeLimit,      ///< wall-clock limit expired (watchdog-interrupted)
+    ConflictBudget, ///< per-check SAT conflict budget exhausted
+    MemLimit,       ///< accounted clause-DB bytes exceeded the limit
+    Interrupted,    ///< external interrupt (cancellation token)
+    WorkerFault,    ///< an exception escaped the checking code
+};
+
+/** Stable lower-case name of a reason (for logs and JSON consumers). */
+const char *unknownReasonName(UnknownReason reason);
+
+/**
+ * One recorded death of a supervised worker: which worker, what
+ * escaped, and on which attempt (1 = first run, 2 = the respawn).
+ */
+struct WorkerFailure
+{
+    std::string worker; ///< e.g. "leap#2"
+    std::string reason; ///< exception what() or "non-standard exception"
+    unsigned attempt = 1;
+};
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_FAILURE_HH

@@ -1,0 +1,223 @@
+#include "robust/fault.hh"
+#include "robust/failure.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+#include "base/logging.hh"
+
+namespace autocc::robust
+{
+
+namespace
+{
+
+/**
+ * Global injector.  `armed_` is the fast-path gate: with no plan the
+ * per-site cost is one relaxed load and an untaken branch.  Counters
+ * and arms live behind a mutex — sites sit at solve/frame/write
+ * granularity, never inside a solver's propagate loop.
+ */
+struct Injector
+{
+    std::atomic<bool> armed{false};
+    std::atomic<uint64_t> fired{0};
+    std::mutex mutex;
+    std::vector<FaultArm> arms;            // guarded by mutex
+    std::map<std::string, uint64_t> hits;  // guarded by mutex
+
+    /** Returns the kind to fire at this arrival, if any. */
+    bool fire(const char *site, FaultKind &kind)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const uint64_t arrival = ++hits[site];
+        for (const FaultArm &arm : arms) {
+            if (arm.site == site && arm.hit == arrival) {
+                fired.fetch_add(1);
+                kind = arm.kind;
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+Injector &
+injector()
+{
+    static Injector instance;
+    return instance;
+}
+
+/** Install AUTOCC_FAULT_PLAN (if set) before the first site is hit. */
+void
+initFromEnvOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *spec = std::getenv("AUTOCC_FAULT_PLAN");
+        if (!spec || !*spec)
+            return;
+        FaultPlan plan;
+        std::string error;
+        if (!FaultPlan::parse(spec, plan, error)) {
+            warn("ignoring malformed AUTOCC_FAULT_PLAN: ", error);
+            return;
+        }
+        setFaultPlan(plan);
+        inform("fault plan armed from AUTOCC_FAULT_PLAN (", spec, ")");
+    });
+}
+
+bool
+parseKind(const std::string &text, FaultKind &kind)
+{
+    if (text == "throw")
+        kind = FaultKind::Throw;
+    else if (text == "badalloc")
+        kind = FaultKind::BadAlloc;
+    else if (text == "fail")
+        kind = FaultKind::Fail;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan &plan,
+                 std::string &error)
+{
+    plan.arms.clear();
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t comma = spec.find(',', pos);
+        const std::string entry = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (entry.empty()) {
+            if (comma == std::string::npos)
+                break;
+            error = "empty entry";
+            return false;
+        }
+
+        FaultArm arm;
+        const size_t c1 = entry.find(':');
+        arm.site = entry.substr(0, c1);
+        if (arm.site.empty()) {
+            error = "entry '" + entry + "' has no site";
+            return false;
+        }
+        if (c1 != std::string::npos) {
+            const size_t c2 = entry.find(':', c1 + 1);
+            const std::string hitText = entry.substr(
+                c1 + 1,
+                c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+            char *end = nullptr;
+            const unsigned long long hit =
+                std::strtoull(hitText.c_str(), &end, 10);
+            if (hitText.empty() || *end != '\0' || hit == 0) {
+                error = "entry '" + entry +
+                        "' has a bad hit index (expected a positive "
+                        "integer)";
+                return false;
+            }
+            arm.hit = hit;
+            if (c2 != std::string::npos &&
+                !parseKind(entry.substr(c2 + 1), arm.kind)) {
+                error = "entry '" + entry +
+                        "' has an unknown kind (expected "
+                        "throw|badalloc|fail)";
+                return false;
+            }
+        }
+        plan.arms.push_back(std::move(arm));
+    }
+    return true;
+}
+
+void
+setFaultPlan(const FaultPlan &plan)
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.arms = plan.arms;
+    inj.hits.clear();
+    inj.fired.store(0);
+    inj.armed.store(!inj.arms.empty());
+}
+
+void
+clearFaultPlan()
+{
+    setFaultPlan(FaultPlan{});
+}
+
+uint64_t
+faultsFired()
+{
+    return injector().fired.load();
+}
+
+const std::vector<std::string> &
+knownFaultSites()
+{
+    static const std::vector<std::string> sites = {
+        "solver.solve",   // sat::Solver::solve entry
+        "unroller.frame", // formal::Unroller::addFrame entry
+        "worker.bmc",     // deepening BMC portfolio worker body
+        "worker.leap",    // leap BMC portfolio worker body
+        "worker.kind",    // k-induction portfolio worker body
+        "worker.sim",     // simulation-hunter portfolio worker body
+        "artifact.write", // robust::atomicWrite (all sidecar files)
+    };
+    return sites;
+}
+
+void
+injectFault(const char *site)
+{
+    Injector &inj = injector();
+    initFromEnvOnce();
+    if (!inj.armed.load(std::memory_order_relaxed))
+        return;
+    FaultKind kind;
+    if (!inj.fire(site, kind))
+        return;
+    if (kind == FaultKind::BadAlloc)
+        throw std::bad_alloc();
+    throw FaultInjected(site);
+}
+
+bool
+injectFailure(const char *site)
+{
+    Injector &inj = injector();
+    initFromEnvOnce();
+    if (!inj.armed.load(std::memory_order_relaxed))
+        return false;
+    FaultKind kind;
+    return inj.fire(site, kind);
+}
+
+const char *
+unknownReasonName(UnknownReason reason)
+{
+    switch (reason) {
+      case UnknownReason::None: return "none";
+      case UnknownReason::TimeLimit: return "time_limit";
+      case UnknownReason::ConflictBudget: return "conflict_budget";
+      case UnknownReason::MemLimit: return "mem_limit";
+      case UnknownReason::Interrupted: return "interrupted";
+      case UnknownReason::WorkerFault: return "worker_fault";
+    }
+    return "?";
+}
+
+} // namespace autocc::robust

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault-injection framework.
+ *
+ * Production FPV substrates are exercised against solver crashes,
+ * allocation failures and torn artifact writes before they are trusted
+ * with multi-hour campaigns.  This module gives the reproduction the
+ * same lever: named injection points ("sites") are compiled into the
+ * solver, the unroller, the portfolio worker bodies and the artifact
+ * writer, and a *fault plan* arms a site to misbehave on its N-th hit.
+ *
+ * A plan is a comma-separated list of `site[:hit[:kind]]` entries:
+ *
+ *   solver.solve:3:throw     third solve() call throws FaultInjected
+ *   unroller.frame:1:badalloc  first addFrame() throws std::bad_alloc
+ *   worker.leap              first leap-worker body throws
+ *   artifact.write:2:fail    second artifact write reports failure
+ *
+ * `hit` defaults to 1 (1-based) and `kind` to `throw`.  Plans come
+ * from tests via setFaultPlan() or from the AUTOCC_FAULT_PLAN
+ * environment variable (read once, lazily), so the chaos CI job can
+ * drive the CLI without recompiling.  Hit counting is per-site,
+ * global, and thread-safe; with a fixed plan and a fixed workload the
+ * injection is deterministic.
+ *
+ * With no plan armed, a site costs one relaxed atomic load — the same
+ * "off means free" discipline as the observability layer.
+ */
+
+#ifndef AUTOCC_ROBUST_FAULT_HH
+#define AUTOCC_ROBUST_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace autocc::robust
+{
+
+/** How an armed site misbehaves when its hit count is reached. */
+enum class FaultKind {
+    Throw,    ///< throw FaultInjected (a std::runtime_error)
+    BadAlloc, ///< throw std::bad_alloc (simulated allocation failure)
+    Fail,     ///< report failure via return value (non-throwing sites)
+};
+
+/** The exception injected by FaultKind::Throw sites. */
+struct FaultInjected : std::runtime_error
+{
+    explicit FaultInjected(const std::string &site)
+        : std::runtime_error("injected fault at " + site)
+    {
+    }
+};
+
+/** One armed injection: fire `kind` on the `hit`-th arrival at `site`. */
+struct FaultArm
+{
+    std::string site;
+    uint64_t hit = 1; ///< 1-based arrival index
+    FaultKind kind = FaultKind::Throw;
+};
+
+/** A parsed fault plan: a set of armed injections. */
+struct FaultPlan
+{
+    std::vector<FaultArm> arms;
+
+    /**
+     * Parse a `site[:hit[:kind]],...` spec.  On malformed input
+     * returns false and leaves `error` describing the bad entry.
+     */
+    static bool parse(const std::string &spec, FaultPlan &plan,
+                      std::string &error);
+};
+
+/** Install a plan (replaces any previous one and resets hit counts). */
+void setFaultPlan(const FaultPlan &plan);
+
+/** Disarm everything and reset hit counts. */
+void clearFaultPlan();
+
+/** Total injections fired since the plan was installed. */
+uint64_t faultsFired();
+
+/**
+ * The canonical injection sites compiled into this build — the rows
+ * of the chaos test matrix.  (Site names are plain strings, so ad-hoc
+ * sites also work; this list is what the chaos suite iterates.)
+ */
+const std::vector<std::string> &knownFaultSites();
+
+/**
+ * Throwing injection point.  Advances `site`'s hit counter and, when
+ * an arm matches, throws FaultInjected (Throw/Fail) or std::bad_alloc
+ * (BadAlloc).  No-op (one atomic load) when no plan is armed.
+ */
+void injectFault(const char *site);
+
+/**
+ * Non-throwing injection point for sites that report failure through
+ * a return value (artifact writes).  Returns true when an arm fires.
+ */
+bool injectFailure(const char *site);
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_FAULT_HH

@@ -1,0 +1,168 @@
+#include "robust/journal.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "robust/artifact.hh"
+
+namespace autocc::robust
+{
+
+namespace
+{
+
+/** Minimal JSON string escape (names are identifiers in practice). */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Extract the string value following `"key": "` on `line`; empty when
+ * absent.  Good enough for the journal's own fixed, escaped output.
+ */
+std::string
+stringField(const std::string &line, const std::string &key)
+{
+    const std::string marker = "\"" + key + "\": \"";
+    const size_t start = line.find(marker);
+    if (start == std::string::npos)
+        return {};
+    std::string out;
+    for (size_t i = start + marker.size(); i < line.size(); ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+            out.push_back(line[++i]);
+        } else if (line[i] == '"') {
+            return out;
+        } else {
+            out.push_back(line[i]);
+        }
+    }
+    return {}; // unterminated: treat as absent
+}
+
+} // namespace
+
+std::optional<Checkpoint>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.find("\"autocc_checkpoint\"") == std::string::npos) {
+        warn("checkpoint '", path, "': missing or malformed header");
+        return std::nullopt;
+    }
+
+    Checkpoint cp;
+    cp.fingerprint = stringField(line, "netlist");
+    if (cp.fingerprint.empty()) {
+        warn("checkpoint '", path, "': header has no netlist "
+             "fingerprint");
+        return std::nullopt;
+    }
+    // Assert list: every quoted string inside the "asserts" array.
+    const size_t arrayStart = line.find("\"asserts\": [");
+    if (arrayStart != std::string::npos) {
+        size_t i = arrayStart + 12;
+        while (i < line.size() && line[i] != ']') {
+            if (line[i] == '"') {
+                std::string name;
+                for (++i; i < line.size() && line[i] != '"'; ++i) {
+                    if (line[i] == '\\' && i + 1 < line.size())
+                        ++i;
+                    name.push_back(line[i]);
+                }
+                cp.asserts.push_back(std::move(name));
+            }
+            ++i;
+        }
+    }
+
+    while (std::getline(in, line)) {
+        const size_t boundPos = line.find("{\"bound\": ");
+        if (boundPos == 0) {
+            char *end = nullptr;
+            const unsigned long value =
+                std::strtoul(line.c_str() + 10, &end, 10);
+            if (end != line.c_str() + 10 && value > cp.bound)
+                cp.bound = static_cast<unsigned>(value);
+            continue;
+        }
+        const std::string verdict = stringField(line, "verdict");
+        if (!verdict.empty())
+            cp.verdict = verdict;
+        // Anything else: a malformed trailing line — ignore it and
+        // keep the valid prefix.
+    }
+    return cp;
+}
+
+CheckpointWriter::CheckpointWriter(std::string path,
+                                   std::string fingerprint,
+                                   std::vector<std::string> asserts,
+                                   unsigned initialBound)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint)),
+      asserts_(std::move(asserts)), bound_(initialBound)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    writeLocked();
+}
+
+void
+CheckpointWriter::recordBound(unsigned depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (depth <= bound_)
+        return;
+    bound_ = depth;
+    writeLocked();
+}
+
+void
+CheckpointWriter::recordVerdict(const std::string &verdict)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    verdict_ = verdict;
+    writeLocked();
+}
+
+unsigned
+CheckpointWriter::bound() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bound_;
+}
+
+void
+CheckpointWriter::writeLocked()
+{
+    std::ostringstream os;
+    os << "{\"autocc_checkpoint\": 1, \"netlist\": \""
+       << escape(fingerprint_) << "\", \"asserts\": [";
+    for (size_t i = 0; i < asserts_.size(); ++i)
+        os << (i ? ", " : "") << "\"" << escape(asserts_[i]) << "\"";
+    os << "]}\n";
+    for (unsigned d = 1; d <= bound_; ++d)
+        os << "{\"bound\": " << d << "}\n";
+    if (!verdict_.empty())
+        os << "{\"verdict\": \"" << escape(verdict_) << "\"}\n";
+    if (!atomicWrite(path_, os.str()))
+        warn("checkpoint journal '", path_, "': write failed; progress "
+             "up to bound ", bound_, " not persisted");
+}
+
+} // namespace autocc::robust

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Checkpoint journal: crash-safe progress record of a BMC campaign.
+ *
+ * The engine appends one record per completed (CEX-free) bound, plus a
+ * final verdict record, to a JSON-lines file.  Every append rewrites
+ * the file through the atomic tmp+fsync+rename helper, so a process
+ * killed at ANY instant leaves either the previous or the new complete
+ * journal on disk — never a torn one.  A resumed run
+ * (EngineOptions::resume / `autocc_cli check --resume`) loads the
+ * journal, validates that it belongs to the same problem (netlist
+ * fingerprint + assertion list), locks the journaled bounds in without
+ * re-solving them, and continues from the next frame — provably
+ * reaching the same verdict as an uninterrupted run, because locked
+ * frames contribute exactly the `~bad` clauses the original run had
+ * derived.
+ *
+ * File format (one JSON object per line):
+ *
+ *   {"autocc_checkpoint": 1, "netlist": "<fingerprint>",
+ *    "asserts": ["a", "b", ...]}
+ *   {"bound": 1}
+ *   {"bound": 2}
+ *   {"verdict": "CEX at depth 5 (spy_eq_out)"}
+ */
+
+#ifndef AUTOCC_ROBUST_JOURNAL_HH
+#define AUTOCC_ROBUST_JOURNAL_HH
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autocc::robust
+{
+
+/** Parsed journal content. */
+struct Checkpoint
+{
+    /** Problem identity the journal belongs to. */
+    std::string fingerprint;
+    /** Per-assert status: the assertion names being checked. */
+    std::vector<std::string> asserts;
+    /** Largest journaled CEX-free bound. */
+    unsigned bound = 0;
+    /** Non-empty once the run recorded its final verdict. */
+    std::string verdict;
+};
+
+/**
+ * Load and parse a journal.  Returns nullopt when the file does not
+ * exist or its header is unreadable; malformed trailing lines (which
+ * the atomic writer never produces, but a hostile filesystem might)
+ * are ignored, keeping the longest valid prefix.
+ */
+std::optional<Checkpoint> loadCheckpoint(const std::string &path);
+
+/**
+ * Journal writer.  Thread-safe; every record change rewrites the file
+ * atomically.  Records are monotonic: recordBound() keeps the maximum.
+ */
+class CheckpointWriter
+{
+  public:
+    /**
+     * Start (or restart, when resuming) a journal at `path`.
+     * `initialBound` carries over the journaled bounds of the run
+     * being resumed so the file stays self-contained.
+     */
+    CheckpointWriter(std::string path, std::string fingerprint,
+                     std::vector<std::string> asserts,
+                     unsigned initialBound = 0);
+
+    /** Record "depths 1..depth are CEX-free"; keeps the maximum. */
+    void recordBound(unsigned depth);
+
+    /** Record the final verdict line. */
+    void recordVerdict(const std::string &verdict);
+
+    unsigned bound() const;
+
+  private:
+    void writeLocked(); ///< callers hold mutex_
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::string fingerprint_;
+    std::vector<std::string> asserts_;
+    unsigned bound_ = 0;
+    std::string verdict_;
+};
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_JOURNAL_HH

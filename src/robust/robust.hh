@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header for the fault-tolerant run layer (DESIGN.md §10).
+ *
+ * Four pieces give long campaigns the failure model the paper gets
+ * for free from its JasperGold/SBY substrate:
+ *
+ *  - resource governor   — per-check conflict/memory budgets and a
+ *                          wall-clock watchdog that interrupts the SAT
+ *                          search mid-solve; every early stop carries
+ *                          an UnknownReason (failure.hh, watchdog.hh,
+ *                          plus sat::Solver's accounting),
+ *  - checkpoint/resume   — crash-safe progress journal; a SIGKILLed
+ *                          run restarts from its last completed bound
+ *                          and reaches the same verdict (journal.hh),
+ *  - worker supervision  — portfolio workers die into recorded
+ *                          WorkerFailures and are respawned once; the
+ *                          race degrades instead of terminating
+ *                          (supervisor.hh),
+ *  - fault injection     — deterministic chaos harness driving all of
+ *                          the above in tests and CI (fault.hh,
+ *                          artifact.hh).
+ */
+
+#ifndef AUTOCC_ROBUST_ROBUST_HH
+#define AUTOCC_ROBUST_ROBUST_HH
+
+#include "robust/artifact.hh"
+#include "robust/failure.hh"
+#include "robust/fault.hh"
+#include "robust/journal.hh"
+#include "robust/supervisor.hh"
+#include "robust/watchdog.hh"
+
+#endif // AUTOCC_ROBUST_ROBUST_HH

@@ -1,0 +1,43 @@
+#include "robust/supervisor.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace autocc::robust
+{
+
+std::vector<WorkerFailure>
+runSupervised(const std::string &name,
+              const std::function<void(unsigned attempt)> &body,
+              const SupervisorOptions &options)
+{
+    std::vector<WorkerFailure> failures;
+    for (unsigned attempt = 1; attempt <= options.maxRestarts + 1;
+         ++attempt) {
+        if (attempt > 1 && options.backoffSeconds > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(options.backoffSeconds));
+        }
+        try {
+            body(attempt);
+            return failures;
+        } catch (const std::exception &e) {
+            failures.push_back({name, e.what(), attempt});
+            warn("worker '", name, "' died (attempt ", attempt, "): ",
+                 e.what(),
+                 attempt <= options.maxRestarts ? " — respawning"
+                                                : " — giving up");
+        } catch (...) {
+            failures.push_back({name, "non-standard exception", attempt});
+            warn("worker '", name, "' died (attempt ", attempt,
+                 "): non-standard exception",
+                 attempt <= options.maxRestarts ? " — respawning"
+                                                : " — giving up");
+        }
+    }
+    return failures;
+}
+
+} // namespace autocc::robust

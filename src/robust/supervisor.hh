@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Worker supervision: run a (possibly multi-attempt) worker body
+ * under a catch-all so an escaped exception becomes a recorded
+ * WorkerFailure instead of std::terminate tearing the whole portfolio
+ * down.  A failed worker is respawned once (configurable) with a
+ * small backoff; when it fails again the race simply degrades to the
+ * surviving workers.
+ */
+
+#ifndef AUTOCC_ROBUST_SUPERVISOR_HH
+#define AUTOCC_ROBUST_SUPERVISOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "robust/failure.hh"
+
+namespace autocc::robust
+{
+
+/** Supervision policy. */
+struct SupervisorOptions
+{
+    /** Respawns after the first failure (1 = one retry). */
+    unsigned maxRestarts = 1;
+    /** Delay before each respawn. */
+    double backoffSeconds = 0.01;
+};
+
+/**
+ * Run `body` (called with the attempt number, starting at 1) until it
+ * returns normally or the restart budget is exhausted.  Every escaped
+ * exception is recorded, so a clean retry after one failure still
+ * returns that one entry; `failures.size() > options.maxRestarts`
+ * means every attempt died and the worker is permanently down.
+ */
+std::vector<WorkerFailure>
+runSupervised(const std::string &name,
+              const std::function<void(unsigned attempt)> &body,
+              const SupervisorOptions &options = {});
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_SUPERVISOR_HH

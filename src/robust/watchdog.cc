@@ -1,0 +1,47 @@
+#include "robust/watchdog.hh"
+
+#include <chrono>
+
+namespace autocc::robust
+{
+
+void
+Watchdog::arm(double seconds)
+{
+    cancel();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cancelled_ = false;
+    }
+    expired_.store(false);
+    if (seconds <= 0.0) {
+        expired_.store(true);
+        return;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(seconds));
+    thread_ = std::thread([this, deadline] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // wait_until returns early only on cancel(); spurious wakeups
+        // re-check both conditions.
+        cv_.wait_until(lock, deadline, [this] { return cancelled_; });
+        if (!cancelled_)
+            expired_.store(true);
+    });
+}
+
+void
+Watchdog::cancel()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cancelled_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+} // namespace autocc::robust

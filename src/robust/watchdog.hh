@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Wall-clock watchdog for bounding a check from *inside* a long SAT
+ * call.  The engines historically tested their time limit between
+ * solver calls only, so a single hard solve() could overshoot the
+ * budget without bound.  A Watchdog owns a helper thread that flips an
+ * atomic flag at the deadline; handing that flag to
+ * sat::Solver::setInterruptFlag() makes the solver abandon the search
+ * at its next cancellation point and return Unknown — the time limit
+ * is then honored mid-solve, and the abandoned solver stays reusable.
+ */
+
+#ifndef AUTOCC_ROBUST_WATCHDOG_HH
+#define AUTOCC_ROBUST_WATCHDOG_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace autocc::robust
+{
+
+/** One-shot deadline timer backed by a helper thread. */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+    ~Watchdog() { cancel(); }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Arm the deadline `seconds` from now (idempotent: re-arming
+     * cancels the previous deadline).  `seconds <= 0` fires at once.
+     */
+    void arm(double seconds);
+
+    /** Stop the helper thread; the flag keeps its current value. */
+    void cancel();
+
+    /** True once the deadline has passed. */
+    bool expired() const
+    {
+        return expired_.load(std::memory_order_relaxed);
+    }
+
+    /** The flag to hand to sat::Solver::setInterruptFlag(). */
+    const std::atomic<bool> &flag() const { return expired_; }
+
+  private:
+    std::atomic<bool> expired_{false};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool cancelled_ = false; ///< guarded by mutex_
+    std::thread thread_;
+};
+
+} // namespace autocc::robust
+
+#endif // AUTOCC_ROBUST_WATCHDOG_HH

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "obs/stats.hh"
+#include "robust/fault.hh"
 
 namespace autocc::sat
 {
@@ -155,6 +156,7 @@ Solver::addClause(std::vector<Lit> lits)
 
     clauses_.push_back(Clause{std::move(out), 0.0, false, false});
     ++numProblemClauses_;
+    bytesAccounted_ += clauseBytes(clauses_.back());
     attachClause(static_cast<CRef>(clauses_.size() - 1));
     return true;
 }
@@ -467,6 +469,7 @@ Solver::reduceDB()
         Clause &c = clauses_[cref];
         if (i < half && c.lits.size() > 2 && !isReason[cref]) {
             c.deleted = true;
+            bytesAccounted_ -= clauseBytes(c);
             c.lits.clear();
             c.lits.shrink_to_fit();
             ++stats_.removedClauses;
@@ -541,6 +544,14 @@ Solver::search(uint64_t conflictLimit, const std::vector<Lit> &assumptions)
                 ok_ = false;
                 return SolveResult::Unsat;
             }
+            // Graceful memout: learnt clauses are what grows the
+            // database mid-search, so the limit is re-checked at every
+            // conflict and an overrun stops the search cleanly.
+            if (memLimitBytes_ && bytesAccounted_ > memLimitBytes_) {
+                stopCause_ = StopCause::MemLimit;
+                cancelUntil(0);
+                return SolveResult::Unknown;
+            }
 
             int btLevel = 0;
             analyze(confl, learnt, btLevel);
@@ -552,6 +563,7 @@ Solver::search(uint64_t conflictLimit, const std::vector<Lit> &assumptions)
                 uncheckedEnqueue(learnt[0], crefUndef);
             } else {
                 clauses_.push_back(Clause{learnt, claInc_, true, false});
+                bytesAccounted_ += clauseBytes(clauses_.back());
                 const CRef cref = static_cast<CRef>(clauses_.size() - 1);
                 learntRefs_.push_back(cref);
                 attachClause(cref);
@@ -615,24 +627,44 @@ Solver::luby(uint64_t i)
 SolveResult
 Solver::solve(const std::vector<Lit> &assumptions)
 {
+    robust::injectFault("solver.solve");
+    stopCause_ = StopCause::None;
     if (!ok_)
         return SolveResult::Unsat;
     conflictCore_.clear();
+
+    // Entry memout check: a caller may have blown the budget with
+    // problem clauses alone (or a prior call's learnts), in which case
+    // searching at all would only dig deeper.
+    if (memLimitBytes_ && bytesAccounted_ > memLimitBytes_) {
+        stopCause_ = StopCause::MemLimit;
+        return SolveResult::Unknown;
+    }
 
     maxLearnts_ = std::max<double>(numProblemClauses_ * 0.3, 4000.0);
     uint64_t totalConflicts = 0;
 
     for (uint64_t restart = 0;; ++restart) {
-        const uint64_t limit = luby(restart) * options_.restartBase;
+        uint64_t limit = luby(restart) * options_.restartBase;
+        // Clamp the restart length to the remaining conflict budget so
+        // the budget is enforced exactly, not at restart granularity.
+        if (conflictBudget_)
+            limit = std::min(limit, conflictBudget_ - totalConflicts);
         const SolveResult result = search(limit, assumptions);
         if (result != SolveResult::Unknown)
             return result;
-        if (interrupted())
+        if (stopCause_ == StopCause::MemLimit)
             return SolveResult::Unknown;
+        if (interrupted()) {
+            stopCause_ = StopCause::Interrupted;
+            return SolveResult::Unknown;
+        }
         totalConflicts += limit;
         ++stats_.restarts;
-        if (conflictBudget_ && totalConflicts >= conflictBudget_)
+        if (conflictBudget_ && totalConflicts >= conflictBudget_) {
+            stopCause_ = StopCause::ConflictLimit;
             return SolveResult::Unknown;
+        }
         maxLearnts_ *= 1.05;
     }
 }

@@ -32,6 +32,18 @@ class Registry;
 namespace autocc::sat
 {
 
+/**
+ * Why the last solve() returned Unknown.  The governor layers above
+ * (formal::EngineOptions budgets) map these onto the structured
+ * robust::UnknownReason carried by CheckResult.
+ */
+enum class StopCause {
+    None,          ///< last solve() was definitive (Sat/Unsat)
+    Interrupted,   ///< interrupt() or the external stop flag fired
+    ConflictLimit, ///< per-call conflict budget exhausted
+    MemLimit,      ///< accounted clause-DB bytes exceeded the limit
+};
+
 /** Statistics collected over the lifetime of a solver. */
 struct SolverStats
 {
@@ -159,6 +171,30 @@ class Solver
     /** Limit on conflicts per solve() call; 0 means unlimited. */
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
+    /**
+     * Limit on accounted clause-database bytes; 0 means unlimited.
+     * Exceeding it makes solve() stop gracefully with Unknown and
+     * StopCause::MemLimit — a bounded "memout" verdict instead of an
+     * OOM kill.  The check runs at solve() entry and at every
+     * conflict (where learnt clauses grow the database), so a single
+     * long search cannot overshoot by more than one learnt clause.
+     */
+    void setMemLimitBytes(size_t bytes) { memLimitBytes_ = bytes; }
+
+    /**
+     * Accounted clause-database footprint in bytes: problem + learnt
+     * clause literal storage plus per-clause bookkeeping.  Maintained
+     * incrementally (clause add / learn / DB reduction), so reading
+     * it is free.  An estimate — watcher lists and per-var arrays are
+     * proportional and excluded — but a deterministic one: the same
+     * formula always accounts to the same byte count on every run and
+     * platform, which is what budget reproducibility needs.
+     */
+    size_t memoryBytes() const { return bytesAccounted_; }
+
+    /** Why the last solve() returned Unknown (None if it didn't). */
+    StopCause stopCause() const { return stopCause_; }
+
     /** Cumulative statistics. */
     const SolverStats &stats() const { return stats_; }
 
@@ -247,6 +283,9 @@ class Solver
     std::vector<Lit> conflictCore_;
 
     uint64_t conflictBudget_ = 0;
+    size_t memLimitBytes_ = 0;
+    size_t bytesAccounted_ = 0;
+    StopCause stopCause_ = StopCause::None;
     double maxLearnts_ = 0;
     uint64_t rngState_ = 0x123456789abcdefull; ///< decision diversification
     std::atomic<bool> interruptRequested_{false};
@@ -254,6 +293,13 @@ class Solver
     SolverStats stats_;
 
     // --- helpers ----------------------------------------------------
+    /** Accounted footprint of one clause (see memoryBytes()). */
+    static size_t
+    clauseBytes(const Clause &c)
+    {
+        return sizeof(Clause) + c.lits.size() * sizeof(Lit);
+    }
+
     LBool value(Var v) const { return assigns_[v]; }
     LBool
     value(Lit lit) const

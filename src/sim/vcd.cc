@@ -1,9 +1,9 @@
 #include "sim/vcd.hh"
 
-#include <fstream>
 #include <sstream>
 
 #include "base/bits.hh"
+#include "robust/artifact.hh"
 
 namespace autocc::sim
 {
@@ -92,11 +92,9 @@ writeVcdFile(const std::string &path, const Trace &trace,
              const std::vector<VcdSignal> &signals,
              const std::string &module_name)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << toVcd(trace, signals, module_name);
-    return static_cast<bool>(out);
+    // Atomic tmp+fsync+rename: a crash mid-dump cannot leave a torn
+    // half-VCD behind for a waveform viewer to choke on.
+    return robust::atomicWrite(path, toVcd(trace, signals, module_name));
 }
 
 } // namespace autocc::sim

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include <unistd.h>
+
 #include "eval/maple_eval.hh"
 #include "sim/simulator.hh"
 
@@ -290,6 +294,43 @@ TEST(MapleAutocc, FixedWithoutBufferAssumptionStillShowsM1)
     for (const auto &name : run.cause.uarchNames())
         blamesBuffer |= name.find("noc.outbuf") != std::string::npos;
     EXPECT_TRUE(blamesBuffer) << run.cause.render();
+}
+
+TEST(MapleRobust, KillResumeReachesTheBaselineVerdict)
+{
+    // Kill/resume differential (robust layer, DESIGN.md §10): a run
+    // restarted from its checkpoint journal must agree with an
+    // uninterrupted run on status, blamed assertion and CEX depth.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const Netlist miter = core::buildMiter(buildMaple(), opts).netlist;
+
+    formal::EngineOptions engine;
+    engine.maxDepth = 10;
+    const formal::CheckResult baseline =
+        formal::checkSafety(miter, engine);
+    ASSERT_TRUE(baseline.foundCex());
+    ASSERT_GT(baseline.cex->depth, 1u);
+
+    const std::string journal = "/tmp/autocc_maple_resume_" +
+                                std::to_string(::getpid()) + ".json";
+    std::remove(journal.c_str());
+
+    engine.checkpointPath = journal;
+    engine.maxDepth = baseline.cex->depth - 1;
+    const formal::CheckResult partial =
+        formal::checkSafety(miter, engine);
+    EXPECT_FALSE(partial.foundCex());
+
+    engine.maxDepth = 10;
+    engine.resume = true;
+    const formal::CheckResult resumed =
+        formal::checkSafety(miter, engine);
+    EXPECT_EQ(resumed.resumedBound, baseline.cex->depth - 1);
+    ASSERT_TRUE(resumed.foundCex());
+    EXPECT_EQ(resumed.cex->depth, baseline.cex->depth);
+    EXPECT_EQ(resumed.cex->failedAssert, baseline.cex->failedAssert);
+    std::remove(journal.c_str());
 }
 
 } // namespace autocc::eval

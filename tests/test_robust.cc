@@ -1,0 +1,695 @@
+/**
+ * @file
+ * Tests for the fault-tolerant run layer (DESIGN.md §10): fault-plan
+ * parsing and deterministic injection, crash-safe artifact writes,
+ * the wall-clock watchdog, the solver-level resource governor
+ * (conflict / memory / interrupt stop causes), the engine-level
+ * governor with structured UnknownReasons, checkpoint journaling and
+ * resume differentials, portfolio worker supervision (respawn and
+ * permanent death), and a chaos matrix that arms every known
+ * injection site and requires a well-formed verdict from each run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "core/autocc.hh"
+#include "duts/toy.hh"
+#include "formal/engine.hh"
+#include "formal/portfolio.hh"
+#include "robust/robust.hh"
+#include "sat/solver.hh"
+
+namespace autocc
+{
+
+namespace
+{
+
+/** Disarm any fault plan when a test scope ends, pass or fail. */
+struct PlanGuard
+{
+    ~PlanGuard() { robust::clearFaultPlan(); }
+};
+
+/** Arm a plan from its spec string; the spec must be well-formed. */
+void
+armPlan(const std::string &spec)
+{
+    robust::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(robust::FaultPlan::parse(spec, plan, error)) << error;
+    robust::setFaultPlan(plan);
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return "/tmp/autocc_robust_" + std::to_string(::getpid()) + "_" +
+           name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** The standard toy-accelerator miter every engine test runs against. */
+rtl::Netlist
+toyMiter()
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    return core::buildMiter(duts::buildToyAccelShipped(), opts).netlist;
+}
+
+/** Hard UNSAT pigeonhole instance: `pigeons` into `pigeons - 1` holes. */
+void
+buildPigeonhole(sat::Solver &s, int pigeons)
+{
+    const int holes = pigeons - 1;
+    std::vector<std::vector<sat::Var>> x(pigeons,
+                                         std::vector<sat::Var>(holes));
+    for (auto &row : x)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<sat::Lit> atLeastOne;
+        for (int h = 0; h < holes; ++h)
+            atLeastOne.push_back(sat::mkLit(x[p][h]));
+        s.addClause(atLeastOne);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(sat::mkLit(x[p1][h], true),
+                            sat::mkLit(x[p2][h], true));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Fault-plan parsing
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultsToFirstHitThrow)
+{
+    robust::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(robust::FaultPlan::parse("solver.solve", plan, error));
+    ASSERT_EQ(plan.arms.size(), 1u);
+    EXPECT_EQ(plan.arms[0].site, "solver.solve");
+    EXPECT_EQ(plan.arms[0].hit, 1u);
+    EXPECT_EQ(plan.arms[0].kind, robust::FaultKind::Throw);
+}
+
+TEST(FaultPlan, FullSpecAndMultipleEntries)
+{
+    robust::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(robust::FaultPlan::parse(
+        "worker.leap:3:badalloc,artifact.write:2:fail", plan, error));
+    ASSERT_EQ(plan.arms.size(), 2u);
+    EXPECT_EQ(plan.arms[0].site, "worker.leap");
+    EXPECT_EQ(plan.arms[0].hit, 3u);
+    EXPECT_EQ(plan.arms[0].kind, robust::FaultKind::BadAlloc);
+    EXPECT_EQ(plan.arms[1].site, "artifact.write");
+    EXPECT_EQ(plan.arms[1].hit, 2u);
+    EXPECT_EQ(plan.arms[1].kind, robust::FaultKind::Fail);
+}
+
+TEST(FaultPlan, TrailingCommaIsTolerated)
+{
+    robust::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(robust::FaultPlan::parse("solver.solve:2,", plan, error));
+    EXPECT_EQ(plan.arms.size(), 1u);
+}
+
+TEST(FaultPlan, MalformedSpecsAreRejectedWithAMessage)
+{
+    robust::FaultPlan plan;
+    std::string error;
+    for (const char *bad : {",solver.solve", "a,,b", ":1", "site:0",
+                            "site:x", "site:1:explode", "site::throw"}) {
+        error.clear();
+        EXPECT_FALSE(robust::FaultPlan::parse(bad, plan, error))
+            << "accepted '" << bad << "'";
+        EXPECT_FALSE(error.empty()) << "no message for '" << bad << "'";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic injection
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, FiresOnTheExactArmedHit)
+{
+    PlanGuard guard;
+    armPlan("test.site:3");
+    EXPECT_NO_THROW(robust::injectFault("test.site"));
+    EXPECT_NO_THROW(robust::injectFault("test.site"));
+    EXPECT_EQ(robust::faultsFired(), 0u);
+    EXPECT_THROW(robust::injectFault("test.site"), robust::FaultInjected);
+    EXPECT_EQ(robust::faultsFired(), 1u);
+    // The arm is one-shot: the fourth arrival passes again.
+    EXPECT_NO_THROW(robust::injectFault("test.site"));
+}
+
+TEST(FaultInjection, HitCountsArePerSite)
+{
+    PlanGuard guard;
+    armPlan("b.site:2");
+    EXPECT_NO_THROW(robust::injectFault("a.site"));
+    EXPECT_NO_THROW(robust::injectFault("a.site"));
+    EXPECT_NO_THROW(robust::injectFault("b.site"));
+    EXPECT_THROW(robust::injectFault("b.site"), robust::FaultInjected);
+}
+
+TEST(FaultInjection, BadAllocKindThrowsBadAlloc)
+{
+    PlanGuard guard;
+    armPlan("oom.site:1:badalloc");
+    EXPECT_THROW(robust::injectFault("oom.site"), std::bad_alloc);
+}
+
+TEST(FaultInjection, InjectFailureReportsWithoutThrowing)
+{
+    PlanGuard guard;
+    armPlan("soft.site:2:fail");
+    EXPECT_FALSE(robust::injectFailure("soft.site"));
+    EXPECT_TRUE(robust::injectFailure("soft.site"));
+    EXPECT_FALSE(robust::injectFailure("soft.site"));
+}
+
+TEST(FaultInjection, UnarmedSitesAreNoOps)
+{
+    robust::clearFaultPlan();
+    EXPECT_NO_THROW(robust::injectFault("anything"));
+    EXPECT_FALSE(robust::injectFailure("anything"));
+    EXPECT_EQ(robust::faultsFired(), 0u);
+}
+
+TEST(FaultInjection, KnownSitesCoverTheChaosMatrix)
+{
+    const auto &sites = robust::knownFaultSites();
+    for (const char *expected :
+         {"solver.solve", "unroller.frame", "worker.bmc", "worker.leap",
+          "worker.kind", "worker.sim", "artifact.write"}) {
+        EXPECT_NE(std::find(sites.begin(), sites.end(), expected),
+                  sites.end())
+            << expected;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe artifact writes
+// ---------------------------------------------------------------------
+
+TEST(AtomicWrite, WritesAndReplacesContent)
+{
+    const std::string path = tmpPath("artifact.txt");
+    ASSERT_TRUE(robust::atomicWrite(path, "first\n"));
+    EXPECT_EQ(slurp(path), "first\n");
+    ASSERT_TRUE(robust::atomicWrite(path, "second\n"));
+    EXPECT_EQ(slurp(path), "second\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, InjectedFailureLeavesPreviousFileUntouched)
+{
+    PlanGuard guard;
+    const std::string path = tmpPath("torn.txt");
+    ASSERT_TRUE(robust::atomicWrite(path, "intact\n"));
+
+    armPlan("artifact.write:1:fail");
+    EXPECT_FALSE(robust::atomicWrite(path, "torn"));
+    // The old content survives and no temporary is left behind.
+    EXPECT_EQ(slurp(path), "intact\n");
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, UnwritableDirectoryFailsGracefully)
+{
+    EXPECT_FALSE(robust::atomicWrite(
+        "/nonexistent-dir/autocc_robust.txt", "x"));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, FiresAtTheDeadline)
+{
+    robust::Watchdog dog;
+    dog.arm(0.0); // fires at once
+    for (int i = 0; i < 1000 && !dog.expired(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(dog.expired());
+    EXPECT_TRUE(dog.flag().load());
+}
+
+TEST(Watchdog, CancelStopsTheTimer)
+{
+    robust::Watchdog dog;
+    dog.arm(1000.0);
+    dog.cancel();
+    EXPECT_FALSE(dog.expired());
+}
+
+// ---------------------------------------------------------------------
+// Solver-level governor
+// ---------------------------------------------------------------------
+
+TEST(SolverGovernor, ConflictBudgetStopsWithStopCause)
+{
+    sat::Solver s;
+    buildPigeonhole(s, 8);
+    s.setConflictBudget(5);
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopCause(), sat::StopCause::ConflictLimit);
+    // Lifting the budget lets the same solver finish the instance.
+    s.setConflictBudget(0);
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unsat);
+    EXPECT_EQ(s.stopCause(), sat::StopCause::None);
+}
+
+TEST(SolverGovernor, MemLimitStopsWithStopCause)
+{
+    sat::Solver s;
+    buildPigeonhole(s, 8);
+    EXPECT_GT(s.memoryBytes(), 0u);
+    s.setMemLimitBytes(1);
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopCause(), sat::StopCause::MemLimit);
+}
+
+TEST(SolverGovernor, ExternalInterruptSetsStopCause)
+{
+    sat::Solver s;
+    buildPigeonhole(s, 8);
+    std::atomic<bool> stop{true};
+    s.setInterruptFlag(&stop);
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopCause(), sat::StopCause::Interrupted);
+    s.setInterruptFlag(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level governor: structured UnknownReasons
+// ---------------------------------------------------------------------
+
+TEST(EngineGovernor, TimeLimitSurfacesAsTimeLimitReason)
+{
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    opts.timeLimitSeconds = 1e-9;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    EXPECT_TRUE(result.timedOut);
+    EXPECT_FALSE(result.foundCex());
+    EXPECT_EQ(result.unknownReason, robust::UnknownReason::TimeLimit);
+    EXPECT_EQ(result.stats.gauge("engine.unknown_reason"),
+              static_cast<double>(robust::UnknownReason::TimeLimit));
+}
+
+TEST(EngineGovernor, MemLimitSurfacesAsMemLimitReason)
+{
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    opts.memLimitBytes = 1;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    EXPECT_EQ(result.status, formal::CheckStatus::Unknown);
+    EXPECT_EQ(result.bound, 0u);
+    EXPECT_EQ(result.unknownReason, robust::UnknownReason::MemLimit);
+}
+
+TEST(EngineGovernor, ConflictBudgetYieldsPartialBoundWithReason)
+{
+    const rtl::Netlist miter = toyMiter();
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    const formal::CheckResult baseline = formal::checkSafety(miter, opts);
+    ASSERT_TRUE(baseline.foundCex());
+    const uint64_t spent = baseline.solver.conflicts;
+    if (spent < 4)
+        GTEST_SKIP() << "toy miter too easy to starve (only " << spent
+                     << " conflicts)";
+
+    opts.conflictBudget = spent / 2;
+    const formal::CheckResult clipped = formal::checkSafety(miter, opts);
+    // Half the baseline's conflicts cannot complete the run: the
+    // check must stop early with the structured reason, never a CEX
+    // and never a (unsound) full-depth verdict.
+    EXPECT_FALSE(clipped.foundCex());
+    EXPECT_EQ(clipped.unknownReason,
+              robust::UnknownReason::ConflictBudget);
+    EXPECT_LT(clipped.bound, baseline.cex->depth);
+    EXPECT_LE(clipped.solver.conflicts, spent);
+    EXPECT_TRUE(clipped.stats.has("engine.unknown_reason"));
+}
+
+TEST(EngineGovernor, BudgetClippedBmcNeverUpgradesToInductionProof)
+{
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    opts.tryInduction = true;
+    opts.conflictBudget = 1;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    // A clipped base case covers too few frames to justify a proof.
+    EXPECT_NE(result.status, formal::CheckStatus::Proved);
+    EXPECT_EQ(result.unknownReason,
+              robust::UnknownReason::ConflictBudget);
+}
+
+TEST(EngineGovernor, SequentialWorkerFaultIsCaughtAndRecorded)
+{
+    PlanGuard guard;
+    armPlan("solver.solve:1:throw");
+    formal::EngineOptions opts;
+    opts.maxDepth = 6;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    EXPECT_EQ(result.status, formal::CheckStatus::Unknown);
+    EXPECT_EQ(result.unknownReason, robust::UnknownReason::WorkerFault);
+    ASSERT_FALSE(result.workerFailures.empty());
+    EXPECT_EQ(result.workerFailures[0].worker, "bmc");
+    EXPECT_NE(result.workerFailures[0].reason.find("solver.solve"),
+              std::string::npos);
+    EXPECT_GE(result.stats.counter("robust.worker_failures"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint journal and resume
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, WriterRoundTripsThroughLoader)
+{
+    const std::string path = tmpPath("journal.json");
+    {
+        robust::CheckpointWriter writer(path, "fp-1", {"a", "b"});
+        writer.recordBound(3);
+        writer.recordBound(2); // monotonic: keeps the maximum
+        writer.recordVerdict("CEX at depth 5 (a)");
+        EXPECT_EQ(writer.bound(), 3u);
+    }
+    const auto loaded = robust::loadCheckpoint(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->fingerprint, "fp-1");
+    EXPECT_EQ(loaded->asserts, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(loaded->bound, 3u);
+    EXPECT_EQ(loaded->verdict, "CEX at depth 5 (a)");
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileLoadsAsNothing)
+{
+    EXPECT_FALSE(
+        robust::loadCheckpoint(tmpPath("never_written.json")).has_value());
+}
+
+TEST(Checkpoint, MalformedTrailingLinesKeepTheValidPrefix)
+{
+    const std::string path = tmpPath("truncated.json");
+    {
+        robust::CheckpointWriter writer(path, "fp-2", {"p"});
+        writer.recordBound(4);
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"bound\": garbage...."; // torn trailing line
+    }
+    const auto loaded = robust::loadCheckpoint(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->fingerprint, "fp-2");
+    EXPECT_EQ(loaded->bound, 4u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintIsStableAndDiscriminates)
+{
+    const std::string a = formal::checkFingerprint(toyMiter());
+    const std::string b = formal::checkFingerprint(toyMiter());
+    EXPECT_EQ(a, b);
+
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const std::string fixed = formal::checkFingerprint(
+        core::buildMiter(duts::buildToyAccelFixed(), opts).netlist);
+    EXPECT_NE(a, fixed);
+}
+
+TEST(Checkpoint, ResumeReachesTheBaselineVerdict)
+{
+    const rtl::Netlist miter = toyMiter();
+    const std::string path = tmpPath("resume.json");
+    std::remove(path.c_str());
+
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    const formal::CheckResult baseline = formal::checkSafety(miter, opts);
+    ASSERT_TRUE(baseline.foundCex());
+    ASSERT_GT(baseline.cex->depth, 2u);
+
+    // "Interrupted" run: journals its bounds, stops before the CEX
+    // depth (as a SIGKILLed run would have).
+    opts.checkpointPath = path;
+    opts.maxDepth = baseline.cex->depth - 1;
+    const formal::CheckResult partial = formal::checkSafety(miter, opts);
+    EXPECT_EQ(partial.status, formal::CheckStatus::BoundedProof);
+    EXPECT_EQ(partial.bound, opts.maxDepth);
+
+    // Resume to full depth: journaled bounds are locked in without
+    // re-solving and the verdict matches the uninterrupted run.
+    opts.maxDepth = 10;
+    opts.resume = true;
+    const formal::CheckResult resumed = formal::checkSafety(miter, opts);
+    EXPECT_EQ(resumed.resumedBound, baseline.cex->depth - 1);
+    ASSERT_TRUE(resumed.foundCex());
+    EXPECT_EQ(resumed.cex->depth, baseline.cex->depth);
+    EXPECT_EQ(resumed.cex->failedAssert, baseline.cex->failedAssert);
+    EXPECT_EQ(resumed.stats.gauge("engine.resume.bound"),
+              static_cast<double>(resumed.resumedBound));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedJournalIsIgnored)
+{
+    const std::string path = tmpPath("mismatch.json");
+    {
+        robust::CheckpointWriter writer(path, "some-other-problem",
+                                        {"not_our_assert"});
+        writer.recordBound(5);
+    }
+    formal::EngineOptions opts;
+    opts.maxDepth = 4;
+    opts.checkpointPath = path;
+    opts.resume = true;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    // The foreign journal must not seed any bounds.
+    EXPECT_EQ(result.resumedBound, 0u);
+    EXPECT_EQ(result.status, formal::CheckStatus::BoundedProof);
+    EXPECT_EQ(result.bound, 4u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PortfolioResumeReachesTheBaselineVerdict)
+{
+    const rtl::Netlist miter = toyMiter();
+    const std::string path = tmpPath("portfolio_resume.json");
+    std::remove(path.c_str());
+
+    formal::PortfolioOptions popts;
+    popts.jobs = 4;
+    popts.engine.maxDepth = 10;
+    const formal::CheckResult baseline =
+        formal::checkSafetyPortfolio(miter, popts);
+    ASSERT_TRUE(baseline.foundCex());
+    ASSERT_GT(baseline.cex->depth, 2u);
+
+    popts.engine.checkpointPath = path;
+    popts.engine.maxDepth = baseline.cex->depth - 1;
+    const formal::CheckResult partial =
+        formal::checkSafetyPortfolio(miter, popts);
+    EXPECT_EQ(partial.status, formal::CheckStatus::BoundedProof);
+
+    popts.engine.maxDepth = 10;
+    popts.engine.resume = true;
+    const formal::CheckResult resumed =
+        formal::checkSafetyPortfolio(miter, popts);
+    EXPECT_GE(resumed.resumedBound, 1u);
+    ASSERT_TRUE(resumed.foundCex());
+    EXPECT_EQ(resumed.cex->depth, baseline.cex->depth);
+    EXPECT_EQ(resumed.cex->failedAssert, baseline.cex->failedAssert);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Portfolio worker supervision
+// ---------------------------------------------------------------------
+
+TEST(Supervisor, CleanBodyReturnsNoFailures)
+{
+    const auto failures =
+        robust::runSupervised("ok", [](unsigned) { /* no-op */ });
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST(Supervisor, OneFailureIsRetriedAndRecorded)
+{
+    unsigned calls = 0;
+    const auto failures = robust::runSupervised("flaky", [&](unsigned) {
+        if (++calls == 1)
+            throw std::runtime_error("first attempt dies");
+    });
+    EXPECT_EQ(calls, 2u);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].worker, "flaky");
+    EXPECT_EQ(failures[0].attempt, 1u);
+    EXPECT_NE(failures[0].reason.find("first attempt"),
+              std::string::npos);
+}
+
+TEST(Supervisor, PermanentDeathExhaustsTheRestartBudget)
+{
+    unsigned calls = 0;
+    const auto failures = robust::runSupervised(
+        "doomed", [&](unsigned) {
+            ++calls;
+            throw 42; // non-standard exception, still contained
+        },
+        robust::SupervisorOptions{1, 0.0});
+    EXPECT_EQ(calls, 2u);
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_GT(failures.size(), robust::SupervisorOptions{}.maxRestarts);
+    EXPECT_EQ(failures[1].attempt, 2u);
+}
+
+TEST(Portfolio, DeadWorkerDegradesTheRaceNotTheVerdict)
+{
+    PlanGuard guard;
+    // jobs=4 spawns two leap workers; kill every attempt (2 workers
+    // x 2 attempts, in whatever order the scheduler interleaves
+    // them): both are permanently down.
+    armPlan("worker.leap:1,worker.leap:2,worker.leap:3,worker.leap:4");
+
+    formal::PortfolioOptions popts;
+    popts.jobs = 4;
+    popts.engine.maxDepth = 10;
+    formal::PortfolioStats stats;
+    const formal::CheckResult result =
+        formal::checkSafetyPortfolio(toyMiter(), popts, &stats);
+
+    // The surviving workers still deliver the baseline verdict.
+    ASSERT_TRUE(result.foundCex());
+    EXPECT_EQ(result.cex->depth, 6u);
+
+    ASSERT_GE(result.workerFailures.size(), 4u);
+    EXPECT_GE(result.stats.counter("robust.worker_failures"), 4u);
+
+    bool sawDeadLeap = false;
+    for (const formal::WorkerStats &ws : stats.workers) {
+        if (ws.kind != formal::WorkerKind::BmcLeap)
+            continue;
+        sawDeadLeap = true;
+        EXPECT_EQ(ws.stopReason, robust::UnknownReason::WorkerFault);
+        EXPECT_EQ(ws.failures.size(), 2u);
+    }
+    EXPECT_TRUE(sawDeadLeap);
+}
+
+TEST(Portfolio, FaultedWorkerIsRespawnedOnce)
+{
+    PlanGuard guard;
+    // One injected death: the respawned attempt runs clean.
+    armPlan("worker.bmc:1");
+
+    formal::PortfolioOptions popts;
+    popts.jobs = 4;
+    popts.engine.maxDepth = 10;
+    formal::PortfolioStats stats;
+    const formal::CheckResult result =
+        formal::checkSafetyPortfolio(toyMiter(), popts, &stats);
+
+    ASSERT_TRUE(result.foundCex());
+    ASSERT_EQ(result.workerFailures.size(), 1u);
+    EXPECT_EQ(result.workerFailures[0].attempt, 1u);
+
+    for (const formal::WorkerStats &ws : stats.workers) {
+        if (ws.kind != formal::WorkerKind::BmcDeepening)
+            continue;
+        // Recovered: the crash log is kept, but the worker is not
+        // marked permanently faulted.
+        EXPECT_EQ(ws.failures.size(), 1u);
+        EXPECT_NE(ws.stopReason, robust::UnknownReason::WorkerFault);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos matrix: every known site, both throwing kinds
+// ---------------------------------------------------------------------
+
+TEST(Chaos, EverySiteYieldsAWellFormedVerdict)
+{
+    const rtl::Netlist miter = toyMiter();
+    for (const std::string &site : robust::knownFaultSites()) {
+        for (const char *kind : {"throw", "badalloc"}) {
+            PlanGuard guard;
+            armPlan(site + ":1:" + kind);
+
+            formal::PortfolioOptions popts;
+            popts.jobs = 4;
+            popts.engine.maxDepth = 6;
+            formal::CheckResult result;
+            ASSERT_NO_THROW(result = formal::checkSafetyPortfolio(
+                                miter, popts))
+                << site << ":" << kind;
+
+            // Whatever was injected, the result must be well formed:
+            // a CEX carries its trace, and any non-CEX outcome with a
+            // clipped bound explains itself through unknownReason.
+            if (result.foundCex()) {
+                ASSERT_TRUE(result.cex.has_value());
+                EXPECT_FALSE(result.cex->failedAssert.empty());
+            } else if (result.bound < popts.engine.maxDepth) {
+                EXPECT_NE(result.unknownReason,
+                          robust::UnknownReason::None)
+                    << site << ":" << kind;
+            }
+        }
+    }
+}
+
+TEST(Chaos, ArtifactFaultDoesNotPoisonTheVerdict)
+{
+    PlanGuard guard;
+    // Every artifact write fails; the check itself must still finish.
+    armPlan("artifact.write:1:fail,artifact.write:2:fail,"
+            "artifact.write:3:fail,artifact.write:4:fail");
+    const std::string path = tmpPath("poisoned.json");
+    formal::EngineOptions opts;
+    opts.maxDepth = 6;
+    opts.checkpointPath = path;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    EXPECT_TRUE(result.foundCex());
+    std::remove(path.c_str());
+}
+
+} // namespace autocc

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include <unistd.h>
+
 #include "eval/vscale_eval.hh"
 #include "sim/simulator.hh"
 
@@ -308,6 +312,48 @@ TEST_F(VscaleRefinement, DepthsAreMinimalTraces)
     // period plus one observation cycle.
     for (size_t i = 0; i + 1 < steps().size(); ++i)
         EXPECT_GE(steps()[i].depth, 4u) << steps()[i].id;
+}
+
+// ----------------------------------------------------------------------
+// Kill/resume differential (robust layer, DESIGN.md §10)
+// ----------------------------------------------------------------------
+
+TEST(VscaleRobust, KillResumeReachesTheBaselineVerdict)
+{
+    // A run interrupted mid-campaign and resumed from its checkpoint
+    // journal must reach exactly the verdict of an uninterrupted run:
+    // same status, same blamed assertion, same CEX depth.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const Netlist miter = core::buildMiter(buildVscale(), opts).netlist;
+
+    formal::EngineOptions engine;
+    engine.maxDepth = 10;
+    const formal::CheckResult baseline =
+        formal::checkSafety(miter, engine);
+    ASSERT_TRUE(baseline.foundCex());
+    ASSERT_GT(baseline.cex->depth, 1u);
+
+    const std::string journal = "/tmp/autocc_vscale_resume_" +
+                                std::to_string(::getpid()) + ".json";
+    std::remove(journal.c_str());
+
+    // The "killed" run: journals its bounds, stops one frame short.
+    engine.checkpointPath = journal;
+    engine.maxDepth = baseline.cex->depth - 1;
+    const formal::CheckResult partial =
+        formal::checkSafety(miter, engine);
+    EXPECT_FALSE(partial.foundCex());
+
+    engine.maxDepth = 10;
+    engine.resume = true;
+    const formal::CheckResult resumed =
+        formal::checkSafety(miter, engine);
+    EXPECT_EQ(resumed.resumedBound, baseline.cex->depth - 1);
+    ASSERT_TRUE(resumed.foundCex());
+    EXPECT_EQ(resumed.cex->depth, baseline.cex->depth);
+    EXPECT_EQ(resumed.cex->failedAssert, baseline.cex->failedAssert);
+    std::remove(journal.c_str());
 }
 
 } // namespace autocc::eval

@@ -21,11 +21,17 @@
  *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
  *                          [--vcd FILE] [--jobs N] [--no-coi]
  *                          [--no-taint | --taint-discharge]
+ *                          [--time-limit SEC] [--conflict-budget N]
+ *                          [--mem-limit MB]
+ *                          [--checkpoint FILE] [--resume]
  *                          [--stats-json FILE] [--trace-out FILE]
  *                          [--progress]
  *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
  *                          [--jobs N] [--no-coi]
  *                          [--no-taint | --taint-discharge]
+ *                          [--time-limit SEC] [--conflict-budget N]
+ *                          [--mem-limit MB]
+ *                          [--checkpoint FILE] [--resume]
  *                          [--stats-json FILE] [--trace-out FILE]
  *                          [--progress]
  *   autocc_cli exploit
@@ -38,6 +44,14 @@
  * the run's counter/gauge snapshot, --trace-out writes a Chrome
  * trace-event file (load in ui.perfetto.dev or chrome://tracing), and
  * --progress prints one line per BMC/induction frame as it completes.
+ *
+ * The robustness flags tap the robust/ layer (DESIGN.md §10): budgets
+ * degrade a run into a well-formed partial verdict instead of a hang
+ * or an OOM kill ("stopped early: <reason>"), and --checkpoint /
+ * --resume let a killed run continue from its last completed bound.
+ * All file artifacts (stats, traces, VCD dumps, generated testbenches)
+ * are written atomically — kill the process at any point and you get
+ * either the previous version or the new one, never a torn file.
  */
 
 #include <cerrno>
@@ -57,6 +71,8 @@
 #include "analysis/taint.hh"
 #include "base/timer.hh"
 #include "core/autocc.hh"
+#include "robust/artifact.hh"
+#include "robust/failure.hh"
 #include "duts/aes.hh"
 #include "duts/cva6.hh"
 #include "duts/maple.hh"
@@ -159,7 +175,18 @@ usage()
         "  --stats-json F   write the run's counter/gauge snapshot to F\n"
         "  --trace-out F    write a Chrome trace-event JSON to F "
         "(ui.perfetto.dev)\n"
-        "  --progress       print one line per BMC/induction frame\n");
+        "  --progress       print one line per BMC/induction frame\n"
+        "robustness (check/prove):\n"
+        "  --time-limit SEC     wall-clock budget; a watchdog interrupts "
+        "solves mid-search\n"
+        "  --conflict-budget N  cap SAT conflicts per check "
+        "(deterministic; per portfolio worker)\n"
+        "  --mem-limit MB       cap each solver's clause-DB footprint; "
+        "memout degrades to a partial verdict\n"
+        "  --checkpoint F       journal each completed bound to F "
+        "(atomic rewrites)\n"
+        "  --resume             with --checkpoint: continue from F's "
+        "last completed bound\n");
     return 2;
 }
 
@@ -179,6 +206,16 @@ struct Args
     std::string traceOutPath;
     /** Print one line per completed BMC/induction frame. */
     bool progress = false;
+    /** Wall-clock budget in seconds; 0 = unlimited. */
+    double timeLimitSeconds = 0.0;
+    /** SAT conflict budget per check; 0 = unlimited. */
+    uint64_t conflictBudget = 0;
+    /** Clause-database cap in megabytes per solver; 0 = unlimited. */
+    unsigned memLimitMb = 0;
+    /** Checkpoint journal path (check/prove). */
+    std::string checkpointPath;
+    /** Resume from the checkpoint journal's last completed bound. */
+    bool resume = false;
     /** Disable cone-of-influence pruning (check/prove). */
     bool noCoi = false;
     /** Disable static taint discharge of untainted assertions. */
@@ -207,6 +244,41 @@ parseUnsigned(const char *text, const std::string &flag, unsigned &out)
     return true;
 }
 
+/** Parse a non-negative 64-bit decimal; reject anything else loudly. */
+bool
+parseUint64(const char *text, const std::string &flag, uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        std::strchr(text, '-') != nullptr) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected a "
+                             "non-negative integer)\n",
+                     flag.c_str(), text);
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/** Parse a non-negative decimal number (e.g. "2", "0.5"). */
+bool
+parseDouble(const char *text, const std::string &flag, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE || !(value >= 0.0)) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected a "
+                             "non-negative number)\n",
+                     flag.c_str(), text);
+        return false;
+    }
+    out = value;
+    return true;
+}
+
 bool
 parseArgs(int argc, char **argv, int start, Args &args)
 {
@@ -230,6 +302,43 @@ parseArgs(int argc, char **argv, int start, Args &args)
                                                        : &args.jobs;
             if (!parseUnsigned(v, flag, *target))
                 return false;
+        } else if (flag == "--time-limit") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            if (!parseDouble(v, flag, args.timeLimitSeconds))
+                return false;
+        } else if (flag == "--conflict-budget") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            if (!parseUint64(v, flag, args.conflictBudget))
+                return false;
+        } else if (flag == "--mem-limit") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            if (!parseUnsigned(v, flag, args.memLimitMb))
+                return false;
+        } else if (flag == "--checkpoint") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            args.checkpointPath = v;
+        } else if (flag == "--resume") {
+            args.resume = true;
         } else if (flag == "--no-coi") {
             args.noCoi = true;
         } else if (flag == "--no-taint") {
@@ -307,9 +416,9 @@ buildDut(const std::string &name)
 bool
 writeText(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path);
-    out << text;
-    const bool ok = static_cast<bool>(out);
+    // Atomic tmp+fsync+rename via the robust layer: killing the CLI
+    // mid-write never leaves a torn artifact behind.
+    const bool ok = robust::atomicWrite(path, text);
     std::printf("  %s %s\n", ok ? "wrote" : "FAILED to write",
                 path.c_str());
     return ok;
@@ -414,12 +523,22 @@ cmdCheck(const Args &args, bool prove)
     core::AutoccOptions opts;
     opts.threshold = args.threshold;
     opts.archEq = args.arch;
+    if (args.resume && args.checkpointPath.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+        return 2;
+    }
     formal::EngineOptions engine;
     engine.maxDepth = args.depth;
     engine.maxInductionK = args.depth + 4;
     engine.jobs = args.jobs;
     engine.coi = !args.noCoi;
     engine.taintDischarge = !args.noTaint;
+    engine.timeLimitSeconds = args.timeLimitSeconds;
+    engine.conflictBudget = args.conflictBudget;
+    engine.memLimitBytes =
+        static_cast<size_t>(args.memLimitMb) * 1024 * 1024;
+    engine.checkpointPath = args.checkpointPath;
+    engine.resume = args.resume;
 
     // Observability sinks live here for the whole run; the flow only
     // sees non-null pointers for what the user asked for (the stats
@@ -457,6 +576,44 @@ cmdCheck(const Args &args, bool prove)
     }
     std::printf("%s: %s\n", args.dut.c_str(),
                 formal::describe(run.check).c_str());
+    {
+        // Machine-stable verdict line (no timings or conflict counts):
+        // the chaos CI's kill-resume differential compares this across
+        // interrupted and uninterrupted runs.
+        std::string verdict;
+        switch (run.check.status) {
+          case formal::CheckStatus::Cex:
+            verdict = "cex depth=" + std::to_string(run.check.cex->depth) +
+                      " assert=" + run.check.cex->failedAssert;
+            break;
+          case formal::CheckStatus::BoundedProof:
+            verdict = "bounded-proof bound=" +
+                      std::to_string(run.check.bound);
+            break;
+          case formal::CheckStatus::Proved:
+            verdict = "proved k=" + std::to_string(run.check.inductionK);
+            break;
+          case formal::CheckStatus::Unknown:
+            verdict = "unknown";
+            break;
+        }
+        std::printf("verdict: %s\n", verdict.c_str());
+    }
+    if (run.check.resumedBound) {
+        std::printf("resumed from checkpoint: bounds 1..%u restored "
+                    "without re-solving\n",
+                    run.check.resumedBound);
+    }
+    if (run.check.unknownReason != robust::UnknownReason::None) {
+        std::printf("stopped early: %s (explored to bound %u of %u)\n",
+                    robust::unknownReasonName(run.check.unknownReason),
+                    run.check.bound, args.depth);
+    }
+    for (const auto &failure : run.check.workerFailures) {
+        std::printf("worker fault survived: %s attempt %u: %s\n",
+                    failure.worker.c_str(), failure.attempt,
+                    failure.reason.c_str());
+    }
     for (const auto &missed : run.staticMissed) {
         std::printf("WARNING: divergent state '%s' was not a static "
                     "leak candidate\n",
