@@ -1,6 +1,7 @@
 #include "formal/engine.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -13,6 +14,13 @@
 
 namespace autocc::formal
 {
+
+bool
+defaultIncremental()
+{
+    const char *env = std::getenv("AUTOCC_NO_INCREMENTAL");
+    return env == nullptr || *env == '\0';
+}
 
 namespace
 {
@@ -46,6 +54,40 @@ reasonFromStop(sat::StopCause cause, bool deadline_expired)
     }
     return robust::UnknownReason::None;
 }
+
+/** Solver knobs derived from the engine configuration. */
+sat::SolverOptions
+solverOptionsFor(const EngineOptions &options)
+{
+    sat::SolverOptions so;
+    so.inprocess = options.incremental;
+    return so;
+}
+
+/**
+ * One BMC/induction encoding context: a solver plus the gate builder
+ * and unroller growing CNF into it.  The incremental engine keeps a
+ * single context alive for the whole check; the monolithic baseline
+ * discards it and builds a fresh one at every bound.
+ */
+struct BmcCtx
+{
+    sat::Solver solver;
+    Gates gates;
+    Unroller unroller;
+
+    BmcCtx(const rtl::Netlist &netlist, const EngineOptions &options,
+           const std::atomic<bool> *stop, obs::Registry *stats,
+           bool free_initial_state)
+        : solver(solverOptionsFor(options)),
+          gates(solver, /*structural_hash=*/options.incremental),
+          unroller(netlist, gates, free_initial_state)
+    {
+        solver.setInterruptFlag(stop);
+        solver.setMemLimitBytes(options.memLimitBytes);
+        unroller.setStats(stats);
+    }
+};
 
 /**
  * Run the k-induction step for a given k: frames 0..k start from an
@@ -103,6 +145,53 @@ inductionStep(const rtl::Netlist &netlist, unsigned k,
     accumulate(result, solver);
     if (stats)
         solver.exportStats(*stats, "solver");
+    return sr;
+}
+
+/**
+ * Advance a persistent induction context from depth k-1 to k and ask
+ * the same question as inductionStep(), reusing the whole encoding and
+ * every learnt clause.  On entry for k the context holds frames 0..k-1
+ * with assumptions asserted everywhere and assertions asserted on
+ * frames 0..k-2; this call pins the assertions at k-1 (the previous
+ * query's Sat answer is thereby retracted — it only ever lived in an
+ * assumption), appends frame k, and solves under the single assumption
+ * "some assertion is violated at k".  UNSAT => proved at this k.
+ */
+sat::SolveResult
+inductionAdvance(BmcCtx &ctx, const rtl::Netlist &netlist, unsigned k,
+                 const EngineOptions &options, uint64_t conflicts_spent,
+                 sat::StopCause &stop_cause, obs::TraceBuffer *trace)
+{
+    obs::Span span(trace, "induction k=" + std::to_string(k));
+    const size_t numAsserts = netlist.asserts().size();
+    if (ctx.unroller.numFrames() == 0) {
+        ctx.unroller.addFrame();
+        ctx.gates.assertTrue(ctx.unroller.assumeOk(0));
+    }
+    for (size_t a = 0; a < numAsserts; ++a)
+        ctx.gates.assertTrue(ctx.unroller.assertHolds(k - 1, a));
+    ctx.unroller.addFrame();
+    ctx.gates.assertTrue(ctx.unroller.assumeOk(k));
+    if (options.simplePath) {
+        // Pairs (i, j) with j < k were asserted at earlier depths; only
+        // the new frame's pairs are missing.
+        for (unsigned i = 0; i < k; ++i)
+            ctx.gates.assertTrue(~ctx.unroller.statesEqual(i, k));
+    }
+    Bv violations;
+    for (size_t a = 0; a < numAsserts; ++a)
+        violations.push_back(~ctx.unroller.assertHolds(k, a));
+    const Lit bad = ctx.gates.mkOrAll(violations);
+
+    if (options.conflictBudget) {
+        ctx.solver.setConflictBudget(
+            options.conflictBudget > conflicts_spent
+                ? options.conflictBudget - conflicts_spent
+                : 1);
+    }
+    const sat::SolveResult sr = ctx.solver.solve({bad});
+    stop_cause = ctx.solver.stopCause();
     return sr;
 }
 
@@ -191,19 +280,43 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         stats.set("engine.resume.bound", journal.resumedBound);
 
     // ---------------- bounded model checking -------------------------
-    sat::Solver solver;
-    solver.setInterruptFlag(&deadline.flag());
-    solver.setMemLimitBytes(options.memLimitBytes);
-    Gates gates(solver);
-    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
-    unroller.setStats(&stats);
+    // One encoding context.  Incremental mode (the default) keeps it
+    // for the whole check; monolithic mode discards it at every bound
+    // and re-encodes from scratch — the historical behaviour, kept as
+    // the differential baseline.
+    auto ctx = std::make_unique<BmcCtx>(netlist, options, &deadline.flag(),
+                                        &stats, /*free_initial_state=*/false);
     const size_t numAsserts = netlist.asserts().size();
 
     robust::UnknownReason stopReason = robust::UnknownReason::None;
     // Cumulative conflicts of this check: folded-in finished solvers
     // plus the live BMC solver.
     const auto spentConflicts = [&]() -> uint64_t {
-        return result.solver.conflicts + solver.stats().conflicts;
+        return result.solver.conflicts + ctx->solver.stats().conflicts;
+    };
+    // Fold a context's solver into the result exactly once, right
+    // before it is discarded (monolithic rebuild) or last touched
+    // (CEX / post-loop).  exportStats is delta-based, so per-solver
+    // totals in `stats` stay correct however often this runs.
+    uint64_t hashHits = 0;
+    const auto foldCtx = [&]() {
+        accumulate(result, ctx->solver);
+        ctx->solver.exportStats(stats, "solver");
+        hashHits += ctx->gates.hashHits();
+    };
+    // Unroll one more cycle and pin "no violation here" — used both to
+    // re-lock journaled bounds on resume and to re-encode the prefix
+    // after a monolithic rebuild.
+    uint64_t framesEncoded = 0, framesTotal = 0;
+    const auto lockFrame = [&](unsigned depth) {
+        const unsigned t = depth - 1;
+        ctx->unroller.addFrame();
+        ++framesEncoded;
+        ctx->gates.assertTrue(ctx->unroller.assumeOk(t));
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a)
+            violations.push_back(~ctx->unroller.assertHolds(t, a));
+        ctx->gates.assertTrue(~ctx->gates.mkOrAll(violations));
     };
 
     const auto finish = [&]() -> CheckResult & {
@@ -215,7 +328,15 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         }
         stats.set("engine.bound", result.bound);
         stats.setMax("solver.mem_bytes",
-                     static_cast<double>(solver.memoryBytes()));
+                     static_cast<double>(ctx->solver.memoryBytes()));
+        stats.add("sat.incremental.frames_encoded", framesEncoded);
+        stats.add("sat.incremental.frames_total", framesTotal);
+        stats.add("sat.incremental.hash_hits", hashHits);
+        if (framesTotal) {
+            stats.set("sat.incremental.reuse_ratio",
+                      1.0 - static_cast<double>(framesEncoded) /
+                                static_cast<double>(framesTotal));
+        }
         result.seconds = watch.seconds();
         if (journal.writer)
             journal.writer->recordVerdict(describe(result));
@@ -232,13 +353,7 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         const unsigned prelock =
             std::min(journal.resumedBound, options.maxDepth);
         for (unsigned depth = 1; depth <= prelock; ++depth) {
-            const unsigned t = depth - 1;
-            unroller.addFrame();
-            gates.assertTrue(unroller.assumeOk(t));
-            Bv violations;
-            for (size_t a = 0; a < numAsserts; ++a)
-                violations.push_back(~unroller.assertHolds(t, a));
-            gates.assertTrue(~gates.mkOrAll(violations));
+            lockFrame(depth);
             result.bound = depth;
         }
 
@@ -253,33 +368,47 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 stopReason = robust::UnknownReason::ConflictBudget;
                 break;
             }
+            if (!options.incremental && depth > prelock + 1) {
+                // Monolithic baseline: throw the hot solver away and
+                // pay the cold encode of frames 1..depth-1 again.
+                foldCtx();
+                ctx = std::make_unique<BmcCtx>(netlist, options,
+                                               &deadline.flag(), &stats,
+                                               /*free_initial_state=*/false);
+                for (unsigned d = 1; d < depth; ++d)
+                    lockFrame(d);
+            } else if (depth > prelock + 1) {
+                stats.add("sat.incremental.solver_reuses");
+            }
+            framesTotal += depth; // what a cold encode would build
             const double frameStart = watch.seconds();
-            const uint64_t frameConflicts0 = solver.stats().conflicts;
+            const uint64_t frameConflicts0 = ctx->solver.stats().conflicts;
             obs::Span frameSpan(trace, "frame " + std::to_string(depth));
 
             const unsigned t = depth - 1; // frame index of the new cycle
             sat::SolveResult sr;
             {
                 obs::Span unrollSpan(trace, "unroll");
-                unroller.addFrame();
+                ctx->unroller.addFrame();
+                ++framesEncoded;
             }
-            gates.assertTrue(unroller.assumeOk(t));
+            ctx->gates.assertTrue(ctx->unroller.assumeOk(t));
 
             std::vector<Lit> holds(numAsserts);
             Bv violations;
             for (size_t a = 0; a < numAsserts; ++a) {
-                holds[a] = unroller.assertHolds(t, a);
+                holds[a] = ctx->unroller.assertHolds(t, a);
                 violations.push_back(~holds[a]);
             }
-            const Lit bad = gates.mkOrAll(violations);
+            const Lit bad = ctx->gates.mkOrAll(violations);
 
             if (options.conflictBudget) {
-                solver.setConflictBudget(options.conflictBudget -
-                                         spentConflicts());
+                ctx->solver.setConflictBudget(options.conflictBudget -
+                                              spentConflicts());
             }
             {
                 obs::Span solveSpan(trace, "solve");
-                sr = solver.solve({bad});
+                sr = ctx->solver.solve({bad});
             }
 
             const double frameSeconds = watch.seconds() - frameStart;
@@ -288,33 +417,33 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
             stats.add("engine.frames");
             stats.set(frameKey + ".solve_seconds", frameSeconds);
             stats.add(frameKey + ".conflicts",
-                      solver.stats().conflicts - frameConflicts0);
+                      ctx->solver.stats().conflicts - frameConflicts0);
             stats.addSeconds("engine.solve_seconds", frameSeconds);
-            stats.setMax("unroller.vars", solver.numVars());
+            stats.setMax("unroller.vars", ctx->solver.numVars());
             stats.setMax("unroller.clauses",
-                         static_cast<double>(solver.numClauses()));
+                         static_cast<double>(ctx->solver.numClauses()));
             frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
             if (options.obs.progress) {
-                options.obs.progress->frame({"bmc", depth, solver.numVars(),
-                                             solver.numClauses(),
-                                             solver.stats().conflicts,
-                                             frameSeconds});
+                options.obs.progress->frame(
+                    {"bmc", depth, ctx->solver.numVars(),
+                     ctx->solver.numClauses(),
+                     ctx->solver.stats().conflicts, frameSeconds});
             }
 
             if (sr == sat::SolveResult::Unknown) {
-                stopReason =
-                    reasonFromStop(solver.stopCause(), deadline.expired());
+                stopReason = reasonFromStop(ctx->solver.stopCause(),
+                                            deadline.expired());
                 break;
             }
             if (sr == sat::SolveResult::Sat) {
                 // The budget already paid for finding the CEX; don't
                 // let its remainder starve blame canonicalization.
-                solver.setConflictBudget(0);
+                ctx->solver.setConflictBudget(0);
                 CexInfo cex;
-                cex.trace = unroller.extractTrace();
+                cex.trace = ctx->unroller.extractTrace();
                 cex.depth = depth;
                 for (size_t a = 0; a < numAsserts; ++a) {
-                    if (!solver.modelValue(holds[a])) {
+                    if (!ctx->solver.modelValue(holds[a])) {
                         cex.failedAssert = netlist.asserts()[a].name;
                         break;
                     }
@@ -329,9 +458,11 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 for (size_t a = 0; a < numAsserts; ++a) {
                     if (netlist.asserts()[a].name == cex.failedAssert)
                         break; // already the canonical choice
-                    if (solver.solve({~holds[a]}) ==
+                    if (options.incremental)
+                        stats.add("sat.incremental.solver_reuses");
+                    if (ctx->solver.solve({~holds[a]}) ==
                         sat::SolveResult::Sat) {
-                        cex.trace = unroller.extractTrace();
+                        cex.trace = ctx->unroller.extractTrace();
                         cex.failedAssert = netlist.asserts()[a].name;
                         break;
                     }
@@ -339,12 +470,11 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 result.status = CheckStatus::Cex;
                 result.cex = std::move(cex);
                 result.bound = depth - 1;
-                accumulate(result, solver);
-                solver.exportStats(stats, "solver");
+                foldCtx();
                 return finish();
             }
             // No violation at this depth: lock it in and deepen.
-            solver.addClause(~bad);
+            ctx->solver.addClause(~bad);
             result.bound = depth;
             if (journal.writer)
                 journal.writer->recordBound(depth);
@@ -355,8 +485,7 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         result.workerFailures.push_back({"bmc", e.what(), 1});
         stats.add("robust.worker_failures");
     }
-    accumulate(result, solver);
-    solver.exportStats(stats, "solver");
+    foldCtx();
     result.status = result.bound == 0 ? CheckStatus::Unknown
                                       : CheckStatus::BoundedProof;
 
@@ -367,27 +496,46 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         stopReason == robust::UnknownReason::None) {
         const unsigned maxK =
             std::min(options.maxInductionK, options.maxDepth);
+        // Incremental mode keeps one free-initial-state context across
+        // every k; monolithic mode re-encodes frames 0..k per step.
+        std::unique_ptr<BmcCtx> ind;
+        if (options.incremental) {
+            ind = std::make_unique<BmcCtx>(netlist, options,
+                                           &deadline.flag(), &stats,
+                                           /*free_initial_state=*/true);
+        }
         try {
             for (unsigned k = 1; k <= maxK; ++k) {
                 if (deadline.expired()) {
                     stopReason = robust::UnknownReason::TimeLimit;
                     break;
                 }
+                const uint64_t spent =
+                    result.solver.conflicts +
+                    (ind ? ind->solver.stats().conflicts : 0);
                 if (options.conflictBudget &&
-                    spentConflicts() >= options.conflictBudget) {
+                    spent >= options.conflictBudget) {
                     stopReason = robust::UnknownReason::ConflictBudget;
                     break;
                 }
                 const double kStart = watch.seconds();
                 sat::StopCause stepStop = sat::StopCause::None;
-                const sat::SolveResult sr = inductionStep(
-                    netlist, k, options, result, result.solver.conflicts,
-                    &deadline.flag(), stepStop, &stats, trace);
+                sat::SolveResult sr;
+                if (ind) {
+                    if (k > 1)
+                        stats.add("sat.incremental.solver_reuses");
+                    sr = inductionAdvance(*ind, netlist, k, options, spent,
+                                          stepStop, trace);
+                } else {
+                    sr = inductionStep(netlist, k, options, result,
+                                       result.solver.conflicts,
+                                       &deadline.flag(), stepStop, &stats,
+                                       trace);
+                }
                 stats.add("engine.induction.steps");
                 if (options.obs.progress) {
                     options.obs.progress->frame(
-                        {"kind", k, 0, 0, result.solver.conflicts,
-                         watch.seconds() - kStart});
+                        {"kind", k, 0, 0, spent, watch.seconds() - kStart});
                 }
                 if (sr == sat::SolveResult::Unknown) {
                     stopReason =
@@ -406,6 +554,11 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
             stopReason = robust::UnknownReason::WorkerFault;
             result.workerFailures.push_back({"induction", e.what(), 1});
             stats.add("robust.worker_failures");
+        }
+        if (ind) {
+            accumulate(result, ind->solver);
+            ind->solver.exportStats(stats, "solver");
+            hashHits += ind->gates.hashHits();
         }
     }
 

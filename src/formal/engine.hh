@@ -45,6 +45,16 @@ struct CexInfo
     unsigned depth = 0;
 };
 
+/**
+ * Default for EngineOptions::incremental: true unless the
+ * AUTOCC_NO_INCREMENTAL environment variable is set and non-empty.
+ * The override exists so CI can run the unmodified test binaries
+ * against the monolithic baseline without recompiling; code that sets
+ * `incremental` explicitly (the differential tests, the CLI flag) is
+ * unaffected.
+ */
+bool defaultIncremental();
+
 /** Options controlling the engine. */
 struct EngineOptions
 {
@@ -82,6 +92,20 @@ struct EngineOptions
      */
     std::string checkpointPath;
     bool resume = false;
+    /**
+     * Keep one solver and one encoding alive across bounds (and across
+     * induction depths): frame k+1 is appended to the existing CNF
+     * instead of re-encoding frames 0..k, learnt clauses are retained,
+     * the bit-blaster hash-conses structurally identical gates and the
+     * solver runs clause-DB inprocessing between bounds
+     * (SolverOptions::inprocess).  false = the monolithic baseline —
+     * fresh solver plus cold re-encode at every bound and every
+     * induction depth — kept as the `--no-incremental` escape hatch
+     * and as the reference side of the differential tests.  Verdicts,
+     * blamed asserts and CEX depths are identical either way.
+     */
+    bool incremental = defaultIncremental();
+
     /** Attempt a k-induction proof after BMC finds no CEX. */
     bool tryInduction = false;
     /** Maximum induction depth. */

@@ -1,15 +1,41 @@
 #include "formal/gates.hh"
 
+#include <utility>
+
 #include "base/bits.hh"
 #include "base/logging.hh"
 
 namespace autocc::formal
 {
 
-Gates::Gates(sat::Solver &solver) : solver_(solver)
+Gates::Gates(sat::Solver &solver, bool structural_hash)
+    : solver_(solver), hashing_(structural_hash)
 {
     trueLit_ = sat::mkLit(solver_.newVar());
     solver_.addClause(trueLit_);
+}
+
+template <typename Build>
+Lit
+Gates::cached(const GateKey &key, Build &&build)
+{
+    if (!hashing_)
+        return build();
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        // Inprocessing may have eliminated the cached output variable;
+        // its defining clauses are gone, so rebuild.  Operand literals
+        // are live by construction: the caller holds them across the
+        // last solve, so they were frozen or assigned, never eliminated.
+        if (!solver_.isEliminated(sat::var(it->second))) {
+            ++hashHits_;
+            return it->second;
+        }
+        cache_.erase(it);
+    }
+    const Lit result = build();
+    cache_.emplace(key, result);
+    return result;
 }
 
 Lit
@@ -40,11 +66,15 @@ Gates::mkAnd(Lit a, Lit b)
         return a;
     if (a == ~b)
         return falseLit();
-    const Lit c = freshBit();
-    solver_.addClause(~c, a);
-    solver_.addClause(~c, b);
-    solver_.addClause(c, ~a, ~b);
-    return c;
+    if (b.x < a.x)
+        std::swap(a, b);
+    return cached({Op::And, a.x, b.x, -1}, [&] {
+        const Lit c = freshBit();
+        solver_.addClause(~c, a);
+        solver_.addClause(~c, b);
+        solver_.addClause(c, ~a, ~b);
+        return c;
+    });
 }
 
 Lit
@@ -68,12 +98,22 @@ Gates::mkXor(Lit a, Lit b)
         return falseLit();
     if (a == ~b)
         return trueLit();
-    const Lit c = freshBit();
-    solver_.addClause(~c, a, b);
-    solver_.addClause(~c, ~a, ~b);
-    solver_.addClause(c, ~a, b);
-    solver_.addClause(c, a, ~b);
-    return c;
+    // XOR is sign-invariant up to output phase: key on the positive
+    // literals and flip the result, so x^y and ~x^y share one gate.
+    const bool flip = sat::sign(a) != sat::sign(b);
+    a = sat::mkLit(sat::var(a));
+    b = sat::mkLit(sat::var(b));
+    if (b.x < a.x)
+        std::swap(a, b);
+    const Lit c = cached({Op::Xor, a.x, b.x, -1}, [&] {
+        const Lit d = freshBit();
+        solver_.addClause(~d, a, b);
+        solver_.addClause(~d, ~a, ~b);
+        solver_.addClause(d, ~a, b);
+        solver_.addClause(d, a, ~b);
+        return d;
+    });
+    return flip ? ~c : c;
 }
 
 Lit
@@ -85,12 +125,18 @@ Gates::mkMux(Lit sel, Lit then_v, Lit else_v)
         return else_v;
     if (then_v == else_v)
         return then_v;
-    const Lit c = freshBit();
-    solver_.addClause(~sel, ~then_v, c);
-    solver_.addClause(~sel, then_v, ~c);
-    solver_.addClause(sel, ~else_v, c);
-    solver_.addClause(sel, else_v, ~c);
-    return c;
+    if (sat::sign(sel)) { // mux(~s, t, e) == mux(s, e, t)
+        sel = ~sel;
+        std::swap(then_v, else_v);
+    }
+    return cached({Op::Mux, sel.x, then_v.x, else_v.x}, [&] {
+        const Lit c = freshBit();
+        solver_.addClause(~sel, ~then_v, c);
+        solver_.addClause(~sel, then_v, ~c);
+        solver_.addClause(sel, ~else_v, c);
+        solver_.addClause(sel, else_v, ~c);
+        return c;
+    });
 }
 
 Lit

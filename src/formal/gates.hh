@@ -9,6 +9,7 @@
 #define AUTOCC_FORMAL_GATES_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sat/solver.hh"
@@ -19,11 +20,21 @@ namespace autocc::formal
 using sat::Lit;
 using Bv = std::vector<Lit>;
 
-/** CNF circuit builder over a solver. */
+/**
+ * CNF circuit builder over a solver.
+ *
+ * With `structural_hash` (the default) identical gates are built once:
+ * mkAnd/mkXor/mkMux hash-cons on normalized operands, so re-deriving
+ * the same next-state function at a deeper frame reuses the existing
+ * output literal instead of re-encoding the cone.  Cache entries whose
+ * output variable was eliminated by solver inprocessing are dropped on
+ * lookup and the gate is rebuilt, so hashing stays sound under
+ * `SolverOptions::inprocess`.
+ */
 class Gates
 {
   public:
-    explicit Gates(sat::Solver &solver);
+    explicit Gates(sat::Solver &solver, bool structural_hash = true);
 
     sat::Solver &solver() { return solver_; }
 
@@ -70,9 +81,48 @@ class Gates
     /** Value of a bit vector in the last model. */
     uint64_t modelValue(const Bv &a) const;
 
+    /** Gates returned from the structural-hash cache instead of built. */
+    uint64_t hashHits() const { return hashHits_; }
+
   private:
+    enum class Op : uint8_t { And, Xor, Mux };
+
+    struct GateKey
+    {
+        Op op;
+        int a, b, c;
+
+        bool operator==(const GateKey &o) const
+        {
+            return op == o.op && a == o.a && b == o.b && c == o.c;
+        }
+    };
+
+    struct GateKeyHash
+    {
+        size_t operator()(const GateKey &k) const
+        {
+            uint64_t h = static_cast<uint64_t>(k.op) + 0x9e3779b97f4a7c15;
+            for (const uint64_t x : {uint64_t(k.a), uint64_t(k.b),
+                                     uint64_t(k.c)}) {
+                h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2);
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+
+    /**
+     * Cache lookup-or-build: returns the cached output for `key` if
+     * still valid, else invokes `build` and remembers the result.
+     */
+    template <typename Build>
+    Lit cached(const GateKey &key, Build &&build);
+
     sat::Solver &solver_;
     Lit trueLit_;
+    bool hashing_;
+    uint64_t hashHits_ = 0;
+    std::unordered_map<GateKey, Lit, GateKeyHash> cache_;
 };
 
 } // namespace autocc::formal

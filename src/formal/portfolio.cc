@@ -214,6 +214,32 @@ truncateTrace(sim::Trace &trace, size_t depth)
         trace.signals.resize(depth);
 }
 
+/**
+ * Worker-local encoding context: a solver plus the gate builder and
+ * unroller growing CNF into it.  Incremental workers keep one alive
+ * for their whole run (learnt clauses, inprocessing and structural
+ * hashing included); the monolithic baseline tears it down and
+ * rebuilds at every bound / induction depth.
+ */
+struct WorkerEnc
+{
+    sat::Solver solver;
+    Gates gates;
+    Unroller unroller;
+
+    WorkerEnc(const rtl::Netlist &netlist, const EngineOptions &engine,
+              const sat::SolverOptions &so, Race &race,
+              const WorkerObs &obs, bool free_initial_state)
+        : solver(so),
+          gates(solver, /*structural_hash=*/engine.incremental),
+          unroller(netlist, gates, free_initial_state)
+    {
+        solver.setInterruptFlag(&race.stop);
+        solver.setMemLimitBytes(engine.memLimitBytes);
+        unroller.setStats(obs.stats);
+    }
+};
+
 // --------------------------------------------------------------------
 // Deepening BMC worker: the sequential engine's loop, wired to the
 // shared race (publish bounds, stop at the candidate's depth).
@@ -230,24 +256,24 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         ws.seconds = watch.seconds();
         return;
     }
-    sat::Solver solver(solverOptions);
-    solver.setInterruptFlag(&race.stop);
-    solver.setMemLimitBytes(engine.memLimitBytes);
-    Gates gates(solver);
-    Unroller unroller(netlist, gates, /*free_initial_state=*/false);
-    unroller.setStats(obs.stats);
+    auto enc = std::make_unique<WorkerEnc>(netlist, engine, solverOptions,
+                                           race, obs,
+                                           /*free_initial_state=*/false);
     const size_t numAsserts = netlist.asserts().size();
+    const auto lockFrame = [&](unsigned depth) {
+        const unsigned t = depth - 1;
+        enc->unroller.addFrame();
+        enc->gates.assertTrue(enc->unroller.assumeOk(t));
+        Bv violations;
+        for (size_t a = 0; a < numAsserts; ++a)
+            violations.push_back(~enc->unroller.assertHolds(t, a));
+        enc->gates.assertTrue(~enc->gates.mkOrAll(violations));
+    };
 
     // Resume: re-lock the journaled CEX-free bounds without solving
     // (same CNF an uninterrupted run had after completing them).
     for (unsigned depth = 1; depth <= race.resumedBound; ++depth) {
-        const unsigned t = depth - 1;
-        unroller.addFrame();
-        gates.assertTrue(unroller.assumeOk(t));
-        Bv violations;
-        for (size_t a = 0; a < numAsserts; ++a)
-            violations.push_back(~unroller.assertHolds(t, a));
-        gates.assertTrue(~gates.mkOrAll(violations));
+        lockFrame(depth);
         ws.depthReached = depth;
     }
 
@@ -255,8 +281,21 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
          ++depth) {
         if (race.stop.load())
             break;
-        if (!armBudget(solver, engine.conflictBudget,
-                       solver.stats().conflicts, ws)) {
+        if (!engine.incremental && depth > race.resumedBound + 1) {
+            // Monolithic baseline: fold the used solver into the
+            // worker record and re-encode frames 1..depth-1 cold.
+            accumulate(ws, enc->solver, obs);
+            enc = std::make_unique<WorkerEnc>(netlist, engine,
+                                              solverOptions, race, obs,
+                                              /*free_initial_state=*/false);
+            for (unsigned d = 1; d < depth; ++d)
+                lockFrame(d);
+        } else if (depth > race.resumedBound + 1 && obs.stats) {
+            obs.stats->add("sat.incremental.solver_reuses");
+        }
+        if (!armBudget(enc->solver, engine.conflictBudget,
+                       ws.solver.conflicts + enc->solver.stats().conflicts,
+                       ws)) {
             break;
         }
         // A candidate CEX at depth d only needs depths 1..d-1 checked.
@@ -270,40 +309,40 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         const unsigned t = depth - 1;
         {
             obs::Span unrollSpan(obs.trace, "unroll");
-            unroller.addFrame();
+            enc->unroller.addFrame();
         }
-        gates.assertTrue(unroller.assumeOk(t));
+        enc->gates.assertTrue(enc->unroller.assumeOk(t));
 
         std::vector<Lit> holds(numAsserts);
         Bv violations;
         for (size_t a = 0; a < numAsserts; ++a) {
-            holds[a] = unroller.assertHolds(t, a);
+            holds[a] = enc->unroller.assertHolds(t, a);
             violations.push_back(~holds[a]);
         }
-        const Lit bad = gates.mkOrAll(violations);
+        const Lit bad = enc->gates.mkOrAll(violations);
 
         sat::SolveResult sr;
         {
             obs::Span solveSpan(obs.trace, "solve");
-            sr = solver.solve({bad});
+            sr = enc->solver.solve({bad});
         }
         frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
         if (obs.progress) {
-            obs.progress->frame({ws.name, depth, solver.numVars(),
-                                 solver.numClauses(),
-                                 solver.stats().conflicts,
+            obs.progress->frame({ws.name, depth, enc->solver.numVars(),
+                                 enc->solver.numClauses(),
+                                 enc->solver.stats().conflicts,
                                  watch.seconds() - frameStart});
         }
         if (sr == sat::SolveResult::Unknown) {
-            ws.stopReason = stopReasonOf(solver, race);
+            ws.stopReason = stopReasonOf(enc->solver, race);
             break;
         }
         if (sr == sat::SolveResult::Sat) {
             CexInfo cex;
-            cex.trace = unroller.extractTrace();
+            cex.trace = enc->unroller.extractTrace();
             cex.depth = depth;
             for (size_t a = 0; a < numAsserts; ++a) {
-                if (!solver.modelValue(holds[a])) {
+                if (!enc->solver.modelValue(holds[a])) {
                     cex.failedAssert = netlist.asserts()[a].name;
                     break;
                 }
@@ -312,13 +351,13 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
             offerCex(race, std::move(cex), wi);
             break;
         }
-        solver.addClause(~bad);
+        enc->solver.addClause(~bad);
         ws.depthReached = depth;
         raiseBound(race, depth, wi);
     }
     if (ws.outcome.empty())
         ws.outcome = "bound=" + std::to_string(ws.depthReached);
-    accumulate(ws, solver, obs);
+    accumulate(ws, enc->solver, obs);
     ws.seconds = watch.seconds();
 }
 
@@ -343,7 +382,7 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     sat::Solver solver(solverOptions);
     solver.setInterruptFlag(&race.stop);
     solver.setMemLimitBytes(engine.memLimitBytes);
-    Gates gates(solver);
+    Gates gates(solver, /*structural_hash=*/engine.incremental);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
     unroller.setStats(obs.stats);
     const size_t numAsserts = netlist.asserts().size();
@@ -363,6 +402,11 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         frameBad.push_back(gates.mkOrAll(violations));
         frameHolds.push_back(std::move(holds));
     }
+    // The minimization loop builds new "any violation before t" gates
+    // over these literals after every solve; inprocessing between
+    // those solves must not eliminate them.
+    for (const Lit b : frameBad)
+        solver.setFrozen(sat::var(b), true);
     buildSpan.finish("{\"frames\": " + std::to_string(frameBad.size()) +
                      "}");
     if (frameBad.size() < engine.maxDepth) {
@@ -465,51 +509,90 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     const size_t numAsserts = netlist.asserts().size();
     const unsigned maxK = std::min(engine.maxInductionK, engine.maxDepth);
 
+    // Incremental mode keeps one free-initial-state encoding for every
+    // k, appending the new frame and solving under the assumption
+    // "some assertion is violated at k" (the previous k's violation
+    // only ever lived in an assumption, so asserting the assertions at
+    // k-1 retracts it).  Monolithic mode re-encodes frames 0..k per
+    // step — the historical baseline.
+    std::unique_ptr<WorkerEnc> enc;
+    if (engine.incremental) {
+        enc = std::make_unique<WorkerEnc>(netlist, engine, solverOptions,
+                                          race, obs,
+                                          /*free_initial_state=*/true);
+    }
+
     for (unsigned k = 1; k <= maxK && !race.stop.load(); ++k) {
         const double kStart = watch.seconds();
         obs::Span kSpan(obs.trace, "induction k=" + std::to_string(k));
-        sat::Solver solver(solverOptions);
-        solver.setInterruptFlag(&race.stop);
-        solver.setMemLimitBytes(engine.memLimitBytes);
-        // Each k gets a fresh solver; the worker's budget is the sum
-        // over all of them, accumulated into ws.solver after each step.
-        if (!armBudget(solver, engine.conflictBudget, ws.solver.conflicts,
+        std::unique_ptr<WorkerEnc> mono;
+        if (!enc) {
+            mono = std::make_unique<WorkerEnc>(netlist, engine,
+                                               solverOptions, race, obs,
+                                               /*free_initial_state=*/true);
+        }
+        WorkerEnc &e = enc ? *enc : *mono;
+        // The worker's budget is the sum over every solver it ran:
+        // folded-in per-step solvers plus the live one.
+        if (!armBudget(e.solver, engine.conflictBudget,
+                       ws.solver.conflicts + e.solver.stats().conflicts,
                        ws)) {
             break;
         }
-        Gates gates(solver);
-        Unroller unroller(netlist, gates, /*free_initial_state=*/true);
-        unroller.setStats(obs.stats);
-        for (unsigned t = 0; t <= k; ++t) {
-            unroller.addFrame();
-            gates.assertTrue(unroller.assumeOk(t));
-            if (t < k) {
-                for (size_t a = 0; a < numAsserts; ++a)
-                    gates.assertTrue(unroller.assertHolds(t, a));
+        sat::SolveResult sr;
+        if (enc) {
+            if (k > 1 && obs.stats)
+                obs.stats->add("sat.incremental.solver_reuses");
+            if (e.unroller.numFrames() == 0) {
+                e.unroller.addFrame();
+                e.gates.assertTrue(e.unroller.assumeOk(0));
             }
-        }
-        Bv violations;
-        for (size_t a = 0; a < numAsserts; ++a)
-            violations.push_back(~unroller.assertHolds(k, a));
-        gates.assertTrue(gates.mkOrAll(violations));
-        if (engine.simplePath) {
-            for (unsigned i = 0; i <= k; ++i) {
-                for (unsigned j = i + 1; j <= k; ++j)
-                    gates.assertTrue(~unroller.statesEqual(i, j));
+            for (size_t a = 0; a < numAsserts; ++a)
+                e.gates.assertTrue(e.unroller.assertHolds(k - 1, a));
+            e.unroller.addFrame();
+            e.gates.assertTrue(e.unroller.assumeOk(k));
+            if (engine.simplePath) {
+                // Pairs (i, j) with j < k are already in; only the new
+                // frame's pairs are missing.
+                for (unsigned i = 0; i < k; ++i)
+                    e.gates.assertTrue(~e.unroller.statesEqual(i, k));
             }
+            Bv violations;
+            for (size_t a = 0; a < numAsserts; ++a)
+                violations.push_back(~e.unroller.assertHolds(k, a));
+            sr = e.solver.solve({e.gates.mkOrAll(violations)});
+        } else {
+            for (unsigned t = 0; t <= k; ++t) {
+                e.unroller.addFrame();
+                e.gates.assertTrue(e.unroller.assumeOk(t));
+                if (t < k) {
+                    for (size_t a = 0; a < numAsserts; ++a)
+                        e.gates.assertTrue(e.unroller.assertHolds(t, a));
+                }
+            }
+            Bv violations;
+            for (size_t a = 0; a < numAsserts; ++a)
+                violations.push_back(~e.unroller.assertHolds(k, a));
+            e.gates.assertTrue(e.gates.mkOrAll(violations));
+            if (engine.simplePath) {
+                for (unsigned i = 0; i <= k; ++i) {
+                    for (unsigned j = i + 1; j <= k; ++j)
+                        e.gates.assertTrue(~e.unroller.statesEqual(i, j));
+                }
+            }
+            sr = e.solver.solve();
         }
-
-        const sat::SolveResult sr = solver.solve();
-        accumulate(ws, solver, obs);
+        if (mono)
+            accumulate(ws, e.solver, obs);
         ws.depthReached = k;
         if (obs.progress) {
-            obs.progress->frame({ws.name, k, solver.numVars(),
-                                 solver.numClauses(),
-                                 solver.stats().conflicts,
+            obs.progress->frame({ws.name, k, e.solver.numVars(),
+                                 e.solver.numClauses(),
+                                 e.solver.stats().conflicts,
                                  watch.seconds() - kStart});
         }
         if (sr == sat::SolveResult::Unknown) {
-            ws.stopReason = stopReasonOf(solver, race);
+            ws.stopReason = stopReasonOf(e.solver, race);
             break;
         }
         if (sr == sat::SolveResult::Unsat) {
@@ -527,6 +610,8 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
             break;
         }
     }
+    if (enc)
+        accumulate(ws, enc->solver, obs);
     if (ws.outcome.empty())
         ws.outcome = "k<=" + std::to_string(ws.depthReached);
     ws.seconds = watch.seconds();
@@ -962,8 +1047,11 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     threads.reserve(lineup.size());
     for (size_t i = 0; i < lineup.size(); ++i) {
         const int wi = static_cast<int>(i);
-        const sat::SolverOptions so =
+        sat::SolverOptions so =
             diversify(options.seed, static_cast<unsigned>(i));
+        // Long-lived worker solvers amortize inprocessing; the
+        // monolithic baseline's throwaway solvers would not.
+        so.inprocess = engine.incremental;
         WorkerStats &ws = workerStats[i];
         const WorkerObs wobs{&reg, buffers[i], engine.obs.progress};
         switch (lineup[i]) {

@@ -159,6 +159,37 @@ Unroller::addFrame()
         frame.nodes[id] = std::move(v);
     }
 
+    // --- freeze the frame boundary ------------------------------------
+    // Inprocessing must never eliminate a variable that later calls
+    // build new clauses over: the next addFrame reads this frame's
+    // reg.next values, memory words and write-port controls,
+    // statesEqual() revisits register/memory state of every past frame,
+    // and the engine re-reads assert/assume literals while
+    // canonicalizing counterexamples.  Internal gate outputs stay
+    // unfrozen and remain fair game for variable elimination.
+    sat::Solver &solver = gates_.solver();
+    const auto freeze = [&](const Bv &bv) {
+        for (const Lit lit : bv)
+            solver.setFrozen(sat::var(lit), true);
+    };
+    for (const auto &reg : netlist_.regs()) {
+        freeze(frame.nodes[reg.node]);
+        freeze(frame.nodes[reg.next]);
+    }
+    for (const auto &words : frame.mems) {
+        for (const Bv &word : words)
+            freeze(word);
+    }
+    for (const auto &write : netlist_.memWrites()) {
+        freeze(frame.nodes[write.enable]);
+        freeze(frame.nodes[write.addr]);
+        freeze(frame.nodes[write.data]);
+    }
+    for (const auto &assertion : netlist_.asserts())
+        freeze(frame.nodes[assertion.node]);
+    for (const auto &assume : netlist_.assumes())
+        freeze(frame.nodes[assume.node]);
+
     if (stats_) {
         stats_->add("unroller.frames");
         stats_->addSeconds("unroller.unroll_seconds", watch.seconds());

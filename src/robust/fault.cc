@@ -169,8 +169,9 @@ const std::vector<std::string> &
 knownFaultSites()
 {
     static const std::vector<std::string> sites = {
-        "solver.solve",   // sat::Solver::solve entry
-        "unroller.frame", // formal::Unroller::addFrame entry
+        "solver.solve",     // sat::Solver::solve entry
+        "solver.inprocess", // sat::Solver::simplify (inprocessing) entry
+        "unroller.frame",   // formal::Unroller::addFrame entry
         "worker.bmc",     // deepening BMC portfolio worker body
         "worker.leap",    // leap BMC portfolio worker body
         "worker.kind",    // k-induction portfolio worker body

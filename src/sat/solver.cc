@@ -14,12 +14,30 @@ void
 Solver::exportStats(obs::Registry &registry,
                     const std::string &prefix) const
 {
-    registry.add(prefix + ".decisions", stats_.decisions);
-    registry.add(prefix + ".propagations", stats_.propagations);
-    registry.add(prefix + ".conflicts", stats_.conflicts);
-    registry.add(prefix + ".restarts", stats_.restarts);
-    registry.add(prefix + ".learnt_literals", stats_.learntLiterals);
-    registry.add(prefix + ".removed_clauses", stats_.removedClauses);
+    // Export only what accrued since the previous export.  A reused
+    // incremental solver is exported after every bound (and once more
+    // on the CEX path), so cumulative exports would double-count; the
+    // delta keeps the registry totals equal to stats() no matter how
+    // often callers flush.
+    const SolverStats &s = stats_;
+    SolverStats &e = exported_;
+    registry.add(prefix + ".decisions", s.decisions - e.decisions);
+    registry.add(prefix + ".propagations", s.propagations - e.propagations);
+    registry.add(prefix + ".conflicts", s.conflicts - e.conflicts);
+    registry.add(prefix + ".restarts", s.restarts - e.restarts);
+    registry.add(prefix + ".learnt_literals",
+                 s.learntLiterals - e.learntLiterals);
+    registry.add(prefix + ".removed_clauses",
+                 s.removedClauses - e.removedClauses);
+    registry.add(prefix + ".subsumed_clauses",
+                 s.subsumedClauses - e.subsumedClauses);
+    registry.add(prefix + ".strengthened_literals",
+                 s.strengthenedLiterals - e.strengthenedLiterals);
+    registry.add(prefix + ".eliminated_vars",
+                 s.eliminatedVars - e.eliminatedVars);
+    registry.add(prefix + ".inprocess_rounds",
+                 s.inprocessRounds - e.inprocessRounds);
+    e = s;
 }
 
 // --------------------------------------------------------------------
@@ -117,6 +135,8 @@ Solver::newVar()
     reason_.push_back(crefUndef);
     level_.push_back(0);
     seen_.push_back(0);
+    frozen_.push_back(0);
+    eliminated_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
     order_.insert(v);
@@ -137,6 +157,9 @@ Solver::addClause(std::vector<Lit> lits)
     for (Lit lit : lits) {
         panic_if(var(lit) < 0 || var(lit) >= numVars(),
                  "literal over unknown variable");
+        panic_if(eliminated_[var(lit)],
+                 "clause over eliminated variable ", var(lit),
+                 " (freeze variables mentioned in future clauses)");
         if (value(lit) == LBool::True || lit == ~prev)
             return true; // satisfied or tautology
         if (value(lit) != LBool::False && lit != prev)
@@ -428,14 +451,14 @@ Solver::pickBranchLit()
     if (options_.randomDecisionFreq != 0 &&
         rngState_ % options_.randomDecisionFreq == 0 && !order_.empty()) {
         const Var v = order_.heap[rngState_ % order_.heap.size()];
-        if (value(v) == LBool::Undef) {
+        if (value(v) == LBool::Undef && !eliminated_[v]) {
             ++stats_.decisions;
             return mkLit(v, polarity_[v]);
         }
     }
     while (!order_.empty()) {
         const Var v = order_.heap[0];
-        if (value(v) == LBool::Undef) {
+        if (value(v) == LBool::Undef && !eliminated_[v]) {
             order_.removeMax();
             ++stats_.decisions;
             return mkLit(v, polarity_[v]);
@@ -641,6 +664,28 @@ Solver::solve(const std::vector<Lit> &assumptions)
         return SolveResult::Unknown;
     }
 
+    // Assumption variables are implicitly frozen: a caller that
+    // re-solves under different assumptions (activation literals, the
+    // per-assert blame scan) must always find them alive.
+    for (Lit a : assumptions) {
+        panic_if(var(a) < 0 || var(a) >= numVars(),
+                 "assumption over unknown variable");
+        panic_if(eliminated_[var(a)],
+                 "assumption over eliminated variable ", var(a),
+                 " (freeze variables used in future assumptions)");
+        frozen_[var(a)] = 1;
+    }
+
+    // Inprocess when the problem grew meaningfully since the last
+    // pass; the 1/8 slack keeps one new frame from paying a full DB
+    // sweep at every bound of a deep unrolling.
+    if (options_.inprocess &&
+        numProblemClauses_ > lastSimpClauses_ + lastSimpClauses_ / 8) {
+        if (!simplify())
+            return SolveResult::Unsat;
+        lastSimpClauses_ = numProblemClauses_;
+    }
+
     maxLearnts_ = std::max<double>(numProblemClauses_ * 0.3, 4000.0);
     uint64_t totalConflicts = 0;
 
@@ -651,8 +696,11 @@ Solver::solve(const std::vector<Lit> &assumptions)
         if (conflictBudget_)
             limit = std::min(limit, conflictBudget_ - totalConflicts);
         const SolveResult result = search(limit, assumptions);
-        if (result != SolveResult::Unknown)
+        if (result != SolveResult::Unknown) {
+            if (result == SolveResult::Sat && !elimStack_.empty())
+                extendModel();
             return result;
+        }
         if (stopCause_ == StopCause::MemLimit)
             return SolveResult::Unknown;
         if (interrupted()) {
@@ -667,6 +715,395 @@ Solver::solve(const std::vector<Lit> &assumptions)
         }
         maxLearnts_ *= 1.05;
     }
+}
+
+// --------------------------------------------------------------------
+// Inprocessing: satisfied-clause removal, subsumption / self-subsuming
+// resolution, and bounded variable elimination (MiniSat SimpSolver
+// style), run at level 0 between incremental solve() calls.
+// --------------------------------------------------------------------
+
+bool
+Solver::assignAtZero(Lit lit)
+{
+    if (value(lit) == LBool::True)
+        return true;
+    if (value(lit) == LBool::False) {
+        ok_ = false;
+        return false;
+    }
+    uncheckedEnqueue(lit, crefUndef);
+    return true;
+}
+
+void
+Solver::deleteClauseForSimp(CRef cref)
+{
+    Clause &c = clauses_[cref];
+    if (c.deleted)
+        return;
+    c.deleted = true;
+    bytesAccounted_ -= clauseBytes(c);
+    if (!c.learnt)
+        --numProblemClauses_;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+}
+
+bool
+Solver::cleanClauses()
+{
+    // Remove satisfied clauses and strip false literals, to fixpoint:
+    // stripping can expose units whose assignment satisfies or shrinks
+    // further clauses.  Units are only enqueued here (watches go stale
+    // as literals move); simplify() propagates them after the rebuild.
+    bool changed = true;
+    while (changed && ok_) {
+        changed = false;
+        for (CRef cref = 0; cref < clauses_.size() && ok_; ++cref) {
+            Clause &c = clauses_[cref];
+            if (c.deleted)
+                continue;
+            bool satisfied = false;
+            size_t j = 0;
+            for (size_t i = 0; i < c.lits.size(); ++i) {
+                const LBool v = value(c.lits[i]);
+                if (v == LBool::True) {
+                    satisfied = true;
+                    break;
+                }
+                if (v == LBool::Undef)
+                    c.lits[j++] = c.lits[i];
+            }
+            if (satisfied) {
+                deleteClauseForSimp(cref);
+                changed = true;
+                continue;
+            }
+            if (j == c.lits.size())
+                continue;
+            changed = true;
+            bytesAccounted_ -= (c.lits.size() - j) * sizeof(Lit);
+            c.lits.resize(j);
+            if (j == 0) {
+                ok_ = false;
+            } else if (j == 1) {
+                assignAtZero(c.lits[0]);
+                deleteClauseForSimp(cref);
+            }
+        }
+    }
+    return ok_;
+}
+
+void
+Solver::runSubsumption(std::vector<std::vector<CRef>> &occ)
+{
+    // Backward subsumption: for each problem clause c, scan the
+    // occurrence list of its rarest literal for clauses d ⊇ c (delete
+    // d) or d ⊇ c with exactly one literal flipped (resolve: remove
+    // the flipped literal from d — self-subsuming resolution).
+    std::vector<uint64_t> mark(2 * numVars(), 0);
+    uint64_t stamp = 0;
+    for (CRef cref = 0; cref < clauses_.size(); ++cref) {
+        if (interrupted() || !ok_)
+            return;
+        const Clause &c = clauses_[cref];
+        if (c.deleted || c.learnt ||
+            c.lits.size() > options_.simpClauseLimit) {
+            continue;
+        }
+        Lit best = c.lits[0];
+        for (Lit lit : c.lits) {
+            if (occ[lit.x].size() < occ[best.x].size())
+                best = lit;
+        }
+        if (occ[best.x].size() > 1024)
+            continue; // degenerate occurrence list: not worth O(n^2)
+        for (const CRef dref : occ[best.x]) {
+            if (dref == cref)
+                continue;
+            Clause &d = clauses_[dref];
+            if (d.deleted || d.lits.size() < c.lits.size())
+                continue;
+            ++stamp;
+            for (Lit lit : d.lits)
+                mark[lit.x] = stamp;
+            Lit flip = litUndef;
+            bool fits = true;
+            for (Lit lit : c.lits) {
+                if (mark[lit.x] == stamp)
+                    continue;
+                if (mark[(~lit).x] == stamp && flip == litUndef) {
+                    flip = lit;
+                    continue;
+                }
+                fits = false;
+                break;
+            }
+            if (!fits)
+                continue;
+            if (flip == litUndef) {
+                ++stats_.subsumedClauses;
+                deleteClauseForSimp(dref);
+                continue;
+            }
+            // Strengthen d by resolving with c on `flip`.
+            const Lit gone = ~flip;
+            size_t j = 0;
+            for (size_t i = 0; i < d.lits.size(); ++i) {
+                if (d.lits[i] != gone)
+                    d.lits[j++] = d.lits[i];
+            }
+            bytesAccounted_ -= (d.lits.size() - j) * sizeof(Lit);
+            d.lits.resize(j);
+            ++stats_.strengthenedLiterals;
+            if (j == 1) {
+                assignAtZero(d.lits[0]);
+                deleteClauseForSimp(dref);
+            }
+        }
+    }
+}
+
+void
+Solver::runElimination(std::vector<std::vector<CRef>> &occ)
+{
+    // Bounded variable elimination: replace a cheap unfrozen variable
+    // by the cross-resolvents of its occurrences when that does not
+    // grow the clause count.  The removed clauses are kept on
+    // elimStack_ so extendModel() can later assign the variable.
+    std::vector<uint64_t> mark(2 * numVars(), 0);
+    uint64_t stamp = 0;
+    const size_t maxResolventLen = 2 * options_.simpClauseLimit;
+    for (Var v = 0; v < numVars(); ++v) {
+        if (interrupted() || !ok_)
+            return;
+        if (frozen_[v] || eliminated_[v] || value(v) != LBool::Undef)
+            continue;
+        const Lit pv = mkLit(v, false);
+        const Lit nv = mkLit(v, true);
+        std::vector<CRef> pos, neg;
+        bool tooMany = false;
+        const auto collect = [&](Lit lit, std::vector<CRef> &out) {
+            for (const CRef cref : occ[lit.x]) {
+                const Clause &c = clauses_[cref];
+                // Occurrence lists go stale on deletion/strengthening.
+                if (c.deleted ||
+                    std::find(c.lits.begin(), c.lits.end(), lit) ==
+                        c.lits.end()) {
+                    continue;
+                }
+                out.push_back(cref);
+                if (pos.size() + neg.size() > options_.elimOccLimit) {
+                    tooMany = true;
+                    return;
+                }
+            }
+        };
+        collect(pv, pos);
+        if (!tooMany)
+            collect(nv, neg);
+        if (tooMany || (pos.empty() && neg.empty()))
+            continue;
+
+        std::vector<std::vector<Lit>> resolvents;
+        const size_t budget =
+            pos.size() + neg.size() +
+            (options_.elimGrowth > 0 ? options_.elimGrowth : 0);
+        bool tooCostly = false;
+        for (const CRef p : pos) {
+            for (const CRef n : neg) {
+                const Clause &cp = clauses_[p];
+                const Clause &cn = clauses_[n];
+                ++stamp;
+                std::vector<Lit> r;
+                bool taut = false;
+                for (Lit lit : cp.lits) {
+                    if (lit == pv)
+                        continue;
+                    mark[lit.x] = stamp;
+                    r.push_back(lit);
+                }
+                for (Lit lit : cn.lits) {
+                    if (lit == nv)
+                        continue;
+                    if (mark[(~lit).x] == stamp) {
+                        taut = true;
+                        break;
+                    }
+                    if (mark[lit.x] == stamp)
+                        continue;
+                    mark[lit.x] = stamp;
+                    r.push_back(lit);
+                }
+                if (taut)
+                    continue;
+                if (r.size() > maxResolventLen ||
+                    resolvents.size() >= budget) {
+                    tooCostly = true;
+                    break;
+                }
+                resolvents.push_back(std::move(r));
+            }
+            if (tooCostly)
+                break;
+        }
+        if (tooCostly)
+            continue;
+
+        ElimRecord record;
+        record.v = v;
+        for (const CRef cref : pos)
+            record.clauses.push_back(clauses_[cref].lits);
+        for (const CRef cref : neg)
+            record.clauses.push_back(clauses_[cref].lits);
+        for (const CRef cref : pos)
+            deleteClauseForSimp(cref);
+        for (const CRef cref : neg)
+            deleteClauseForSimp(cref);
+        eliminated_[v] = 1;
+        ++stats_.eliminatedVars;
+        elimStack_.push_back(std::move(record));
+        for (auto &r : resolvents) {
+            if (r.empty()) {
+                ok_ = false;
+                return;
+            }
+            if (r.size() == 1) {
+                if (!assignAtZero(r[0]))
+                    return;
+                continue;
+            }
+            clauses_.push_back(Clause{std::move(r), 0.0, false, false});
+            const CRef cref = static_cast<CRef>(clauses_.size() - 1);
+            ++numProblemClauses_;
+            bytesAccounted_ += clauseBytes(clauses_.back());
+            for (Lit lit : clauses_[cref].lits)
+                occ[lit.x].push_back(cref);
+        }
+    }
+}
+
+void
+Solver::dropLearntsOfEliminated()
+{
+    // Learnt clauses over an eliminated variable are deleted: each is
+    // a consequence of the original formula, so dropping it is always
+    // sound, and keeping it would let search assign a variable the
+    // problem no longer mentions.  Variable-free learnts stay — any
+    // model of the reduced formula extends to one of the original over
+    // exactly the eliminated variables, so surviving learnts (which
+    // never mention them) remain satisfied; see DESIGN.md §11.
+    std::vector<CRef> kept;
+    kept.reserve(learntRefs_.size());
+    for (const CRef cref : learntRefs_) {
+        Clause &c = clauses_[cref];
+        if (c.deleted)
+            continue;
+        bool drop = false;
+        for (Lit lit : c.lits) {
+            if (eliminated_[var(lit)]) {
+                drop = true;
+                break;
+            }
+        }
+        if (drop) {
+            deleteClauseForSimp(cref);
+            ++stats_.removedClauses;
+        } else {
+            kept.push_back(cref);
+        }
+    }
+    learntRefs_ = std::move(kept);
+}
+
+void
+Solver::extendModel()
+{
+    // Newest-first: a record's clauses mention, besides its own
+    // variable, only variables live at its elimination time — assigned
+    // by the model or extended by an already-processed (newer) record.
+    const auto litTrue = [&](Lit lit) {
+        const LBool b = model_[var(lit)];
+        return b != LBool::Undef && (b == LBool::True) != sign(lit);
+    };
+    for (auto it = elimStack_.rbegin(); it != elimStack_.rend(); ++it) {
+        // Try v = true; an original clause over ~v left unsatisfied
+        // forces false, in which case the clauses over v are satisfied
+        // by their other literals (their cross-resolvents hold in the
+        // model, so both polarities cannot be forced at once).
+        bool value = true;
+        for (const auto &lits : it->clauses) {
+            bool sat = false;
+            bool negOcc = false;
+            for (Lit lit : lits) {
+                if (var(lit) == it->v) {
+                    negOcc = negOcc || sign(lit);
+                    continue;
+                }
+                if (litTrue(lit)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat && negOcc) {
+                value = false;
+                break;
+            }
+        }
+        model_[it->v] = value ? LBool::True : LBool::False;
+    }
+}
+
+bool
+Solver::simplify()
+{
+    // Chaos-harness hook: sits before any mutation, so an injected
+    // fault (throw / bad_alloc) leaves the solver fully reusable —
+    // test_robust drives this site via AUTOCC_FAULT_PLAN.
+    robust::injectFault("solver.inprocess");
+    if (!ok_)
+        return false;
+    panic_if(decisionLevel() != 0, "simplify below decision level 0");
+    ++stats_.inprocessRounds;
+
+    // Level-0 facts need no reason clause; dropping the back-pointers
+    // up front lets the pass delete or strengthen any clause without
+    // leaving a dangling reason CRef behind.
+    for (Lit lit : trail_)
+        reason_[var(lit)] = crefUndef;
+
+    if (propagate() != crefUndef) {
+        ok_ = false;
+        return false;
+    }
+    if (!cleanClauses())
+        return false;
+
+    // Occurrence lists over live problem clauses.  The pass leaves
+    // entries stale as it deletes and strengthens; consumers re-check
+    // the deleted flag and clause membership instead.
+    std::vector<std::vector<CRef>> occ(2 * numVars());
+    for (CRef cref = 0; cref < clauses_.size(); ++cref) {
+        const Clause &c = clauses_[cref];
+        if (c.deleted || c.learnt)
+            continue;
+        for (Lit lit : c.lits)
+            occ[lit.x].push_back(cref);
+    }
+
+    runSubsumption(occ);
+    if (ok_ && !interrupted())
+        runElimination(occ);
+    dropLearntsOfEliminated();
+
+    // Clauses were edited in place; rebuild the watches once and only
+    // then propagate the units queued along the way.
+    rebuildWatches();
+    if (ok_ && propagate() != crefUndef)
+        ok_ = false;
+    return ok_;
 }
 
 bool

@@ -53,6 +53,13 @@ struct SolverStats
     uint64_t restarts = 0;
     uint64_t learntLiterals = 0;
     uint64_t removedClauses = 0;
+    /** Inprocessing: clauses deleted because another clause subsumed
+     *  them, literals removed by self-subsuming resolution, variables
+     *  removed by bounded variable elimination, and passes run. */
+    uint64_t subsumedClauses = 0;
+    uint64_t strengthenedLiterals = 0;
+    uint64_t eliminatedVars = 0;
+    uint64_t inprocessRounds = 0;
 
     /** Fold another solver's work in (engine / portfolio aggregation). */
     SolverStats &
@@ -64,6 +71,10 @@ struct SolverStats
         restarts += other.restarts;
         learntLiterals += other.learntLiterals;
         removedClauses += other.removedClauses;
+        subsumedClauses += other.subsumedClauses;
+        strengthenedLiterals += other.strengthenedLiterals;
+        eliminatedVars += other.eliminatedVars;
+        inprocessRounds += other.inprocessRounds;
         return *this;
     }
 };
@@ -88,6 +99,28 @@ struct SolverOptions
     uint64_t randomDecisionFreq = 64;
     /** Initial saved phase: false (MiniSat default) or true. */
     bool initialPhaseTrue = false;
+
+    /**
+     * Run clause-DB inprocessing (satisfied-clause removal, subsumption,
+     * self-subsuming resolution, bounded variable elimination) at
+     * solve() entry whenever the problem-clause count grew since the
+     * last pass.  Off by default — a one-shot solve rarely amortizes
+     * the pass — and turned on by the incremental BMC engine, whose
+     * long-lived solvers re-visit the same clause DB at every bound.
+     * Variables named by setFrozen() (and, automatically, this call's
+     * assumption variables) are never eliminated; models for
+     * eliminated variables are reconstructed, so modelValue() stays
+     * valid for every variable ever created.
+     */
+    bool inprocess = false;
+    /** BVE: eliminate a variable only when the resolvent count stays
+     *  within (occurrence count + elimGrowth) clauses. */
+    int elimGrowth = 0;
+    /** BVE: skip variables occurring in more than this many clauses. */
+    uint32_t elimOccLimit = 16;
+    /** Subsumption considers subsuming clauses up to this length, and
+     *  BVE rejects resolvents longer than twice this. */
+    uint32_t simpClauseLimit = 24;
 };
 
 /** CDCL SAT solver. */
@@ -151,10 +184,46 @@ class Solver
     /**
      * Solve the formula under the given assumptions.
      *
-     * @param assumptions literals that must hold in any model.
+     * The incremental contract: the clause database — learnt clauses
+     * included — persists across calls, so a sequence of solves over a
+     * growing formula reuses all prior search effort.  Learnt-clause
+     * retention stays sound because every learnt is a logical
+     * consequence of the problem clauses present when it was derived,
+     * and clauses are only ever added, never retracted (assumptions,
+     * not clause deletion, express per-call conditions).
+     *
+     * @param assumptions literals that must hold in any model.  Their
+     *        variables are implicitly frozen (see setFrozen).
      * @return Sat, Unsat, or Unknown if the conflict budget is exhausted.
      */
     SolveResult solve(const std::vector<Lit> &assumptions = {});
+
+    /**
+     * Protect a variable from bounded variable elimination.  Callers
+     * that will mention a variable in FUTURE clauses or assumptions
+     * (frame-boundary state in an incremental unrolling, activation
+     * literals) must freeze it before the next inprocessing pass;
+     * variables only read back via modelValue() need no freezing —
+     * eliminated ones are reconstructed by model extension.
+     */
+    void setFrozen(Var v, bool frozen) { frozen_[v] = frozen; }
+
+    /** True when `v` is protected from elimination. */
+    bool isFrozen(Var v) const { return frozen_[v] != 0; }
+
+    /** True when inprocessing eliminated `v` from the clause DB. */
+    bool isEliminated(Var v) const { return eliminated_[v] != 0; }
+
+    /**
+     * Run one inprocessing pass now (solve() triggers this itself when
+     * SolverOptions::inprocess is set): remove satisfied clauses and
+     * false literals, subsume and strengthen, then eliminate cheap
+     * unfrozen variables.  Level-0 only.  Interruptible — an
+     * interrupt() mid-pass leaves the solver consistent and reusable.
+     *
+     * @return okay(): false if the pass derived unsatisfiability.
+     */
+    bool simplify();
 
     /** Value of a variable in the last Sat model. */
     bool modelValue(Var v) const;
@@ -199,12 +268,15 @@ class Solver
     const SolverStats &stats() const { return stats_; }
 
     /**
-     * Add the cumulative statistics to an observability registry as
-     * counters `<prefix>.decisions`, `<prefix>.conflicts`, ....  The
-     * instrumentation hook of the solver: it runs at solve-call
-     * granularity (callers invoke it once per solver, after the last
-     * solve), never inside the propagate/decide loop, so the search
-     * hot path carries no observability cost.
+     * Add the statistics accrued SINCE THE LAST EXPORT to an
+     * observability registry as counters `<prefix>.decisions`,
+     * `<prefix>.conflicts`, ....  Delta-based so that a long-lived
+     * incremental solver can be exported after every bound (or both on
+     * the CEX path and after the loop) without double-counting: the
+     * registry totals always equal the solver's cumulative stats().
+     * Runs at solve-call granularity, never inside the propagate/
+     * decide loop, so the search hot path carries no observability
+     * cost.
      */
     void exportStats(obs::Registry &registry,
                      const std::string &prefix) const;
@@ -282,6 +354,27 @@ class Solver
     std::vector<LBool> model_;
     std::vector<Lit> conflictCore_;
 
+    // --- inprocessing state ------------------------------------------
+    std::vector<uint8_t> frozen_;     // per var: protected from BVE
+    std::vector<uint8_t> eliminated_; // per var: removed by BVE
+
+    /**
+     * Clauses removed by eliminating one variable, kept so a later SAT
+     * model can be extended to assign the variable consistently
+     * (MiniSat SimpSolver's elimclauses, unpacked).
+     */
+    struct ElimRecord
+    {
+        Var v;
+        std::vector<std::vector<Lit>> clauses;
+    };
+    std::vector<ElimRecord> elimStack_;
+    /** Problem-clause count at the last inprocessing pass; solve()
+     *  re-runs the pass only after meaningful growth. */
+    uint64_t lastSimpClauses_ = 0;
+    /** Stats already pushed to a registry (delta-based exportStats). */
+    mutable SolverStats exported_;
+
     uint64_t conflictBudget_ = 0;
     size_t memLimitBytes_ = 0;
     size_t bytesAccounted_ = 0;
@@ -327,6 +420,15 @@ class Solver
                        const std::vector<Lit> &assumptions);
     void analyzeFinal(Lit p);
     static uint64_t luby(uint64_t i);
+
+    // --- inprocessing helpers (all level-0 only) ----------------------
+    bool assignAtZero(Lit lit);
+    void deleteClauseForSimp(CRef cref);
+    bool cleanClauses();
+    void runSubsumption(std::vector<std::vector<CRef>> &occ);
+    void runElimination(std::vector<std::vector<CRef>> &occ);
+    void dropLearntsOfEliminated();
+    void extendModel();
 };
 
 } // namespace autocc::sat

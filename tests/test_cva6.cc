@@ -354,4 +354,62 @@ TEST_F(Cva6Evaluation, FixesValidatedByProof)
     EXPECT_GE(last.depth, 18u);
 }
 
+// ----------------------------------------------------------------------
+// Incremental vs monolithic differential (DESIGN.md §11)
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** Run one microreset check both ways and demand identical verdicts. */
+void
+differentialCheck(const Cva6Config &config, const char *label)
+{
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    for (const auto &name : duts::cva6ArchState())
+        opts.archEq.insert(name);
+    const Netlist miter = core::buildMiter(buildCva6(config), opts).netlist;
+
+    formal::EngineOptions engine;
+    engine.maxDepth = 18;
+    const formal::CheckResult incremental =
+        formal::checkSafety(miter, engine);
+
+    engine.incremental = false;
+    const formal::CheckResult monolithic =
+        formal::checkSafety(miter, engine);
+
+    EXPECT_EQ(incremental.status, monolithic.status) << label;
+    ASSERT_TRUE(incremental.foundCex()) << label;
+    ASSERT_TRUE(monolithic.foundCex()) << label;
+    EXPECT_EQ(incremental.cex->depth, monolithic.cex->depth) << label;
+    EXPECT_EQ(incremental.cex->failedAssert,
+              monolithic.cex->failedAssert) << label;
+    EXPECT_GT(incremental.stats.counter("sat.incremental.solver_reuses"),
+              0u) << label;
+    EXPECT_EQ(monolithic.stats.counter("sat.incremental.solver_reuses"),
+              0u) << label;
+}
+
+} // namespace
+
+TEST(Cva6Incremental, C2DifferentialMatchesMonolithic)
+{
+    // The C2 configuration (C1 fixed, PTW flush bug live) — one of the
+    // two bench targets for the incremental speedup.
+    Cva6Config config;
+    config.fixC1 = true;
+    differentialCheck(config, "C2");
+}
+
+TEST(Cva6Incremental, C3DifferentialMatchesMonolithic)
+{
+    // The C3 configuration (C1+C2 fixed, late D$ refill bug live).
+    Cva6Config config;
+    config.fixC1 = true;
+    config.fixC2 = true;
+    differentialCheck(config, "C3");
+}
+
 } // namespace autocc::eval

@@ -333,4 +333,33 @@ TEST(MapleRobust, KillResumeReachesTheBaselineVerdict)
     std::remove(journal.c_str());
 }
 
+TEST(MapleIncremental, MatchesMonolithicVerdict)
+{
+    // Incremental vs --no-incremental differential (DESIGN.md §11):
+    // identical status, blamed assertion and CEX depth, with the
+    // incremental side demonstrably reusing its solver.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const Netlist miter = core::buildMiter(buildMaple(), opts).netlist;
+
+    formal::EngineOptions engine;
+    engine.maxDepth = 10;
+    const formal::CheckResult incremental =
+        formal::checkSafety(miter, engine);
+
+    engine.incremental = false;
+    const formal::CheckResult monolithic =
+        formal::checkSafety(miter, engine);
+
+    EXPECT_EQ(incremental.status, monolithic.status);
+    ASSERT_TRUE(incremental.foundCex());
+    ASSERT_TRUE(monolithic.foundCex());
+    EXPECT_EQ(incremental.cex->depth, monolithic.cex->depth);
+    EXPECT_EQ(incremental.cex->failedAssert, monolithic.cex->failedAssert);
+    EXPECT_GT(incremental.stats.counter("sat.incremental.solver_reuses"),
+              0u);
+    EXPECT_EQ(monolithic.stats.counter("sat.incremental.solver_reuses"),
+              0u);
+}
+
 } // namespace autocc::eval

@@ -344,6 +344,16 @@ TEST(ObsEndToEnd, ToyCheckPopulatesGoldenKeys)
     EXPECT_TRUE(s.has("leak.candidates"));
     EXPECT_TRUE(s.has("miter.seconds"));
     EXPECT_TRUE(s.has("cause.seconds"));
+    // Incremental hot path: inprocessing deltas plus the reuse family
+    // (the engine runs incrementally by default).
+    EXPECT_TRUE(s.has("solver.subsumed_clauses"));
+    EXPECT_TRUE(s.has("solver.strengthened_literals"));
+    EXPECT_TRUE(s.has("solver.eliminated_vars"));
+    EXPECT_TRUE(s.has("solver.inprocess_rounds"));
+    EXPECT_GT(s.counter("sat.incremental.frames_total"), 0u);
+    EXPECT_GT(s.counter("sat.incremental.frames_encoded"), 0u);
+    EXPECT_TRUE(s.has("sat.incremental.hash_hits"));
+    EXPECT_TRUE(s.has("sat.incremental.reuse_ratio"));
     // Per-frame keys exist up to the CEX depth.
     EXPECT_TRUE(s.has("engine.frame.1.solve_seconds"));
     EXPECT_GE(s.countPrefix("engine.frame."), 2u);

@@ -192,6 +192,34 @@ TEST(FaultInjection, InjectFailureReportsWithoutThrowing)
     EXPECT_FALSE(robust::injectFailure("soft.site"));
 }
 
+TEST(FaultInjection, InprocessFaultLeavesSolverReusable)
+{
+    // The solver.inprocess site fires at simplify() entry — BEFORE any
+    // clause surgery — so a chaos-injected fault mid-campaign must
+    // leave the solver consistent enough to finish the proof once the
+    // fault is past (the no-respawn recovery path).
+    sat::SolverOptions so;
+    so.inprocess = true;
+    {
+        PlanGuard guard;
+        armPlan("solver.inprocess:1:throw");
+        sat::Solver s(so);
+        buildPigeonhole(s, 6);
+        EXPECT_THROW(s.simplify(), robust::FaultInjected);
+        robust::clearFaultPlan();
+        EXPECT_EQ(s.solve(), sat::SolveResult::Unsat);
+    }
+    {
+        PlanGuard guard;
+        armPlan("solver.inprocess:1:badalloc");
+        sat::Solver s(so);
+        buildPigeonhole(s, 6);
+        EXPECT_THROW(s.simplify(), std::bad_alloc);
+        robust::clearFaultPlan();
+        EXPECT_EQ(s.solve(), sat::SolveResult::Unsat);
+    }
+}
+
 TEST(FaultInjection, UnarmedSitesAreNoOps)
 {
     robust::clearFaultPlan();
@@ -204,8 +232,9 @@ TEST(FaultInjection, KnownSitesCoverTheChaosMatrix)
 {
     const auto &sites = robust::knownFaultSites();
     for (const char *expected :
-         {"solver.solve", "unroller.frame", "worker.bmc", "worker.leap",
-          "worker.kind", "worker.sim", "artifact.write"}) {
+         {"solver.solve", "solver.inprocess", "unroller.frame",
+          "worker.bmc", "worker.leap", "worker.kind", "worker.sim",
+          "artifact.write"}) {
         EXPECT_NE(std::find(sites.begin(), sites.end(), expected),
                   sites.end())
             << expected;
@@ -394,6 +423,51 @@ TEST(EngineGovernor, SequentialWorkerFaultIsCaughtAndRecorded)
     EXPECT_GE(result.stats.counter("robust.worker_failures"), 1u);
 }
 
+TEST(EngineGovernor, InprocessFaultIsCaughtAndRecorded)
+{
+    // The incremental engine triggers inprocessing inside solve(); a
+    // fault there must surface exactly like any other worker fault.
+    PlanGuard guard;
+    armPlan("solver.inprocess:1:throw");
+    formal::EngineOptions opts;
+    opts.maxDepth = 6;
+    // Pin the mode: this test targets the incremental engine's
+    // inprocessing pass and must not be flipped by AUTOCC_NO_INCREMENTAL.
+    opts.incremental = true;
+    const formal::CheckResult result = formal::checkSafety(toyMiter(),
+                                                           opts);
+    EXPECT_EQ(result.status, formal::CheckStatus::Unknown);
+    EXPECT_EQ(result.unknownReason, robust::UnknownReason::WorkerFault);
+    ASSERT_FALSE(result.workerFailures.empty());
+    EXPECT_NE(result.workerFailures[0].reason.find("solver.inprocess"),
+              std::string::npos);
+}
+
+TEST(Watchdog, InterruptMidIncrementalSolveLeavesSolverReusable)
+{
+    // A watchdog deadline interrupting a long-lived incremental solver
+    // (possibly inside its inprocessing pass) must leave it reusable:
+    // clear the flag, re-solve, get the real verdict — no respawn, no
+    // lost learnts.
+    sat::SolverOptions so;
+    so.inprocess = true;
+    sat::Solver s(so);
+    buildPigeonhole(s, 7);
+
+    robust::Watchdog dog;
+    dog.arm(0.0); // already expired: the interrupt lands at entry
+    s.setInterruptFlag(&dog.flag());
+    while (!dog.expired())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopCause(), sat::StopCause::Interrupted);
+
+    dog.cancel();
+    s.setInterruptFlag(nullptr);
+    EXPECT_TRUE(s.simplify());
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unsat);
+}
+
 // ---------------------------------------------------------------------
 // Checkpoint journal and resume
 // ---------------------------------------------------------------------
@@ -486,6 +560,46 @@ TEST(Checkpoint, ResumeReachesTheBaselineVerdict)
     EXPECT_EQ(resumed.stats.gauge("engine.resume.bound"),
               static_cast<double>(resumed.resumedBound));
     std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeAgreesAcrossIncrementalModes)
+{
+    // The journal records completed bounds, not solver state, so a run
+    // checkpointed under the incremental regime must resume correctly
+    // under --no-incremental and vice versa — same verdict, depth and
+    // blamed assertion as an uninterrupted run.
+    const rtl::Netlist miter = toyMiter();
+    formal::EngineOptions opts;
+    opts.maxDepth = 10;
+    const formal::CheckResult baseline = formal::checkSafety(miter, opts);
+    ASSERT_TRUE(baseline.foundCex());
+    ASSERT_GT(baseline.cex->depth, 2u);
+
+    for (const bool partialIncremental : {true, false}) {
+        const std::string path = tmpPath("xmode_resume.json");
+        std::remove(path.c_str());
+
+        formal::EngineOptions part;
+        part.incremental = partialIncremental;
+        part.checkpointPath = path;
+        part.maxDepth = baseline.cex->depth - 1;
+        const formal::CheckResult partial =
+            formal::checkSafety(miter, part);
+        EXPECT_EQ(partial.status, formal::CheckStatus::BoundedProof);
+
+        formal::EngineOptions res;
+        res.incremental = !partialIncremental; // resume in the OTHER mode
+        res.checkpointPath = path;
+        res.resume = true;
+        res.maxDepth = 10;
+        const formal::CheckResult resumed =
+            formal::checkSafety(miter, res);
+        EXPECT_EQ(resumed.resumedBound, baseline.cex->depth - 1);
+        ASSERT_TRUE(resumed.foundCex());
+        EXPECT_EQ(resumed.cex->depth, baseline.cex->depth);
+        EXPECT_EQ(resumed.cex->failedAssert, baseline.cex->failedAssert);
+        std::remove(path.c_str());
+    }
 }
 
 TEST(Checkpoint, MismatchedJournalIsIgnored)
@@ -674,6 +788,25 @@ TEST(Chaos, EverySiteYieldsAWellFormedVerdict)
             }
         }
     }
+}
+
+TEST(Chaos, PortfolioRecoversFullVerdictFromInprocessFault)
+{
+    // Stronger than the well-formedness matrix: a single inprocessing
+    // fault must not even degrade the portfolio's verdict — the
+    // supervisor respawns the worker (or a sibling wins the race) and
+    // the CEX is still found.
+    PlanGuard guard;
+    armPlan("solver.inprocess:1:throw");
+    formal::PortfolioOptions popts;
+    popts.jobs = 4;
+    popts.engine.maxDepth = 6;
+    // Pin the mode so the armed site actually fires even when the
+    // suite runs under AUTOCC_NO_INCREMENTAL.
+    popts.engine.incremental = true;
+    const formal::CheckResult result =
+        formal::checkSafetyPortfolio(toyMiter(), popts);
+    EXPECT_TRUE(result.foundCex());
 }
 
 TEST(Chaos, ArtifactFaultDoesNotPoisonTheVerdict)

@@ -356,4 +356,43 @@ TEST(VscaleRobust, KillResumeReachesTheBaselineVerdict)
     std::remove(journal.c_str());
 }
 
+// ----------------------------------------------------------------------
+// Incremental vs monolithic differential (DESIGN.md §11)
+// ----------------------------------------------------------------------
+
+TEST(VscaleIncremental, MatchesMonolithicVerdict)
+{
+    // The incremental hot path (persistent solver, appended frames,
+    // retained learnts, inprocessing) and the --no-incremental
+    // monolithic baseline must agree on everything a user can see:
+    // status, blamed assertion and CEX depth.
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const Netlist miter = core::buildMiter(buildVscale(), opts).netlist;
+
+    formal::EngineOptions engine;
+    engine.maxDepth = 10;
+    const formal::CheckResult incremental =
+        formal::checkSafety(miter, engine);
+
+    engine.incremental = false;
+    const formal::CheckResult monolithic =
+        formal::checkSafety(miter, engine);
+
+    EXPECT_EQ(incremental.status, monolithic.status);
+    ASSERT_TRUE(incremental.foundCex());
+    ASSERT_TRUE(monolithic.foundCex());
+    EXPECT_EQ(incremental.cex->depth, monolithic.cex->depth);
+    EXPECT_EQ(incremental.cex->failedAssert, monolithic.cex->failedAssert);
+
+    // The incremental run must actually have reused its solver, and
+    // the monolithic run must have re-encoded every frame from cold.
+    EXPECT_GT(incremental.stats.counter("sat.incremental.solver_reuses"),
+              0u);
+    EXPECT_LT(incremental.stats.counter("sat.incremental.frames_encoded"),
+              incremental.stats.counter("sat.incremental.frames_total"));
+    EXPECT_EQ(monolithic.stats.counter("sat.incremental.solver_reuses"),
+              0u);
+}
+
 } // namespace autocc::eval

@@ -20,6 +20,7 @@
  *                          [--trace-out FILE]
  *   autocc_cli check <dut> [--depth N] [--threshold N] [--arch a,b,...]
  *                          [--vcd FILE] [--jobs N] [--no-coi]
+ *                          [--no-incremental]
  *                          [--no-taint | --taint-discharge]
  *                          [--time-limit SEC] [--conflict-budget N]
  *                          [--mem-limit MB]
@@ -27,7 +28,7 @@
  *                          [--stats-json FILE] [--trace-out FILE]
  *                          [--progress]
  *   autocc_cli prove <dut> [--depth N] [--threshold N] [--arch a,b,...]
- *                          [--jobs N] [--no-coi]
+ *                          [--jobs N] [--no-coi] [--no-incremental]
  *                          [--no-taint | --taint-discharge]
  *                          [--time-limit SEC] [--conflict-budget N]
  *                          [--mem-limit MB]
@@ -160,13 +161,16 @@ usage()
         "per-output divergence depths\n"
         "  check <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--vcd F] [--jobs N] [--no-coi]\n"
-        "              [--no-taint] [--stats-json F] [--trace-out F] "
-        "[--progress]\n"
+        "              [--no-incremental] [--no-taint] [--stats-json F] "
+        "[--trace-out F] [--progress]\n"
         "  prove <dut> [--depth N] [--threshold N] [--arch a,b] "
         "[--jobs N] [--no-coi]\n"
-        "              [--no-taint] [--stats-json F] [--trace-out F] "
-        "[--progress]\n"
+        "              [--no-incremental] [--no-taint] [--stats-json F] "
+        "[--trace-out F] [--progress]\n"
         "  exploit                   run the Listing-2 M3 attack\n"
+        "engine (check/prove):\n"
+        "  --no-incremental   fresh solver + cold re-encode per bound "
+        "(escape hatch / differential baseline)\n"
         "taint discharge (check/prove):\n"
         "  --taint-discharge  statically skip assertions whose output "
         "is provably untainted (default)\n"
@@ -218,6 +222,8 @@ struct Args
     bool resume = false;
     /** Disable cone-of-influence pruning (check/prove). */
     bool noCoi = false;
+    /** Disable the incremental SAT hot path (check/prove). */
+    bool noIncremental = false;
     /** Disable static taint discharge of untainted assertions. */
     bool noTaint = false;
     /** Treat lint warnings as fatal. */
@@ -341,6 +347,8 @@ parseArgs(int argc, char **argv, int start, Args &args)
             args.resume = true;
         } else if (flag == "--no-coi") {
             args.noCoi = true;
+        } else if (flag == "--no-incremental") {
+            args.noIncremental = true;
         } else if (flag == "--no-taint") {
             args.noTaint = true;
         } else if (flag == "--taint-discharge") {
@@ -532,6 +540,7 @@ cmdCheck(const Args &args, bool prove)
     engine.maxInductionK = args.depth + 4;
     engine.jobs = args.jobs;
     engine.coi = !args.noCoi;
+    engine.incremental = !args.noIncremental;
     engine.taintDischarge = !args.noTaint;
     engine.timeLimitSeconds = args.timeLimitSeconds;
     engine.conflictBudget = args.conflictBudget;
