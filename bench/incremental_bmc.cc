@@ -213,6 +213,54 @@ main()
                        static_cast<double>(mono.solver.conflicts));
     }
 
+    // ---- Sampling-overhead gate (DESIGN.md §8, layer 1) --------------
+    // The in-solve heartbeat must stay under 1% of solve time.  Two
+    // views land in the sidecar: the wall-clock delta between a
+    // sampler-on and a sampler-off run (the ISSUE-literal counter,
+    // noisy on a loaded host) and the timeline's self-accounted
+    // record() time (deterministic, carries the gate).
+    {
+        const rtl::Netlist miter = buildVscaleMiter();
+        formal::EngineOptions engine;
+        engine.maxDepth = 12;
+
+        formal::CheckResult on;
+        engine.sampleTimeline = true;
+        const double onSeconds = timeMedian(
+            [&] { on = formal::checkSafety(miter, engine); });
+
+        engine.sampleTimeline = false;
+        formal::CheckResult off;
+        const double offSeconds = timeMedian(
+            [&] { off = formal::checkSafety(miter, engine); });
+
+        const double wallOverhead =
+            offSeconds > 0 ? (onSeconds - offSeconds) / offSeconds : 0.0;
+        const double accounted =
+            on.stats.gauge("obs.timeline.sample_seconds");
+        const double accountedRatio =
+            onSeconds > 0 ? accounted / onSeconds : 0.0;
+        const bool overheadOk = accountedRatio < 0.01;
+        if (!overheadOk) {
+            std::printf("sampler: accounted overhead %.3f%% breaches "
+                        "the 1%% budget\n",
+                        accountedRatio * 100);
+            ok = false;
+        }
+        std::printf("sampler: %zu samples, accounted %.4f%% of solve, "
+                    "wall delta %+.1f%%\n",
+                    on.timeline.size(), accountedRatio * 100,
+                    wallOverhead * 100);
+
+        report.counter("sampler.on_seconds", onSeconds);
+        report.counter("sampler.off_seconds", offSeconds);
+        report.counter("sampler.wall_overhead", wallOverhead);
+        report.counter("sampler.accounted_ratio", accountedRatio);
+        report.counter("sampler.samples",
+                       static_cast<double>(on.timeline.size()));
+        report.counter("sampler.overhead_ok", overheadOk ? 1 : 0);
+    }
+
     std::printf("%s\n", table.render().c_str());
     std::printf("%s\n", ok ? "incremental bmc: OK"
                            : "incremental bmc: MISMATCH");

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Bench-suite driver (DESIGN.md §8, layer 3).
+ *
+ *   run_all [--repeats N] [--quick] [--history FILE] [--bench NAME]...
+ *
+ * Runs the sidecar-writing bench executables (built next to this
+ * binary), re-reads each run's BENCH_<name>.json, folds the repeats
+ * into a per-counter lower median (noise suppression that never
+ * invents values no run produced), and appends one provenance-stamped
+ * line per bench to the history file (default BENCH_history.jsonl):
+ * git SHA, host name, UTC timestamp and a counter-schema fingerprint.
+ * The resulting file is what tools/bench_diff gates CI against and
+ * what `autocc_cli report` renders into the HTML dashboard.
+ *
+ * --quick restricts the suite to the fast benches (the CI smoke set);
+ * the full set adds the portfolio race and the micro benchmarks.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "obs/history.hh"
+
+namespace
+{
+
+struct BenchSpec
+{
+    const char *name;
+    bool quick; ///< part of the CI smoke set
+};
+
+/**
+ * The sidecar-writing benches.  table/figure reproductions and
+ * micro_engines (google-benchmark, minutes of runtime) stay out of
+ * the quick set.
+ */
+constexpr BenchSpec kBenches[] = {
+    {"coi_reduction", true},
+    {"incremental_bmc", true},
+    {"taint_discharge", true},
+    {"portfolio_speedup", false},
+};
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::string out;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, n);
+    std::fclose(file);
+    return out;
+}
+
+/** First output line of `command`, or `fallback`. */
+std::string
+commandLine(const char *command, const std::string &fallback)
+{
+#ifdef __unix__
+    std::FILE *pipe = ::popen(command, "r");
+    if (!pipe)
+        return fallback;
+    char buf[256] = {0};
+    const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+    ::pclose(pipe);
+    if (!got)
+        return fallback;
+    std::string line(buf);
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+    }
+    return line.empty() ? fallback : line;
+#else
+    (void)command;
+    return fallback;
+#endif
+}
+
+std::string
+hostName()
+{
+#ifdef __unix__
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0])
+        return buf;
+#endif
+    return "unknown";
+}
+
+std::string
+utcTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+#ifdef __unix__
+    gmtime_r(&now, &tm);
+#else
+    tm = *std::gmtime(&now);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace autocc;
+
+    unsigned repeats = 1;
+    bool quick = false;
+    std::string historyPath = "BENCH_history.jsonl";
+    std::vector<std::string> only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "run_all: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: run_all [--repeats N] [--quick] "
+                "[--history FILE] [--bench NAME]...\n");
+            return 0;
+        } else if (arg == "--repeats") {
+            repeats = static_cast<unsigned>(
+                std::strtoul(value("--repeats"), nullptr, 10));
+            if (repeats == 0)
+                repeats = 1;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--history") {
+            historyPath = value("--history");
+        } else if (arg == "--bench") {
+            only.push_back(value("--bench"));
+        } else {
+            std::fprintf(stderr, "run_all: unknown argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const std::string binDir = dirnameOf(argv[0]);
+    const std::string sha =
+        commandLine("git rev-parse HEAD 2>/dev/null", "unknown");
+    const std::string host = hostName();
+
+    const auto wanted = [&](const BenchSpec &spec) {
+        if (!only.empty()) {
+            for (const std::string &pick : only) {
+                if (pick == spec.name)
+                    return true;
+            }
+            return false;
+        }
+        return !quick || spec.quick;
+    };
+
+    bool ok = true;
+    unsigned ran = 0;
+    for (const BenchSpec &spec : kBenches) {
+        if (!wanted(spec))
+            continue;
+        std::vector<obs::BenchRecord> runs;
+        for (unsigned r = 0; r < repeats; ++r) {
+            const std::string log =
+                "RUN_" + std::string(spec.name) + ".log";
+            // Append: repeats (and reruns) extend one log per bench.
+            const std::string command = binDir + "/" + spec.name +
+                                        " >> " + log + " 2>&1";
+            std::printf("run_all: %s (run %u/%u)\n", spec.name, r + 1,
+                        repeats);
+            std::fflush(stdout);
+            const int rc = std::system(command.c_str());
+            if (rc != 0) {
+                std::fprintf(stderr,
+                             "run_all: %s exited with %d (see %s)\n",
+                             spec.name, rc, log.c_str());
+                ok = false;
+                break;
+            }
+            obs::BenchRecord record;
+            const std::string sidecar =
+                "BENCH_" + std::string(spec.name) + ".json";
+            if (!obs::parseBenchRecord(readFile(sidecar), record)) {
+                std::fprintf(stderr, "run_all: unreadable sidecar %s\n",
+                             sidecar.c_str());
+                ok = false;
+                break;
+            }
+            runs.push_back(std::move(record));
+        }
+        if (runs.size() < repeats)
+            continue; // failure already reported
+        obs::HistoryEntry entry;
+        entry.record = obs::medianRecord(runs);
+        entry.sha = sha;
+        entry.host = host;
+        entry.timestamp = utcTimestamp();
+        entry.fingerprint = obs::schemaFingerprint(entry.record);
+        if (!obs::appendHistory(historyPath, entry)) {
+            std::fprintf(stderr, "run_all: cannot append to %s\n",
+                         historyPath.c_str());
+            ok = false;
+            continue;
+        }
+        ++ran;
+        std::printf("run_all: %s -> %s (median of %u)\n", spec.name,
+                    historyPath.c_str(), repeats);
+    }
+    if (ran == 0)
+        ok = false;
+    std::printf("run_all: %u benches recorded, %s\n", ran,
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -24,6 +24,39 @@ sinkMutex()
     return mutex;
 }
 
+// The structured-log tap (setLogSink).  Function and context are read
+// together under a mutex so an install/detach never tears; the copy is
+// released before the callback runs, so a callback may itself call
+// setLogSink without deadlocking.
+struct LogSinkState
+{
+    std::mutex mutex;
+    LogSinkFn fn = nullptr;
+    void *ctx = nullptr;
+};
+
+LogSinkState &
+logSinkState()
+{
+    static LogSinkState state;
+    return state;
+}
+
+void
+tapLogSink(int severity, const std::string &msg)
+{
+    LogSinkState &state = logSinkState();
+    LogSinkFn fn;
+    void *ctx;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        fn = state.fn;
+        ctx = state.ctx;
+    }
+    if (fn)
+        fn(ctx, severity, msg.c_str());
+}
+
 } // namespace
 
 void
@@ -36,6 +69,15 @@ bool
 verbose()
 {
     return verboseFlag.load(std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSinkFn fn, void *ctx)
+{
+    LogSinkState &state = logSinkState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.fn = fn;
+    state.ctx = ctx;
 }
 
 namespace detail
@@ -58,6 +100,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    tapLogSink(1, msg);
     std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -65,6 +108,9 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
+    // The structured tap sees every inform(), even ones setVerbose
+    // silences on the console — quiet benches still get full events.
+    tapLogSink(0, msg);
     if (!verbose())
         return;
     std::lock_guard<std::mutex> lock(sinkMutex());

@@ -45,6 +45,18 @@ void informImpl(const std::string &msg);
 void setVerbose(bool verbose);
 bool verbose();
 
+/**
+ * Process-wide structured-log tap: when set, every warn() (severity 1)
+ * and every inform() (severity 0, even when setVerbose(false) silences
+ * the console copy) is also handed to `fn`.  This is how the obs
+ * layer's EventLog captures messages from layers below it (robust,
+ * sat) without those layers depending on obs; see
+ * obs::EventLog::installAsLogSink().  `fn = nullptr` detaches.  The
+ * callback must not call warn()/inform() itself.
+ */
+using LogSinkFn = void (*)(void *ctx, int severity, const char *msg);
+void setLogSink(LogSinkFn fn, void *ctx);
+
 } // namespace autocc
 
 #define panic(...)                                                          \

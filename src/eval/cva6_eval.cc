@@ -50,6 +50,16 @@ runCva6Evaluation(const Cva6EvalOptions &options)
     engine.maxDepth = options.maxDepth;
     engine.jobs = options.jobs;
     engine.obs = options.obs;
+    obs::EventLog *events = options.obs.events;
+    const auto phase =
+        [events](const std::string &message,
+                 std::vector<std::pair<std::string, std::string>>
+                     fields = {}) {
+            if (events) {
+                events->emit(obs::EventSeverity::Info, "eval", message,
+                             std::move(fields));
+            }
+        };
     AutoccOptions opts;
     opts.threshold = options.threshold;
     // The paper adds the OS-handled state (PC, regfile, CSR) upfront;
@@ -59,6 +69,7 @@ runCva6Evaluation(const Cva6EvalOptions &options)
 
     // ---- Phase 1: full-flush fence.t (known channels) ----------------
     if (options.includeFullFlush) {
+        phase("cva6: full-flush fence.t validation");
         Cva6Config config;
         config.flush = Cva6Flush::FullFlush;
         // This phase validates the previously-known fence.t channels
@@ -86,6 +97,8 @@ runCva6Evaluation(const Cva6EvalOptions &options)
     Cva6Config config;
     config.flush = Cva6Flush::Microreset;
     for (unsigned iter = 0; iter < 6; ++iter) {
+        phase("cva6: microreset iteration",
+              {{"iter", std::to_string(iter)}});
         const RunResult run =
             core::runAutocc(duts::buildCva6(config), opts, engine);
         if (!run.foundCex())
@@ -122,6 +135,8 @@ runCva6Evaluation(const Cva6EvalOptions &options)
 
     // ---- Fix validation ------------------------------------------------
     {
+        phase("cva6: fix validation",
+              {{"steps_so_far", std::to_string(steps.size())}});
         EngineOptions deep = engine;
         deep.maxDepth = options.proofDepth;
         const RunResult run =

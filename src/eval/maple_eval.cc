@@ -76,10 +76,23 @@ runMapleEvaluation(const MapleEvalOptions &options)
     AutoccOptions opts;
     opts.threshold = options.threshold;
 
+    obs::EventLog *events = options.obs.events;
+    const auto phase =
+        [events](const std::string &message,
+                 std::vector<std::pair<std::string, std::string>>
+                     fields = {}) {
+            if (events) {
+                events->emit(obs::EventSeverity::Info, "eval", message,
+                             std::move(fields));
+            }
+        };
+
     MapleConfig config;
     bool bufAssumption = false;
 
     for (unsigned iter = 0; iter < 6; ++iter) {
+        phase("maple: refinement iteration",
+              {{"iter", std::to_string(iter)}});
         const core::RunResult run =
             runOnce(config, opts, engine, bufAssumption);
         if (!run.foundCex())
@@ -130,6 +143,8 @@ runMapleEvaluation(const MapleEvalOptions &options)
     // Fix validation: the fixed RTL (plus the M1 assumption) yields a
     // bounded proof, confirming the channels are closed.
     {
+        phase("maple: fix validation",
+              {{"steps_so_far", std::to_string(steps.size())}});
         EngineOptions deep = engine;
         deep.maxDepth = options.proofDepth;
         const core::RunResult run = runOnce(config, opts, deep, true);

@@ -52,6 +52,17 @@ runVscaleRefinement(const VscaleEvalOptions &options)
     engine.jobs = options.jobs;
     engine.obs = options.obs;
 
+    obs::EventLog *events = options.obs.events;
+    const auto phase =
+        [events](const std::string &message,
+                 std::vector<std::pair<std::string, std::string>>
+                     fields = {}) {
+            if (events) {
+                events->emit(obs::EventSeverity::Info, "eval", message,
+                             std::move(fields));
+            }
+        };
+
     VscaleConfig config;
     AutoccOptions opts;
     opts.threshold = options.threshold;
@@ -61,6 +72,8 @@ runVscaleRefinement(const VscaleEvalOptions &options)
     // state architectural (the OS restores it) — except the CSR block,
     // which is blackboxed instead, mirroring the paper's V2 action.
     for (unsigned iter = 0; iter < 10; ++iter) {
+        phase("vscale: refinement iteration",
+              {{"iter", std::to_string(iter)}});
         const RunResult run =
             core::runAutocc(duts::buildVscale(config), opts, engine);
         if (!run.foundCex())
@@ -108,6 +121,8 @@ runVscaleRefinement(const VscaleEvalOptions &options)
     // Vscale ("a bounded proof of depth 21" after 24h; we use a
     // smaller bound on the downsized model).
     {
+        phase("vscale: bounded-proof attempt",
+              {{"steps_so_far", std::to_string(steps.size())}});
         EngineOptions deep = engine;
         deep.maxDepth = options.proofDepth;
         const RunResult run =

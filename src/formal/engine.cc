@@ -78,7 +78,9 @@ struct BmcCtx
 
     BmcCtx(const rtl::Netlist &netlist, const EngineOptions &options,
            const std::atomic<bool> *stop, obs::Registry *stats,
-           bool free_initial_state)
+           bool free_initial_state, obs::Timeline *timeline = nullptr,
+           const std::string &source = "bmc",
+           obs::TraceBuffer *trace = nullptr)
         : solver(solverOptionsFor(options)),
           gates(solver, /*structural_hash=*/options.incremental),
           unroller(netlist, gates, free_initial_state)
@@ -86,6 +88,10 @@ struct BmcCtx
         solver.setInterruptFlag(stop);
         solver.setMemLimitBytes(options.memLimitBytes);
         unroller.setStats(stats);
+        if (timeline) {
+            solver.setTimeline(timeline, source);
+            solver.setTraceCounters(trace);
+        }
     }
 };
 
@@ -103,12 +109,17 @@ inductionStep(const rtl::Netlist &netlist, unsigned k,
               const EngineOptions &options, CheckResult &result,
               uint64_t conflicts_spent, const std::atomic<bool> *stop_flag,
               sat::StopCause &stop_cause, obs::Registry *stats = nullptr,
-              obs::TraceBuffer *trace = nullptr)
+              obs::TraceBuffer *trace = nullptr,
+              obs::Timeline *timeline = nullptr)
 {
     obs::Span span(trace, "induction k=" + std::to_string(k));
     sat::Solver solver;
     solver.setInterruptFlag(stop_flag);
     solver.setMemLimitBytes(options.memLimitBytes);
+    if (timeline) {
+        solver.setTimeline(timeline, "induction");
+        solver.setTraceCounters(trace);
+    }
     if (options.conflictBudget) {
         solver.setConflictBudget(
             options.conflictBudget > conflicts_spent
@@ -267,6 +278,16 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         options.obs.stats ? *options.obs.stats : localStats;
     obs::TraceBuffer *trace =
         options.obs.tracer ? options.obs.tracer->newBuffer("bmc") : nullptr;
+    // Timeline follows the private-registry pattern: sample into the
+    // caller's timeline when one is threaded through, else into a
+    // local one so CheckResult::timeline is always populated.  Only
+    // options.sampleTimeline (the benchmark off-switch) disables it.
+    obs::Timeline localTimeline;
+    obs::Timeline *timeline =
+        options.sampleTimeline
+            ? (options.obs.timeline ? options.obs.timeline : &localTimeline)
+            : nullptr;
+    obs::EventLog *events = options.obs.events;
 
     // Robustness plumbing (DESIGN.md §10): a watchdog that interrupts
     // the solver mid-search when the wall-clock limit passes (so one
@@ -278,6 +299,14 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
     result.resumedBound = journal.resumedBound;
     if (journal.resumedBound)
         stats.set("engine.resume.bound", journal.resumedBound);
+    if (events && journal.writer) {
+        events->emit(obs::EventSeverity::Info, "engine",
+                     journal.resumedBound ? "resumed from checkpoint"
+                                          : "checkpoint journal open",
+                     {{"path", options.checkpointPath},
+                      {"resumed_bound",
+                       std::to_string(journal.resumedBound)}});
+    }
 
     // ---------------- bounded model checking -------------------------
     // One encoding context.  Incremental mode (the default) keeps it
@@ -285,7 +314,8 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
     // and re-encodes from scratch — the historical behaviour, kept as
     // the differential baseline.
     auto ctx = std::make_unique<BmcCtx>(netlist, options, &deadline.flag(),
-                                        &stats, /*free_initial_state=*/false);
+                                        &stats, /*free_initial_state=*/false,
+                                        timeline, "bmc", trace);
     const size_t numAsserts = netlist.asserts().size();
 
     robust::UnknownReason stopReason = robust::UnknownReason::None;
@@ -325,6 +355,13 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         if (stopReason != robust::UnknownReason::None) {
             stats.set("engine.unknown_reason",
                       static_cast<double>(static_cast<int>(stopReason)));
+            if (events) {
+                events->emit(obs::EventSeverity::Warn, "engine",
+                             "governor stopped the check early",
+                             {{"reason",
+                               robust::unknownReasonName(stopReason)},
+                              {"bound", std::to_string(result.bound)}});
+            }
         }
         stats.set("engine.bound", result.bound);
         stats.setMax("solver.mem_bytes",
@@ -340,6 +377,18 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         result.seconds = watch.seconds();
         if (journal.writer)
             journal.writer->recordVerdict(describe(result));
+        if (timeline) {
+            result.timeline = timeline->snapshot();
+            stats.set("obs.timeline.samples",
+                      static_cast<double>(result.timeline.size()));
+            stats.set("obs.timeline.sample_seconds",
+                      timeline->accountedSeconds());
+        }
+        if (events) {
+            events->emit(obs::EventSeverity::Info, "engine", "verdict",
+                         {{"result", describe(result)},
+                          {"netlist", netlist.name()}});
+        }
         result.stats = stats.snapshot();
         return result;
     };
@@ -374,14 +423,18 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 foldCtx();
                 ctx = std::make_unique<BmcCtx>(netlist, options,
                                                &deadline.flag(), &stats,
-                                               /*free_initial_state=*/false);
+                                               /*free_initial_state=*/false,
+                                               timeline, "bmc", trace);
                 for (unsigned d = 1; d < depth; ++d)
                     lockFrame(d);
             } else if (depth > prelock + 1) {
                 stats.add("sat.incremental.solver_reuses");
             }
             framesTotal += depth; // what a cold encode would build
-            const double frameStart = watch.seconds();
+            // Steady-clock RAII timer: an exception (injected fault)
+            // unwinding through this frame still lands its elapsed
+            // time in the registry instead of a dangling span.
+            obs::ScopedTimer frameTimer(&stats, "engine.solve_seconds");
             const uint64_t frameConflicts0 = ctx->solver.stats().conflicts;
             obs::Span frameSpan(trace, "frame " + std::to_string(depth));
 
@@ -411,18 +464,36 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                 sr = ctx->solver.solve({bad});
             }
 
-            const double frameSeconds = watch.seconds() - frameStart;
+            const double frameSeconds = frameTimer.seconds();
+            frameTimer.stop();
             const std::string frameKey =
                 "engine.frame." + std::to_string(depth);
             stats.add("engine.frames");
             stats.set(frameKey + ".solve_seconds", frameSeconds);
             stats.add(frameKey + ".conflicts",
                       ctx->solver.stats().conflicts - frameConflicts0);
-            stats.addSeconds("engine.solve_seconds", frameSeconds);
             stats.setMax("unroller.vars", ctx->solver.numVars());
             stats.setMax("unroller.clauses",
                          static_cast<double>(ctx->solver.numClauses()));
             frameSpan.finish("{\"depth\": " + std::to_string(depth) + "}");
+            if (timeline) {
+                // Engine-level series matching the solver heartbeat:
+                // per-bound wall time and encode-reuse progress.
+                std::vector<std::pair<std::string, double>> series{
+                    {"bound", static_cast<double>(depth)},
+                    {"frame_seconds", frameSeconds},
+                    {"frames_encoded", static_cast<double>(framesEncoded)},
+                    {"frames_total", static_cast<double>(framesTotal)},
+                    {"reuse_ratio",
+                     framesTotal ? 1.0 - static_cast<double>(framesEncoded) /
+                                             static_cast<double>(framesTotal)
+                                 : 0.0},
+                    {"conflicts", static_cast<double>(spentConflicts())},
+                };
+                if (trace)
+                    trace->counter("engine series", series);
+                timeline->record("engine", std::move(series));
+            }
             if (options.obs.progress) {
                 options.obs.progress->frame(
                     {"bmc", depth, ctx->solver.numVars(),
@@ -502,7 +573,8 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
         if (options.incremental) {
             ind = std::make_unique<BmcCtx>(netlist, options,
                                            &deadline.flag(), &stats,
-                                           /*free_initial_state=*/true);
+                                           /*free_initial_state=*/true,
+                                           timeline, "induction", trace);
         }
         try {
             for (unsigned k = 1; k <= maxK; ++k) {
@@ -530,7 +602,7 @@ checkSafety(const rtl::Netlist &netlist, const EngineOptions &options)
                     sr = inductionStep(netlist, k, options, result,
                                        result.solver.conflicts,
                                        &deadline.flag(), stepStop, &stats,
-                                       trace);
+                                       trace, timeline);
                 }
                 stats.add("engine.induction.steps");
                 if (options.obs.progress) {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/obs.hh"
 #include "robust/failure.hh"
@@ -157,12 +158,23 @@ struct EngineOptions
 
     /**
      * Observability sinks (stats registry / event tracer / progress
-     * reporter, see obs/obs.hh) recorded into by every layer the check
-     * touches.  All-null by default: the engines then keep a private
-     * registry so CheckResult::stats is always populated, and tracing
-     * and progress hooks reduce to one pointer test each.
+     * reporter / event log / timeline, see obs/obs.hh) recorded into
+     * by every layer the check touches.  All-null by default: the
+     * engines then keep a private registry so CheckResult::stats is
+     * always populated, and tracing and progress hooks reduce to one
+     * pointer test each.
      */
     obs::Context obs{};
+
+    /**
+     * Sample in-solve time series (DESIGN.md §8, layer 1): the SAT
+     * heartbeat plus the engine's per-bound series, exported as
+     * CheckResult::timeline.  On by default — the adaptive heartbeat
+     * keeps the cost far below 1% (measured by bench/incremental_bmc)
+     * — with this switch as the sampler-off baseline for that very
+     * measurement.
+     */
+    bool sampleTimeline = true;
 };
 
 /** Result of a safety check. */
@@ -212,6 +224,14 @@ struct CheckResult
 
     /** Bound restored from a checkpoint journal before solving began. */
     unsigned resumedBound = 0;
+
+    /**
+     * In-solve time series (solver heartbeat samples, engine per-bound
+     * series, portfolio worker series), oldest first.  Populated
+     * whenever EngineOptions::sampleTimeline is set (the default);
+     * empty only when sampling was explicitly disabled.
+     */
+    std::vector<obs::TimelineSample> timeline;
 
     bool foundCex() const { return status == CheckStatus::Cex; }
     bool proved() const { return status == CheckStatus::Proved; }

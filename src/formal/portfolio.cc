@@ -32,14 +32,19 @@ constexpr unsigned kNoCex = 0xffffffffu;
 
 /**
  * Per-worker slice of the run's observability: the shared stats
- * registry (thread-safe) plus this worker's private trace buffer
- * (single-writer).  All-null when observability is off.
+ * registry and timeline (both thread-safe) plus this worker's private
+ * trace buffer (single-writer).  All-null when observability is off;
+ * `timeline` is null when EngineOptions::sampleTimeline is off.
  */
 struct WorkerObs
 {
     obs::Registry *stats = nullptr;
     obs::TraceBuffer *trace = nullptr;
     obs::ProgressSink *progress = nullptr;
+    obs::Timeline *timeline = nullptr;
+    obs::EventLog *events = nullptr;
+    /** Worker name, doubling as the timeline source tag. */
+    std::string source;
 };
 
 /**
@@ -205,6 +210,36 @@ accumulate(WorkerStats &ws, const sat::Solver &solver,
         solver.exportStats(*obs.stats, "solver");
 }
 
+/**
+ * Record one per-bound point of the worker's own series (depth, frame
+ * wall time, encoding economy) into the shared timeline and — mirrored
+ * as a Chrome-trace counter — into the worker's private buffer.  Noop
+ * when sampling is off.
+ */
+void
+recordWorkerSeries(const WorkerObs &obs, const WorkerStats &ws,
+                   unsigned depth, double frameSeconds,
+                   uint64_t conflicts)
+{
+    if (!obs.timeline && !obs.trace)
+        return;
+    std::vector<std::pair<std::string, double>> series;
+    series.emplace_back("depth", static_cast<double>(depth));
+    series.emplace_back("frame_seconds", frameSeconds);
+    series.emplace_back("conflicts", static_cast<double>(conflicts));
+    series.emplace_back("frames_encoded",
+                        static_cast<double>(ws.framesEncoded));
+    if (ws.framesTotal) {
+        series.emplace_back("reuse_ratio",
+                            1.0 - static_cast<double>(ws.framesEncoded) /
+                                      static_cast<double>(ws.framesTotal));
+    }
+    if (obs.trace)
+        obs.trace->counter("worker series", series);
+    if (obs.timeline)
+        obs.timeline->record(obs.source, std::move(series));
+}
+
 /** Truncate a trace to its first `depth` cycles. */
 void
 truncateTrace(sim::Trace &trace, size_t depth)
@@ -237,6 +272,10 @@ struct WorkerEnc
         solver.setInterruptFlag(&race.stop);
         solver.setMemLimitBytes(engine.memLimitBytes);
         unroller.setStats(obs.stats);
+        if (obs.timeline) {
+            solver.setTimeline(obs.timeline, obs.source);
+            solver.setTraceCounters(obs.trace);
+        }
     }
 };
 
@@ -263,6 +302,7 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     const auto lockFrame = [&](unsigned depth) {
         const unsigned t = depth - 1;
         enc->unroller.addFrame();
+        ++ws.framesEncoded;
         enc->gates.assertTrue(enc->unroller.assumeOk(t));
         Bv violations;
         for (size_t a = 0; a < numAsserts; ++a)
@@ -284,6 +324,7 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         if (!engine.incremental && depth > race.resumedBound + 1) {
             // Monolithic baseline: fold the used solver into the
             // worker record and re-encode frames 1..depth-1 cold.
+            ws.hashHits += enc->gates.hashHits();
             accumulate(ws, enc->solver, obs);
             enc = std::make_unique<WorkerEnc>(netlist, engine,
                                               solverOptions, race, obs,
@@ -311,6 +352,8 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
             obs::Span unrollSpan(obs.trace, "unroll");
             enc->unroller.addFrame();
         }
+        ++ws.framesEncoded;
+        ws.framesTotal += depth; // what a cold re-encode would build
         enc->gates.assertTrue(enc->unroller.assumeOk(t));
 
         std::vector<Lit> holds(numAsserts);
@@ -333,6 +376,9 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                                  enc->solver.stats().conflicts,
                                  watch.seconds() - frameStart});
         }
+        recordWorkerSeries(obs, ws, depth, watch.seconds() - frameStart,
+                           ws.solver.conflicts +
+                               enc->solver.stats().conflicts);
         if (sr == sat::SolveResult::Unknown) {
             ws.stopReason = stopReasonOf(enc->solver, race);
             break;
@@ -357,6 +403,7 @@ deepeningWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     }
     if (ws.outcome.empty())
         ws.outcome = "bound=" + std::to_string(ws.depthReached);
+    ws.hashHits += enc->gates.hashHits();
     accumulate(ws, enc->solver, obs);
     ws.seconds = watch.seconds();
 }
@@ -385,6 +432,10 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     Gates gates(solver, /*structural_hash=*/engine.incremental);
     Unroller unroller(netlist, gates, /*free_initial_state=*/false);
     unroller.setStats(obs.stats);
+    if (obs.timeline) {
+        solver.setTimeline(obs.timeline, obs.source);
+        solver.setTraceCounters(obs.trace);
+    }
     const size_t numAsserts = netlist.asserts().size();
 
     obs::Span buildSpan(obs.trace, "unroll budget");
@@ -407,9 +458,14 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     // those solves must not eliminate them.
     for (const Lit b : frameBad)
         solver.setFrozen(sat::var(b), true);
+    // The leap worker unrolls its whole budget exactly once, so its
+    // encoding economy is all structural-hash reuse, never frame reuse.
+    ws.framesEncoded += frameBad.size();
+    ws.framesTotal += frameBad.size();
     buildSpan.finish("{\"frames\": " + std::to_string(frameBad.size()) +
                      "}");
     if (frameBad.size() < engine.maxDepth) {
+        ws.hashHits += gates.hashHits();
         accumulate(ws, solver, obs);
         ws.seconds = watch.seconds();
         ws.outcome = "cancelled";
@@ -490,8 +546,11 @@ leapWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
     } else {
         ws.outcome = "cancelled";
     }
+    ws.hashHits += gates.hashHits();
     accumulate(ws, solver, obs);
     ws.seconds = watch.seconds();
+    recordWorkerSeries(obs, ws, ws.depthReached, ws.seconds,
+                       ws.solver.conflicts);
 }
 
 // --------------------------------------------------------------------
@@ -545,11 +604,13 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                 obs.stats->add("sat.incremental.solver_reuses");
             if (e.unroller.numFrames() == 0) {
                 e.unroller.addFrame();
+                ++ws.framesEncoded;
                 e.gates.assertTrue(e.unroller.assumeOk(0));
             }
             for (size_t a = 0; a < numAsserts; ++a)
                 e.gates.assertTrue(e.unroller.assertHolds(k - 1, a));
             e.unroller.addFrame();
+            ++ws.framesEncoded;
             e.gates.assertTrue(e.unroller.assumeOk(k));
             if (engine.simplePath) {
                 // Pairs (i, j) with j < k are already in; only the new
@@ -564,6 +625,7 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
         } else {
             for (unsigned t = 0; t <= k; ++t) {
                 e.unroller.addFrame();
+                ++ws.framesEncoded;
                 e.gates.assertTrue(e.unroller.assumeOk(t));
                 if (t < k) {
                     for (size_t a = 0; a < numAsserts; ++a)
@@ -582,8 +644,11 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
             }
             sr = e.solver.solve();
         }
-        if (mono)
+        ws.framesTotal += k + 1; // a cold re-encode builds frames 0..k
+        if (mono) {
+            ws.hashHits += mono->gates.hashHits();
             accumulate(ws, e.solver, obs);
+        }
         ws.depthReached = k;
         if (obs.progress) {
             obs.progress->frame({ws.name, k, e.solver.numVars(),
@@ -591,6 +656,9 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
                                  e.solver.stats().conflicts,
                                  watch.seconds() - kStart});
         }
+        recordWorkerSeries(obs, ws, k, watch.seconds() - kStart,
+                           ws.solver.conflicts +
+                               (enc ? enc->solver.stats().conflicts : 0));
         if (sr == sat::SolveResult::Unknown) {
             ws.stopReason = stopReasonOf(e.solver, race);
             break;
@@ -610,8 +678,10 @@ inductionWorker(const rtl::Netlist &netlist, const EngineOptions &engine,
             break;
         }
     }
-    if (enc)
+    if (enc) {
+        ws.hashHits += enc->gates.hashHits();
         accumulate(ws, enc->solver, obs);
+    }
     if (ws.outcome.empty())
         ws.outcome = "k<=" + std::to_string(ws.depthReached);
     ws.seconds = watch.seconds();
@@ -870,6 +940,28 @@ validateAndNormalizeCex(const rtl::Netlist &netlist, CexInfo &cex)
     cex.depth = static_cast<unsigned>(depth);
 }
 
+/**
+ * Args JSON for a worker's lifetime span: outcome plus the encoding
+ * economy counters, so the trace viewer shows what each worker reused
+ * without cross-referencing the stats snapshot.
+ */
+std::string
+workerSpanArgs(const WorkerStats &ws)
+{
+    std::ostringstream os;
+    os << "{\"outcome\": \"" << ws.outcome << "\""
+       << ", \"frames_encoded\": " << ws.framesEncoded
+       << ", \"frames_total\": " << ws.framesTotal
+       << ", \"hash_hits\": " << ws.hashHits;
+    if (ws.framesTotal) {
+        os << ", \"reuse_ratio\": "
+           << 1.0 - static_cast<double>(ws.framesEncoded) /
+                        static_cast<double>(ws.framesTotal);
+    }
+    os << "}";
+    return os.str();
+}
+
 const char *
 kindName(WorkerKind kind)
 {
@@ -966,6 +1058,14 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
     // only when the caller supplied a tracer.
     obs::Registry localReg;
     obs::Registry &reg = engine.obs.stats ? *engine.obs.stats : localReg;
+    // Timeline: same private-fallback pattern as the registry, so
+    // CheckResult::timeline is populated whenever sampling is on.  The
+    // timeline is mutex-guarded, so all workers share one instance.
+    obs::Timeline localTimeline;
+    obs::Timeline *timeline = engine.sampleTimeline
+        ? (engine.obs.timeline ? engine.obs.timeline : &localTimeline)
+        : nullptr;
+    obs::EventLog *events = engine.obs.events;
 
     Race race;
     race.maxDepth = engine.maxDepth;
@@ -982,13 +1082,22 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         race.bound.store(race.resumedBound);
         reg.set("engine.resume.bound", race.resumedBound);
     }
+    if (events && !engine.checkpointPath.empty()) {
+        events->emit(obs::EventSeverity::Info, "portfolio",
+                     race.resumedBound ? "resumed from checkpoint"
+                                       : "checkpoint journal open",
+                     {{"path", engine.checkpointPath},
+                      {"resumed_bound",
+                       std::to_string(race.resumedBound)}});
+    }
 
     // Supervised spawn: an exception escaping a worker body (or an
     // injected fault) is caught and the worker respawned once with
     // backoff; a worker that dies permanently degrades the race —
     // the others keep running — instead of terminating the process.
-    const auto supervise = [&race, &reg](WorkerStats &ws, const char *site,
-                                         const std::function<void()> &body) {
+    const auto supervise = [&race, &reg, events](
+                               WorkerStats &ws, const char *site,
+                               const std::function<void()> &body) {
         std::vector<robust::WorkerFailure> failures = robust::runSupervised(
             ws.name, [&](unsigned) {
                 robust::injectFault(site);
@@ -997,6 +1106,15 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         if (failures.empty())
             return;
         reg.add("robust.worker_failures", failures.size());
+        if (events) {
+            for (const auto &failure : failures) {
+                events->emit(obs::EventSeverity::Warn, "portfolio",
+                             "worker attempt failed",
+                             {{"worker", failure.worker},
+                              {"attempt", std::to_string(failure.attempt)},
+                              {"error", failure.reason}});
+            }
+        }
         if (failures.size() > robust::SupervisorOptions{}.maxRestarts) {
             ws.stopReason = robust::UnknownReason::WorkerFault;
             if (ws.outcome.empty())
@@ -1053,7 +1171,8 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         // monolithic baseline's throwaway solvers would not.
         so.inprocess = engine.incremental;
         WorkerStats &ws = workerStats[i];
-        const WorkerObs wobs{&reg, buffers[i], engine.obs.progress};
+        const WorkerObs wobs{&reg,     buffers[i], engine.obs.progress,
+                             timeline, events,     ws.name};
         switch (lineup[i]) {
           case WorkerKind::BmcDeepening:
             threads.emplace_back([&, so, wi, wobs] {
@@ -1063,7 +1182,7 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
                                     wobs);
                 });
                 race.bmcActive.fetch_sub(1);
-                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
+                life.finish(workerSpanArgs(ws));
             });
             break;
           case WorkerKind::BmcLeap:
@@ -1073,7 +1192,7 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
                     leapWorker(netlist, engine, so, race, ws, wi, wobs);
                 });
                 race.bmcActive.fetch_sub(1);
-                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
+                life.finish(workerSpanArgs(ws));
             });
             break;
           case WorkerKind::Induction:
@@ -1083,7 +1202,7 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
                     inductionWorker(netlist, engine, so, race, ws, wi,
                                     wobs);
                 });
-                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
+                life.finish(workerSpanArgs(ws));
             });
             break;
           case WorkerKind::SimHunter:
@@ -1092,7 +1211,7 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
                 supervise(ws, "worker.sim", [&] {
                     simHunterWorker(netlist, options, race, ws, wi, wobs);
                 });
-                life.finish("{\"outcome\": \"" + ws.outcome + "\"}");
+                life.finish(workerSpanArgs(ws));
             });
             break;
         }
@@ -1214,9 +1333,40 @@ checkSafetyPortfolio(const rtl::Netlist &netlist,
         reg.add(p + ".decisions", ws.solver.decisions);
         reg.set(p + ".depth", ws.depthReached);
         reg.set(p + ".seconds", ws.seconds);
+        reg.set(p + ".frames_encoded", ws.framesEncoded);
+        reg.set(p + ".frames_total", ws.framesTotal);
+        reg.set(p + ".hash_hits", ws.hashHits);
+        if (ws.framesTotal) {
+            reg.set(p + ".reuse_ratio",
+                    1.0 - static_cast<double>(ws.framesEncoded) /
+                              static_cast<double>(ws.framesTotal));
+        }
     }
     if (journal.writer)
         journal.writer->recordVerdict(describe(result));
+    if (timeline) {
+        result.timeline = timeline->snapshot();
+        reg.set("obs.timeline.samples",
+                static_cast<double>(result.timeline.size()));
+        reg.set("obs.timeline.sample_seconds",
+                timeline->accountedSeconds());
+    }
+    if (events) {
+        if (result.unknownReason != robust::UnknownReason::None) {
+            events->emit(
+                obs::EventSeverity::Warn, "portfolio",
+                "race stopped short of a definitive answer",
+                {{"reason",
+                  robust::unknownReasonName(result.unknownReason)},
+                 {"bound", std::to_string(result.bound)}});
+        }
+        events->emit(obs::EventSeverity::Info, "portfolio", "verdict",
+                     {{"result", describe(result)},
+                      {"netlist", netlist.name()},
+                      {"winner", winnerIndex >= 0
+                                     ? workerStats[winnerIndex].name
+                                     : "none"}});
+    }
     result.stats = reg.snapshot();
 
     if (stats) {

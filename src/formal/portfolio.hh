@@ -56,6 +56,19 @@ struct WorkerStats
     sat::SolverStats solver;
     /** Simulation cycles executed (SimHunter only). */
     uint64_t simCycles = 0;
+
+    /**
+     * Incremental-encoding economy of this worker's encoder(s):
+     * frames actually unrolled vs what a cold re-encode of every bound
+     * would have built, plus structural-hash cache hits.  Exported
+     * after the join as portfolio.worker.<name>.{frames_encoded,
+     * frames_total, reuse_ratio, hash_hits} and into the worker's
+     * lifetime trace span args (DESIGN.md §8).
+     */
+    uint64_t framesEncoded = 0;
+    uint64_t framesTotal = 0;
+    uint64_t hashHits = 0;
+
     double seconds = 0.0;
     bool winner = false;
     std::string outcome; ///< one-word outcome, e.g. "cex", "bound=12"

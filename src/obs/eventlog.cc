@@ -1,0 +1,280 @@
+#include "obs/eventlog.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/stats.hh"
+
+namespace autocc::obs
+{
+
+namespace
+{
+
+/**
+ * Decode the JSON string literal starting at `pos` (which must point
+ * at the opening quote).  On success `out` holds the decoded text and
+ * `pos` is advanced past the closing quote.  Handles exactly the
+ * escapes jsonEscape() produces.
+ */
+bool
+decodeString(const std::string &text, size_t &pos, std::string &out)
+{
+    if (pos >= text.size() || text[pos] != '"')
+        return false;
+    out.clear();
+    for (++pos; pos < text.size(); ++pos) {
+        const char c = text[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (++pos >= text.size())
+            return false;
+        switch (text[pos]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 >= text.size())
+                return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char h = text[pos + 1 + i];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            pos += 4;
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default: return false;
+        }
+    }
+    return false; // ran off the end before the closing quote
+}
+
+/** Locate `"key": ` and return the offset of the value, or npos. */
+size_t
+findValue(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const size_t at = line.find(needle);
+    return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+} // namespace
+
+const char *
+severityName(EventSeverity severity)
+{
+    switch (severity) {
+      case EventSeverity::Info: return "info";
+      case EventSeverity::Warn: return "warn";
+      case EventSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Event::json() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", tSeconds);
+    std::ostringstream os;
+    os << "{\"t\": " << buf << ", \"severity\": \"" << severityName(severity)
+       << "\", \"component\": \"" << jsonEscape(component)
+       << "\", \"message\": \"" << jsonEscape(message) << "\", \"fields\": {";
+    bool first = true;
+    for (const auto &[key, value] : fields) {
+        os << (first ? "" : ", ") << "\"" << jsonEscape(key) << "\": \""
+           << jsonEscape(value) << "\"";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+Event::field(const std::string &key) const
+{
+    for (const auto &[name, value] : fields)
+        if (name == key)
+            return value;
+    return {};
+}
+
+bool
+parseEventLine(const std::string &line, Event &event)
+{
+    if (line.empty() || line.front() != '{' || line.back() != '}')
+        return false;
+
+    Event parsed;
+    size_t pos = findValue(line, "t");
+    if (pos == std::string::npos)
+        return false;
+    parsed.tSeconds = std::strtod(line.c_str() + pos, nullptr);
+
+    std::string severity;
+    pos = findValue(line, "severity");
+    if (pos == std::string::npos || !decodeString(line, pos, severity))
+        return false;
+    if (severity == "info")
+        parsed.severity = EventSeverity::Info;
+    else if (severity == "warn")
+        parsed.severity = EventSeverity::Warn;
+    else if (severity == "error")
+        parsed.severity = EventSeverity::Error;
+    else
+        return false;
+
+    pos = findValue(line, "component");
+    if (pos == std::string::npos ||
+        !decodeString(line, pos, parsed.component))
+        return false;
+    pos = findValue(line, "message");
+    if (pos == std::string::npos || !decodeString(line, pos, parsed.message))
+        return false;
+
+    pos = line.find("\"fields\": {");
+    if (pos == std::string::npos)
+        return false;
+    pos += std::string("\"fields\": {").size();
+    while (pos < line.size() && line[pos] != '}') {
+        std::string key, value;
+        if (!decodeString(line, pos, key))
+            return false;
+        if (line.compare(pos, 2, ": ") != 0)
+            return false;
+        pos += 2;
+        if (!decodeString(line, pos, value))
+            return false;
+        parsed.fields.emplace_back(std::move(key), std::move(value));
+        if (line.compare(pos, 2, ", ") == 0)
+            pos += 2;
+    }
+    if (pos >= line.size())
+        return false;
+
+    event = std::move(parsed);
+    return true;
+}
+
+EventLog::EventLog(size_t tailCapacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      tailCapacity_(tailCapacity ? tailCapacity : 1)
+{
+}
+
+EventLog::~EventLog()
+{
+    if (installedAsSink_)
+        uninstallLogSink();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_)
+        std::fclose(file_);
+    file_ = nullptr;
+}
+
+bool
+EventLog::open(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    if (!file) {
+        warn("failed to open event log '", path, "'");
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_)
+        std::fclose(file_);
+    file_ = file;
+    path_ = path;
+    return true;
+}
+
+void
+EventLog::emit(EventSeverity severity, const std::string &component,
+               const std::string &message,
+               std::vector<std::pair<std::string, std::string>> fields)
+{
+    Event event;
+    event.tSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+    event.severity = severity;
+    event.component = component;
+    event.message = message;
+    event.fields = std::move(fields);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+    if (file_) {
+        // One line, flushed immediately: a crash can tear at most the
+        // final line, which parseEventLine() readers skip.
+        const std::string line = event.json();
+        std::fwrite(line.data(), 1, line.size(), file_);
+        std::fputc('\n', file_);
+        std::fflush(file_);
+    }
+    if (tail_.size() >= tailCapacity_)
+        tail_.pop_front();
+    tail_.push_back(std::move(event));
+}
+
+uint64_t
+EventLog::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::vector<Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<Event>(tail_.begin(), tail_.end());
+}
+
+namespace
+{
+
+void
+logSinkTrampoline(void *ctx, int severity, const char *msg)
+{
+    auto *log = static_cast<EventLog *>(ctx);
+    log->emit(severity > 0 ? EventSeverity::Warn : EventSeverity::Info,
+              "log", msg);
+}
+
+} // namespace
+
+void
+EventLog::installAsLogSink()
+{
+    setLogSink(&logSinkTrampoline, this);
+    installedAsSink_ = true;
+}
+
+void
+EventLog::uninstallLogSink()
+{
+    setLogSink(nullptr, nullptr);
+}
+
+} // namespace autocc::obs

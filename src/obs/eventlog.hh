@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unified structured event log (DESIGN.md §8, layer 2).
+ *
+ * One run's noteworthy moments — progress frames, worker respawns,
+ * governor trips, fault injections, checkpoint/resume, verdicts —
+ * all flow through one EventLog instead of ad-hoc stderr text.  Each
+ * event carries a steady-clock timestamp, a severity, a component tag
+ * and a key=value payload, and is serialized as one JSON object per
+ * line (JSONL), the same crash-tolerant framing the checkpoint
+ * journal uses: every line is flushed as it is written, so a crash
+ * can tear at most the final line, and readers (robust/journal.cc
+ * style) skip a malformed tail.
+ *
+ * The log keeps a bounded in-memory tail alongside the optional file
+ * sink, so tests and the CLI can inspect what happened without
+ * re-parsing the file.  installAsLogSink() additionally routes every
+ * warn()/inform() from base/logging through this log, which is how
+ * supervisor respawn warnings and checkpoint-mismatch warnings land
+ * in the JSONL stream without the robust layer depending on obs.
+ */
+
+#ifndef AUTOCC_OBS_EVENTLOG_HH
+#define AUTOCC_OBS_EVENTLOG_HH
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autocc::obs
+{
+
+/** How loud an event is; mirrors base/logging's warn/inform split. */
+enum class EventSeverity { Info, Warn, Error };
+
+/** Lowercase name: "info", "warn", "error". */
+const char *severityName(EventSeverity severity);
+
+/** One structured event. */
+struct Event
+{
+    /** Seconds since the owning log was created (steady clock). */
+    double tSeconds = 0.0;
+    EventSeverity severity = EventSeverity::Info;
+    /** Emitting layer, e.g. "engine", "portfolio", "robust", "cli". */
+    std::string component;
+    std::string message;
+    /** Structured payload, preserved in emission order. */
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    /** Serialize as a single-line JSON object (no trailing newline). */
+    std::string json() const;
+
+    /** Field value by key; empty string when absent. */
+    std::string field(const std::string &key) const;
+};
+
+/** Thread-safe JSONL event sink with a bounded in-memory tail. */
+class EventLog
+{
+  public:
+    explicit EventLog(size_t tailCapacity = 1024);
+    ~EventLog();
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /**
+     * Attach a JSONL file sink (append mode — reruns extend the same
+     * history, matching BENCH_history.jsonl semantics).  Returns false
+     * with a warning when the file cannot be opened; the log then
+     * stays memory-only.
+     */
+    bool open(const std::string &path);
+
+    /** Record one event (and write+flush its JSONL line if open). */
+    void emit(EventSeverity severity, const std::string &component,
+              const std::string &message,
+              std::vector<std::pair<std::string, std::string>> fields = {});
+
+    /** Events recorded so far (including any evicted from the tail). */
+    uint64_t count() const;
+
+    /** Copy of the retained in-memory tail, oldest first. */
+    std::vector<Event> snapshot() const;
+
+    /** File sink path; empty when memory-only. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Route base/logging warn()/inform() through this log (component
+     * "log", severity Warn/Info).  At most one EventLog can be the
+     * process-wide sink; the destructor (or uninstallLogSink())
+     * detaches it.
+     */
+    void installAsLogSink();
+
+    /** Detach whatever EventLog is the process-wide logging sink. */
+    static void uninstallLogSink();
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    size_t tailCapacity_;
+    mutable std::mutex mutex_;
+    std::deque<Event> tail_;  // guarded by mutex_
+    uint64_t count_ = 0;      // guarded by mutex_
+    std::FILE *file_ = nullptr; // guarded by mutex_
+    std::string path_;
+    bool installedAsSink_ = false;
+};
+
+/**
+ * Parse one JSONL line previously produced by Event::json().  Returns
+ * false (leaving `event` untouched) on a malformed line — a torn tail
+ * after a crash — matching the checkpoint journal's reader tolerance.
+ */
+bool parseEventLine(const std::string &line, Event &event);
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_EVENTLOG_HH

@@ -1,0 +1,629 @@
+#include "obs/history.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/stats.hh"
+
+namespace autocc::obs
+{
+
+// --------------------------------------------------------------------
+// Minimal JSON parser — recursive descent over the subset our own
+// writers emit.  No exceptions: every production returns false on
+// malformed input and the caller propagates.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &in;
+    size_t pos = 0;
+    /** Paranoia bound: JSONL lines are flat; 64 is far beyond them. */
+    int depth = 0;
+    static constexpr int kMaxDepth = 64;
+
+    explicit Parser(const std::string &input) : in(input) {}
+
+    void skipWs()
+    {
+        while (pos < in.size() &&
+               std::isspace(static_cast<unsigned char>(in[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (in.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (pos >= in.size() || in[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < in.size()) {
+            const char c = in[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= in.size())
+                    return false;
+                const char esc = in[pos + 1];
+                pos += 2;
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > in.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = in[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    pos += 4;
+                    // Encode as UTF-8 (BMP only; our writers only
+                    // escape control characters, all below 0x80).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool parseNumber(double &out)
+    {
+        const char *start = in.c_str() + pos;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos += static_cast<size_t>(end - start);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (++depth > kMaxDepth)
+            return false;
+        skipWs();
+        if (pos >= in.size())
+            return false;
+        bool ok = false;
+        const char c = in[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos < in.size() && in[pos] == '}') {
+                ++pos;
+                ok = true;
+            } else {
+                while (true) {
+                    skipWs();
+                    std::string key;
+                    if (!parseString(key))
+                        break;
+                    skipWs();
+                    if (pos >= in.size() || in[pos] != ':')
+                        break;
+                    ++pos;
+                    JsonValue value;
+                    if (!parseValue(value))
+                        break;
+                    out.members.emplace_back(std::move(key),
+                                             std::move(value));
+                    skipWs();
+                    if (pos < in.size() && in[pos] == ',') {
+                        ++pos;
+                        continue;
+                    }
+                    if (pos < in.size() && in[pos] == '}') {
+                        ++pos;
+                        ok = true;
+                    }
+                    break;
+                }
+            }
+        } else if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos < in.size() && in[pos] == ']') {
+                ++pos;
+                ok = true;
+            } else {
+                while (true) {
+                    JsonValue value;
+                    if (!parseValue(value))
+                        break;
+                    out.array.push_back(std::move(value));
+                    skipWs();
+                    if (pos < in.size() && in[pos] == ',') {
+                        ++pos;
+                        continue;
+                    }
+                    if (pos < in.size() && in[pos] == ']') {
+                        ++pos;
+                        ok = true;
+                    }
+                    break;
+                }
+            }
+        } else if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            ok = parseString(out.text);
+        } else if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            ok = literal("true");
+        } else if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            ok = literal("false");
+        } else if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            ok = literal("null");
+        } else {
+            out.kind = JsonValue::Kind::Number;
+            ok = parseNumber(out.number);
+        }
+        --depth;
+        return ok;
+    }
+};
+
+std::string
+formatNumber(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(double fallback) const
+{
+    if (kind == Kind::Number)
+        return number;
+    if (kind == Kind::Bool)
+        return boolean ? 1.0 : 0.0;
+    return fallback;
+}
+
+std::string
+JsonValue::textOr(const std::string &fallback) const
+{
+    return kind == Kind::String ? text : fallback;
+}
+
+bool
+parseJson(const std::string &input, JsonValue &out)
+{
+    Parser parser(input);
+    JsonValue value;
+    if (!parser.parseValue(value))
+        return false;
+    parser.skipWs();
+    if (parser.pos != input.size())
+        return false; // trailing garbage — a torn or doubled line
+    out = std::move(value);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Bench records
+// --------------------------------------------------------------------
+
+std::string
+BenchRecord::json() const
+{
+    // Same schema as bench_report.hh writes, so a sidecar re-emitted
+    // through here is byte-compatible for the readers.
+    std::string out = "{\"name\": \"" + jsonEscape(name) + "\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", wallSeconds);
+    out += ", \"wall_seconds\": ";
+    out += buf;
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto &[key, value] : counters) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + jsonEscape(key) + "\": " + formatNumber(value);
+    }
+    out += "}}";
+    return out;
+}
+
+bool
+parseBenchRecord(const std::string &input, BenchRecord &out)
+{
+    JsonValue root;
+    if (!parseJson(input, root) || root.kind != JsonValue::Kind::Object)
+        return false;
+    const JsonValue *name = root.find("name");
+    if (!name || name->kind != JsonValue::Kind::String)
+        return false;
+    BenchRecord record;
+    record.name = name->text;
+    if (const JsonValue *wall = root.find("wall_seconds"))
+        record.wallSeconds = wall->numberOr(0.0);
+    if (const JsonValue *counters = root.find("counters")) {
+        if (counters->kind != JsonValue::Kind::Object)
+            return false;
+        for (const auto &[key, value] : counters->members)
+            record.counters[key] = value.numberOr(0.0);
+    }
+    out = std::move(record);
+    return true;
+}
+
+namespace
+{
+
+double
+lowerMedian(std::vector<double> &values)
+{
+    std::sort(values.begin(), values.end());
+    return values[(values.size() - 1) / 2];
+}
+
+} // namespace
+
+BenchRecord
+medianRecord(const std::vector<BenchRecord> &runs)
+{
+    BenchRecord out;
+    if (runs.empty())
+        return out;
+    out.name = runs.front().name;
+    std::vector<double> walls;
+    std::map<std::string, std::vector<double>> series;
+    for (const BenchRecord &run : runs) {
+        walls.push_back(run.wallSeconds);
+        for (const auto &[key, value] : run.counters)
+            series[key].push_back(value);
+    }
+    out.wallSeconds = lowerMedian(walls);
+    for (auto &[key, values] : series)
+        out.counters[key] = lowerMedian(values);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// History file
+// --------------------------------------------------------------------
+
+std::string
+schemaFingerprint(const BenchRecord &record)
+{
+    // FNV-1a over the sorted counter names (std::map iterates sorted),
+    // so two runs of the same bench binary share a fingerprint and a
+    // counter rename shows up as schema drift in the history.
+    uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](const std::string &text) {
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 0x100000001b3ull;
+        }
+        hash ^= 0xff;
+        hash *= 0x100000001b3ull;
+    };
+    mix(record.name);
+    for (const auto &[key, value] : record.counters) {
+        (void)value;
+        mix(key);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+HistoryEntry::json() const
+{
+    return "{\"sha\": \"" + jsonEscape(sha) + "\", \"host\": \"" +
+           jsonEscape(host) + "\", \"timestamp\": \"" +
+           jsonEscape(timestamp) + "\", \"fingerprint\": \"" +
+           jsonEscape(fingerprint) + "\", \"bench\": " + record.json() +
+           "}";
+}
+
+bool
+parseHistoryLine(const std::string &line, HistoryEntry &out)
+{
+    JsonValue root;
+    if (!parseJson(line, root) || root.kind != JsonValue::Kind::Object)
+        return false;
+    const JsonValue *bench = root.find("bench");
+    if (!bench)
+        return false;
+    HistoryEntry entry;
+    // Round-trip the bench object through its own parser so the two
+    // readers cannot drift apart.
+    JsonValue benchCopy = *bench;
+    {
+        const JsonValue *name = benchCopy.find("name");
+        if (!name || name->kind != JsonValue::Kind::String)
+            return false;
+        entry.record.name = name->text;
+        if (const JsonValue *wall = benchCopy.find("wall_seconds"))
+            entry.record.wallSeconds = wall->numberOr(0.0);
+        if (const JsonValue *counters = benchCopy.find("counters")) {
+            for (const auto &[key, value] : counters->members)
+                entry.record.counters[key] = value.numberOr(0.0);
+        }
+    }
+    if (const JsonValue *sha = root.find("sha"))
+        entry.sha = sha->textOr("");
+    if (const JsonValue *host = root.find("host"))
+        entry.host = host->textOr("");
+    if (const JsonValue *ts = root.find("timestamp"))
+        entry.timestamp = ts->textOr("");
+    if (const JsonValue *fp = root.find("fingerprint"))
+        entry.fingerprint = fp->textOr("");
+    out = std::move(entry);
+    return true;
+}
+
+bool
+appendHistory(const std::string &path, const HistoryEntry &entry)
+{
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    if (!file)
+        return false;
+    const std::string line = entry.json() + "\n";
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), file) == line.size();
+    std::fflush(file);
+    std::fclose(file);
+    return ok;
+}
+
+std::vector<HistoryEntry>
+loadHistory(const std::string &path)
+{
+    std::vector<HistoryEntry> entries;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return entries;
+    std::string line;
+    int c;
+    const auto flush = [&]() {
+        if (line.empty())
+            return;
+        HistoryEntry entry;
+        // A malformed line is a torn tail (or hand-edited noise):
+        // skip it, keep the rest — same tolerance as the checkpoint
+        // journal and event log readers.
+        if (parseHistoryLine(line, entry))
+            entries.push_back(std::move(entry));
+        line.clear();
+    };
+    while ((c = std::fgetc(file)) != EOF) {
+        if (c == '\n')
+            flush();
+        else
+            line += static_cast<char>(c);
+    }
+    flush();
+    std::fclose(file);
+    return entries;
+}
+
+std::vector<HistoryEntry>
+latestPerBench(const std::vector<HistoryEntry> &history)
+{
+    std::vector<HistoryEntry> latest;
+    std::map<std::string, size_t> index;
+    for (const HistoryEntry &entry : history) {
+        const auto it = index.find(entry.record.name);
+        if (it == index.end()) {
+            index[entry.record.name] = latest.size();
+            latest.push_back(entry);
+        } else {
+            latest[it->second] = entry;
+        }
+    }
+    return latest;
+}
+
+// --------------------------------------------------------------------
+// Regression comparison
+// --------------------------------------------------------------------
+
+namespace
+{
+
+bool
+endsWith(const std::string &name, const char *suffix)
+{
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n &&
+           name.compare(name.size() - n, n, suffix) == 0;
+}
+
+} // namespace
+
+MetricClass
+classifyMetric(const std::string &name)
+{
+    // Identity: verdict agreement flags and the bench's own ok bit.
+    // These encode correctness, not performance; any change is a
+    // failure regardless of tolerance.
+    if (name == "ok" || endsWith(name, ".ok") ||
+        name.find("verdict") != std::string::npos) {
+        return MetricClass::Identity;
+    }
+    // Quality ratios: a drop is a real regression.
+    if (endsWith(name, "speedup") || endsWith(name, "reuse_ratio") ||
+        endsWith(name, "reduction")) {
+        return MetricClass::HigherBetter;
+    }
+    // Wall times (incl. micro_engines' .real_ns): host-dependent.
+    if (name.find("seconds") != std::string::npos ||
+        endsWith(name, "_ns") || name == "wall_seconds") {
+        return MetricClass::LowerBetter;
+    }
+    return MetricClass::Informational;
+}
+
+DiffReport
+diffRecords(const BenchRecord &baseline, const BenchRecord &current,
+            const DiffOptions &options)
+{
+    DiffReport report;
+    report.bench = baseline.name.empty() ? current.name : baseline.name;
+
+    // wall_seconds participates like any other LowerBetter metric.
+    std::map<std::string, double> base = baseline.counters;
+    std::map<std::string, double> cur = current.counters;
+    base["wall_seconds"] = baseline.wallSeconds;
+    cur["wall_seconds"] = current.wallSeconds;
+
+    for (const auto &[name, baseValue] : base) {
+        const MetricClass cls = classifyMetric(name);
+        const auto it = cur.find(name);
+        if (it == cur.end()) {
+            // A vanished gated metric is a silent coverage loss —
+            // fail loudly instead of passing on the shrunken set.
+            if (cls == MetricClass::Identity ||
+                cls == MetricClass::HigherBetter) {
+                report.missing.push_back(name);
+            }
+            continue;
+        }
+        MetricDelta delta;
+        delta.name = name;
+        delta.baseline = baseValue;
+        delta.current = it->second;
+        delta.cls = cls;
+        const double magnitude = std::abs(baseValue);
+        delta.rel = magnitude > options.minBaseline
+                        ? (delta.current - baseValue) / magnitude
+                        : 0.0;
+        switch (cls) {
+          case MetricClass::Identity:
+            delta.gated = true;
+            delta.regressed = delta.current != delta.baseline;
+            if (delta.regressed)
+                ++report.identityFailures;
+            break;
+          case MetricClass::HigherBetter:
+            delta.gated = true;
+            delta.regressed =
+                magnitude > options.minBaseline
+                    ? delta.rel < -options.relTolerance
+                    : delta.current < baseValue - options.minBaseline;
+            if (delta.regressed)
+                ++report.regressions;
+            break;
+          case MetricClass::LowerBetter:
+            delta.gated = options.gateSeconds;
+            delta.regressed =
+                delta.gated && magnitude > options.minBaseline &&
+                delta.rel > options.secondsTolerance;
+            if (delta.regressed)
+                ++report.regressions;
+            break;
+          case MetricClass::Informational:
+            break;
+        }
+        report.deltas.push_back(std::move(delta));
+    }
+    return report;
+}
+
+std::string
+DiffReport::render() const
+{
+    std::ostringstream os;
+    os << "bench " << bench << ": "
+       << (pass() ? "PASS" : "FAIL") << " (" << regressions
+       << " regressions, " << identityFailures << " verdict mismatches, "
+       << missing.size() << " missing)\n";
+    for (const MetricDelta &delta : deltas) {
+        if (!delta.gated && !delta.regressed)
+            continue;
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "  %-44s %12.6g -> %-12.6g %+7.1f%%%s\n",
+                      delta.name.c_str(), delta.baseline, delta.current,
+                      delta.rel * 100.0,
+                      delta.regressed
+                          ? (delta.cls == MetricClass::Identity
+                                 ? "  << VERDICT MISMATCH"
+                                 : "  << REGRESSED")
+                          : "");
+        os << buf;
+    }
+    for (const std::string &name : missing)
+        os << "  " << name << "  << MISSING (gated in baseline)\n";
+    return os.str();
+}
+
+} // namespace autocc::obs

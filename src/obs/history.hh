@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Bench history and regression comparison (DESIGN.md §8, layer 3).
+ *
+ * The bench/ executables already emit machine-readable sidecars
+ * (BENCH_<name>.json, see bench/bench_report.hh).  This module turns
+ * those point measurements into a *history*: one JSONL file
+ * (BENCH_history.jsonl) that `bench/run_all` appends to on every run,
+ * each line keyed by git SHA, host and timestamp, plus a noise-aware
+ * comparator (`diffRecords`) that `tools/bench_diff` and CI use to
+ * gate regressions against a checked-in baseline.
+ *
+ * Comparison rules:
+ *  - metrics are classified by name (classifyMetric): identity metrics
+ *    ("verdict_match", "ok") must match exactly — a hard gate at any
+ *    tolerance, because a changed verdict is a correctness bug, not
+ *    noise;
+ *  - quality ratios (speedup, reuse_ratio, encode_reduction) gate with
+ *    a relative threshold, direction-aware (only drops fail);
+ *  - wall times gate only when explicitly requested (--gate-seconds):
+ *    they are incomparable across hosts, and CI machines are noisy;
+ *  - everything else (sizes, counts) is reported but never gates.
+ *
+ * Noise is handled before comparison: run_all executes each bench N
+ * times and medianRecord() folds the runs per counter (lower median,
+ * so every reported value is one an actual run produced — averaging
+ * would invent impossible values for 0/1 identity counters).
+ *
+ * The module also carries the minimal JSON reader those paths need;
+ * it accepts exactly the subset our own writers (bench_report.hh,
+ * Timeline::json, Event::json) emit, and tolerates a torn final line
+ * the way every JSONL reader in the codebase does.
+ */
+
+#ifndef AUTOCC_OBS_HISTORY_HH
+#define AUTOCC_OBS_HISTORY_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autocc::obs
+{
+
+// --------------------------------------------------------------------
+// Minimal JSON value + parser
+// --------------------------------------------------------------------
+
+/** Parsed JSON value (tree-owning, no shared state). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> array;
+    /** Members in source order (duplicate keys keep the first). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number coercion helpers for tolerant readers. */
+    double numberOr(double fallback) const;
+    std::string textOr(const std::string &fallback) const;
+};
+
+/**
+ * Parse one JSON document.  Returns false (leaving `out` untouched) on
+ * malformed input, including trailing garbage after the value.
+ */
+bool parseJson(const std::string &input, JsonValue &out);
+
+// --------------------------------------------------------------------
+// Bench records and the history file
+// --------------------------------------------------------------------
+
+/** One bench run's numbers — the BENCH_<name>.json schema. */
+struct BenchRecord
+{
+    std::string name;
+    double wallSeconds = 0.0;
+    std::map<std::string, double> counters;
+
+    /** Serialize in the sidecar schema (no trailing newline). */
+    std::string json() const;
+};
+
+/** Parse a BENCH_<name>.json sidecar body. */
+bool parseBenchRecord(const std::string &input, BenchRecord &out);
+
+/**
+ * Fold repeated runs of the same bench into one record, taking the
+ * per-counter *lower median* — a value some actual run produced, so
+ * 0/1 identity counters stay 0 or 1 (an average could invent 0.5).
+ * Counters missing from some runs are medianed over the runs that
+ * have them.  Empty input yields an empty record.
+ */
+BenchRecord medianRecord(const std::vector<BenchRecord> &runs);
+
+/** One BENCH_history.jsonl line: a bench record plus its provenance. */
+struct HistoryEntry
+{
+    std::string sha;         ///< git commit, "unknown" outside a repo
+    std::string host;        ///< machine name, for cross-host filtering
+    std::string timestamp;   ///< ISO-8601 UTC, e.g. "2026-08-09T12:00:00Z"
+    std::string fingerprint; ///< counter-schema hash (schema drift check)
+    BenchRecord record;
+
+    std::string json() const;
+};
+
+/** Stable FNV-1a hash over a record's counter names (schema identity). */
+std::string schemaFingerprint(const BenchRecord &record);
+
+/** Parse one history line; false on a malformed (torn) line. */
+bool parseHistoryLine(const std::string &line, HistoryEntry &out);
+
+/** Append one line (fopen append + flush, crash-tolerant framing). */
+bool appendHistory(const std::string &path, const HistoryEntry &entry);
+
+/** Load a history file, oldest first, skipping malformed lines. */
+std::vector<HistoryEntry> loadHistory(const std::string &path);
+
+/** Latest entry per bench name, insertion-ordered by first sighting. */
+std::vector<HistoryEntry>
+latestPerBench(const std::vector<HistoryEntry> &history);
+
+// --------------------------------------------------------------------
+// Regression comparison
+// --------------------------------------------------------------------
+
+/** How a metric participates in gating (see file comment). */
+enum class MetricClass {
+    Identity,      ///< must match exactly (verdicts, ok flags)
+    HigherBetter,  ///< gated ratio: a relative drop is a regression
+    LowerBetter,   ///< wall time: gated only on request
+    Informational, ///< reported, never gates
+};
+
+/** Classify a counter by its dotted name. */
+MetricClass classifyMetric(const std::string &name);
+
+/** Comparator knobs. */
+struct DiffOptions
+{
+    /** Relative drop tolerated on HigherBetter metrics (0.15 = 15%). */
+    double relTolerance = 0.15;
+    /** Gate LowerBetter (seconds) metrics at `secondsTolerance`. */
+    bool gateSeconds = false;
+    /** Relative growth tolerated on gated seconds (looser: noisy). */
+    double secondsTolerance = 0.5;
+    /**
+     * Baselines smaller than this are compared absolutely (relative
+     * change against ~0 is meaningless noise amplification).
+     */
+    double minBaseline = 1e-9;
+};
+
+/** One metric's baseline-vs-current comparison. */
+struct MetricDelta
+{
+    std::string name;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** (current - baseline) / |baseline|; 0 for tiny baselines. */
+    double rel = 0.0;
+    MetricClass cls = MetricClass::Informational;
+    bool gated = false;     ///< participated in the pass/fail decision
+    bool regressed = false; ///< gated and beyond tolerance
+};
+
+/** Full comparison of one bench against its baseline. */
+struct DiffReport
+{
+    std::string bench;
+    std::vector<MetricDelta> deltas;
+    /** Gated metrics present in the baseline but missing now. */
+    std::vector<std::string> missing;
+    unsigned regressions = 0;      ///< tolerance-gated failures
+    unsigned identityFailures = 0; ///< hard verdict-identity failures
+
+    bool pass() const
+    {
+        return regressions == 0 && identityFailures == 0 &&
+               missing.empty();
+    }
+
+    /** Human-readable multi-line summary (one line per gated metric). */
+    std::string render() const;
+};
+
+/** Compare one bench run against its baseline record. */
+DiffReport diffRecords(const BenchRecord &baseline,
+                       const BenchRecord &current,
+                       const DiffOptions &options = {});
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_HISTORY_HH

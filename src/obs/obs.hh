@@ -13,8 +13,10 @@
 #ifndef AUTOCC_OBS_OBS_HH
 #define AUTOCC_OBS_OBS_HH
 
+#include "obs/eventlog.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 
 namespace autocc::obs
@@ -26,8 +28,21 @@ struct Context
     Registry *stats = nullptr;
     Tracer *tracer = nullptr;
     ProgressSink *progress = nullptr;
+    /** Structured event log (layer 2); null = events dropped. */
+    EventLog *events = nullptr;
+    /**
+     * Time-series sink (layer 1).  Unlike the others, a null timeline
+     * does not disable sampling: the engines keep a private Timeline
+     * (like the private stats registry) so CheckResult::timeline is
+     * always populated; pass one here to watch samples live.
+     * EngineOptions::sampleTimeline is the actual off switch.
+     */
+    Timeline *timeline = nullptr;
 
-    bool enabled() const { return stats || tracer || progress; }
+    bool enabled() const
+    {
+        return stats || tracer || progress || events || timeline;
+    }
 };
 
 } // namespace autocc::obs

@@ -2,8 +2,17 @@
 
 #include <cstdio>
 
+#include "obs/eventlog.hh"
+
 namespace autocc::obs
 {
+
+uint64_t
+StreamProgress::suppressed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+}
 
 void
 StreamProgress::frame(const FrameProgress &progress)
@@ -16,8 +25,28 @@ StreamProgress::frame(const FrameProgress &progress)
                   static_cast<unsigned long long>(progress.clauses),
                   static_cast<unsigned long long>(progress.conflicts),
                   progress.deltaSeconds);
-    std::lock_guard<std::mutex> lock(mutex_);
-    os_ << buf << std::endl; // endl: keep lines live while solving
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto now = std::chrono::steady_clock::now();
+        const auto [it, firstLine] = lastEmit_.emplace(progress.source, now);
+        if (!firstLine) {
+            const double sinceLast =
+                std::chrono::duration<double>(now - it->second).count();
+            if (sinceLast < minInterval_) {
+                ++suppressed_;
+                return;
+            }
+            it->second = now;
+        }
+        os_ << buf << std::endl; // endl: keep lines live while solving
+    }
+    // Mirror outside the lock: EventLog has its own mutex and the
+    // ordering of mirrored frames across sources is not contractual.
+    if (events_)
+        events_->emit(EventSeverity::Info, "progress", buf,
+                      {{"source", progress.source},
+                       {"depth", std::to_string(progress.depth)},
+                       {"conflicts", std::to_string(progress.conflicts)}});
 }
 
 } // namespace autocc::obs

@@ -10,13 +10,17 @@
 #ifndef AUTOCC_OBS_PROGRESS_HH
 #define AUTOCC_OBS_PROGRESS_HH
 
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
 
 namespace autocc::obs
 {
+
+class EventLog;
 
 /** What one engine step (BMC frame / induction k) just did. */
 struct FrameProgress
@@ -43,17 +47,42 @@ class ProgressSink
     virtual void frame(const FrameProgress &progress) = 0;
 };
 
-/** Mutex-guarded one-line-per-frame printer. */
+/**
+ * Mutex-guarded one-line-per-frame printer, rate-limited so deep
+ * bounds don't flood the console: after a source's first line, later
+ * lines within `minIntervalSeconds` of the last emitted one are
+ * dropped (per source, so portfolio workers don't starve each other).
+ * An interval of 0 emits every frame — the `--progress-interval 0`
+ * escape hatch.  Emitted lines are optionally mirrored into an
+ * EventLog (component "progress") so the JSONL stream carries the
+ * same frames a user saw.
+ */
 class StreamProgress : public ProgressSink
 {
   public:
-    explicit StreamProgress(std::ostream &os) : os_(os) {}
+    /** Default interval: at most one line per 250 ms per source. */
+    explicit StreamProgress(std::ostream &os,
+                            double minIntervalSeconds = 0.25)
+        : os_(os), minInterval_(minIntervalSeconds)
+    {
+    }
+
+    /** Mirror emitted (post-rate-limit) lines into `events`. */
+    void setEventLog(EventLog *events) { events_ = events; }
+
+    /** Frames suppressed by the rate limit so far. */
+    uint64_t suppressed() const;
 
     void frame(const FrameProgress &progress) override;
 
   private:
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::ostream &os_;
+    double minInterval_;
+    EventLog *events_ = nullptr;
+    /** Last emission time per source; guarded by mutex_. */
+    std::map<std::string, std::chrono::steady_clock::time_point> lastEmit_;
+    uint64_t suppressed_ = 0; // guarded by mutex_
 };
 
 } // namespace autocc::obs

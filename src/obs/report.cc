@@ -1,0 +1,253 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace autocc::obs
+{
+
+namespace
+{
+
+std::string
+htmlEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+formatValue(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+    return buf;
+}
+
+/**
+ * Inline SVG sparkline: a polyline over min..max-normalized values
+ * with a dot on the latest point.  A flat or single-point series
+ * renders as a centered horizontal line, so the chart is always
+ * well-formed regardless of input.
+ */
+std::string
+sparkline(const std::vector<double> &values, int width, int height,
+          const char *stroke)
+{
+    std::ostringstream os;
+    os << "<svg class=\"spark\" width=\"" << width << "\" height=\""
+       << height << "\" viewBox=\"0 0 " << width << " " << height
+       << "\">";
+    if (!values.empty()) {
+        double lo = values[0], hi = values[0];
+        for (const double v : values) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        const double span = hi - lo;
+        const double pad = 4.0;
+        const double usableH = height - 2 * pad;
+        const double usableW = width - 2 * pad;
+        const size_t n = values.size();
+        const auto xAt = [&](size_t i) {
+            return n > 1 ? pad + usableW * static_cast<double>(i) /
+                               static_cast<double>(n - 1)
+                         : width / 2.0;
+        };
+        const auto yAt = [&](double v) {
+            return span > 0.0 ? pad + usableH * (1.0 - (v - lo) / span)
+                              : height / 2.0;
+        };
+        os << "<polyline fill=\"none\" stroke=\"" << stroke
+           << "\" stroke-width=\"1.5\" points=\"";
+        for (size_t i = 0; i < n; ++i) {
+            if (i)
+                os << " ";
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.1f,%.1f", xAt(i),
+                          yAt(values[i]));
+            os << buf;
+        }
+        os << "\"/>";
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                      "fill=\"%s\"/>",
+                      xAt(n - 1), yAt(values.back()), stroke);
+        os << buf;
+    }
+    os << "</svg>";
+    return os.str();
+}
+
+const char *kCss = R"(
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 2em auto; max-width: 72em; color: #222;
+         background: #fafafa; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.15em; margin-top: 1.6em; }
+  .meta { color: #777; font-size: 0.85em; }
+  table { border-collapse: collapse; margin: 0.6em 0 1.2em; }
+  td, th { padding: 0.25em 0.9em 0.25em 0; text-align: left;
+           border-bottom: 1px solid #e4e4e4; font-size: 0.9em; }
+  th { color: #555; font-weight: 600; }
+  .num { text-align: right; font-variant-numeric: tabular-nums; }
+  .up { color: #1a7f37; } .down { color: #b22; }
+  svg.spark { vertical-align: middle; background: #fff;
+              border: 1px solid #e8e8e8; border-radius: 3px; }
+)";
+
+} // namespace
+
+std::string
+renderHtmlReport(const std::vector<HistoryEntry> &history,
+                 const std::vector<TimelineSample> &timeline,
+                 const ReportOptions &options)
+{
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+       << "<meta charset=\"utf-8\">\n<title>"
+       << htmlEscape(options.title) << "</title>\n<style>" << kCss
+       << "</style>\n</head>\n<body>\n";
+    os << "<h1>" << htmlEscape(options.title) << "</h1>\n";
+
+    // ------------------------- bench history -------------------------
+    // Group by bench, preserving first-sighting order.
+    std::vector<std::string> benchOrder;
+    std::map<std::string, std::vector<const HistoryEntry *>> byBench;
+    for (const HistoryEntry &entry : history) {
+        auto &bucket = byBench[entry.record.name];
+        if (bucket.empty())
+            benchOrder.push_back(entry.record.name);
+        bucket.push_back(&entry);
+    }
+
+    if (benchOrder.empty()) {
+        os << "<p class=\"meta\">no bench history</p>\n";
+    }
+    for (const std::string &bench : benchOrder) {
+        const auto &entries = byBench[bench];
+        const HistoryEntry *latest = entries.back();
+        os << "<h2>" << htmlEscape(bench) << "</h2>\n"
+           << "<p class=\"meta\">" << entries.size() << " runs, latest "
+           << htmlEscape(latest->timestamp) << " @ "
+           << htmlEscape(latest->sha) << " on "
+           << htmlEscape(latest->host) << "</p>\n";
+
+        // Charted metrics: wall time plus everything that gates.
+        std::vector<std::string> metrics{"wall_seconds"};
+        for (const auto &[name, value] : latest->record.counters) {
+            (void)value;
+            const MetricClass cls = classifyMetric(name);
+            if (cls == MetricClass::HigherBetter ||
+                cls == MetricClass::Identity) {
+                metrics.push_back(name);
+            }
+        }
+
+        os << "<table>\n<tr><th>metric</th><th>history</th>"
+           << "<th class=\"num\">latest</th>"
+           << "<th class=\"num\">vs first</th></tr>\n";
+        for (const std::string &metric : metrics) {
+            std::vector<double> values;
+            for (const HistoryEntry *entry : entries) {
+                if (metric == "wall_seconds") {
+                    values.push_back(entry->record.wallSeconds);
+                } else {
+                    const auto it = entry->record.counters.find(metric);
+                    if (it != entry->record.counters.end())
+                        values.push_back(it->second);
+                }
+            }
+            if (values.empty())
+                continue;
+            const MetricClass cls = classifyMetric(metric);
+            const double first = values.front(), last = values.back();
+            std::string trend = "&ndash;";
+            if (std::abs(first) > 1e-12 && values.size() > 1) {
+                const double rel = (last - first) / std::abs(first);
+                const bool good = cls == MetricClass::LowerBetter
+                                      ? rel <= 0.0
+                                      : rel >= 0.0;
+                char buf[64];
+                std::snprintf(buf, sizeof(buf),
+                              "<span class=\"%s\">%+.1f%%</span>",
+                              good ? "up" : "down", rel * 100.0);
+                trend = buf;
+            }
+            os << "<tr><td>" << htmlEscape(metric) << "</td><td>"
+               << sparkline(values, options.sparkWidth,
+                            options.sparkHeight,
+                            cls == MetricClass::LowerBetter ? "#888"
+                                                            : "#26c")
+               << "</td><td class=\"num\">" << formatValue(last)
+               << "</td><td class=\"num\">" << trend << "</td></tr>\n";
+        }
+        os << "</table>\n";
+    }
+
+    // ------------------------- solve timeline ------------------------
+    if (!timeline.empty()) {
+        os << "<h2>latest solve timeline</h2>\n<p class=\"meta\">"
+           << timeline.size() << " samples over "
+           << formatValue(timeline.back().tSeconds) << "s</p>\n";
+        // Group by source, keep series key order of first appearance.
+        std::vector<std::string> sourceOrder;
+        std::map<std::string, std::vector<const TimelineSample *>>
+            bySource;
+        for (const TimelineSample &sample : timeline) {
+            auto &bucket = bySource[sample.source];
+            if (bucket.empty())
+                sourceOrder.push_back(sample.source);
+            bucket.push_back(&sample);
+        }
+        for (const std::string &source : sourceOrder) {
+            const auto &samples = bySource[source];
+            os << "<h2>source: " << htmlEscape(source) << "</h2>\n";
+            std::vector<std::string> keys;
+            for (const TimelineSample *sample : samples) {
+                for (const auto &[key, value] : sample->values) {
+                    (void)value;
+                    if (std::find(keys.begin(), keys.end(), key) ==
+                        keys.end()) {
+                        keys.push_back(key);
+                    }
+                }
+            }
+            os << "<table>\n<tr><th>series</th><th>curve</th>"
+               << "<th class=\"num\">last</th></tr>\n";
+            for (const std::string &key : keys) {
+                std::vector<double> values;
+                for (const TimelineSample *sample : samples) {
+                    if (sample->has(key))
+                        values.push_back(sample->value(key));
+                }
+                if (values.empty())
+                    continue;
+                os << "<tr><td>" << htmlEscape(key) << "</td><td>"
+                   << sparkline(values, options.sparkWidth,
+                                options.sparkHeight, "#282")
+                   << "</td><td class=\"num\">"
+                   << formatValue(values.back()) << "</td></tr>\n";
+            }
+            os << "</table>\n";
+        }
+    }
+
+    os << "</body>\n</html>\n";
+    return os.str();
+}
+
+} // namespace autocc::obs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Self-contained HTML performance dashboard (DESIGN.md §8, layer 3).
+ *
+ * renderHtmlReport() turns a bench history (BENCH_history.jsonl) and,
+ * optionally, one solve's in-run timeline into a single HTML page:
+ * per-bench sparklines of every gated metric across the recorded
+ * runs, and per-source time-series charts of the solve timeline.
+ * Everything — CSS and the SVG charts — is inlined, so the page is
+ * one file CI can upload as an artifact and anyone can open without
+ * a server or network access.
+ */
+
+#ifndef AUTOCC_OBS_REPORT_HH
+#define AUTOCC_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/history.hh"
+#include "obs/timeline.hh"
+
+namespace autocc::obs
+{
+
+/** Dashboard knobs. */
+struct ReportOptions
+{
+    std::string title = "autocc performance observatory";
+    /** Sparkline geometry (pixels). */
+    int sparkWidth = 260;
+    int sparkHeight = 48;
+};
+
+/**
+ * Render the dashboard.  `history` is shown oldest-first (the order
+ * loadHistory returns); an empty `timeline` simply omits that section.
+ * Always returns a complete, valid HTML document.
+ */
+std::string renderHtmlReport(const std::vector<HistoryEntry> &history,
+                             const std::vector<TimelineSample> &timeline = {},
+                             const ReportOptions &options = {});
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_REPORT_HH

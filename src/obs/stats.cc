@@ -121,7 +121,10 @@ void
 Registry::addSeconds(const std::string &name, double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    gauges_[name] += seconds;
+    // Clamp instead of trusting the caller: an interrupt-torn interval
+    // must never drive a timer backwards (it would corrupt every later
+    // reading of the gauge, not just this sample).
+    gauges_[name] += seconds > 0.0 ? seconds : 0.0;
 }
 
 uint64_t

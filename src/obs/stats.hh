@@ -24,6 +24,7 @@
 #ifndef AUTOCC_OBS_STATS_HH
 #define AUTOCC_OBS_STATS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -69,7 +70,11 @@ class Registry
     /** Raise a gauge to `value` if it is below it (running maximum). */
     void setMax(const std::string &name, double value);
 
-    /** Accumulate seconds into a timer gauge. */
+    /**
+     * Accumulate seconds into a timer gauge.  Negative deltas are
+     * clamped to zero: timers must stay monotone even if a caller
+     * mis-subtracts timestamps around a watchdog interrupt.
+     */
     void addSeconds(const std::string &name, double seconds);
 
     /** Current counter value; 0 when absent. */
@@ -85,6 +90,63 @@ class Registry
     mutable std::mutex mutex_;
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, double> gauges_;
+};
+
+/**
+ * RAII registry timer built on steady_clock (wall clocks can step
+ * backwards under NTP; a monotonic span never records a negative
+ * duration).  The destructor closes the span, so a timer opened
+ * around a solve that a watchdog interrupts — or that unwinds through
+ * an injected-fault exception — still lands its elapsed time in the
+ * registry instead of leaving a dangling or negative entry.  A null
+ * registry makes every operation a no-op (no clock reads), matching
+ * the Span/TraceBuffer convention.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Registry *registry, std::string name)
+        : registry_(registry), name_(std::move(name))
+    {
+        if (registry_)
+            begin_ = std::chrono::steady_clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { stop(); }
+
+    /** Seconds elapsed so far (0 with a null registry). */
+    double
+    seconds() const
+    {
+        if (!registry_)
+            return 0.0;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          begin_)
+                .count();
+        return elapsed > 0.0 ? elapsed : 0.0;
+    }
+
+    /** Close the span early; the destructor then does nothing. */
+    void
+    stop()
+    {
+        if (registry_ && !stopped_)
+            registry_->addSeconds(name_, seconds());
+        stopped_ = true;
+    }
+
+    /** Abandon the span: record nothing, now or at destruction. */
+    void cancel() { stopped_ = true; }
+
+  private:
+    Registry *registry_;
+    std::string name_;
+    std::chrono::steady_clock::time_point begin_{};
+    bool stopped_ = false;
 };
 
 } // namespace autocc::obs

@@ -1,0 +1,120 @@
+#include "obs/timeline.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/stats.hh"
+
+namespace autocc::obs
+{
+
+double
+TimelineSample::value(const std::string &name) const
+{
+    for (const auto &[key, val] : values)
+        if (key == name)
+            return val;
+    return 0.0;
+}
+
+bool
+TimelineSample::has(const std::string &name) const
+{
+    for (const auto &[key, val] : values) {
+        (void)val;
+        if (key == name)
+            return true;
+    }
+    return false;
+}
+
+Timeline::Timeline(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity ? capacity : 1)
+{
+}
+
+double
+Timeline::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+void
+Timeline::record(const std::string &source,
+                 std::vector<std::pair<std::string, double>> values)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    TimelineSample sample;
+    sample.source = source;
+    sample.tSeconds = std::chrono::duration<double>(begin - epoch_).count();
+    sample.values = std::move(values);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.size() >= capacity_) {
+        samples_.pop_front();
+        ++dropped_;
+    }
+    samples_.push_back(std::move(sample));
+    accountedSeconds_ += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count();
+}
+
+size_t
+Timeline::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
+uint64_t
+Timeline::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+double
+Timeline::accountedSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accountedSeconds_;
+}
+
+std::vector<TimelineSample>
+Timeline::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<TimelineSample>(samples_.begin(), samples_.end());
+}
+
+std::string
+Timeline::json(const std::vector<TimelineSample> &samples)
+{
+    std::ostringstream os;
+    os << "[";
+    bool firstSample = true;
+    for (const TimelineSample &sample : samples) {
+        char buf[64];
+        os << (firstSample ? "\n" : ",\n");
+        firstSample = false;
+        std::snprintf(buf, sizeof(buf), "%.6f", sample.tSeconds);
+        os << "  {\"source\": \"" << jsonEscape(sample.source)
+           << "\", \"t\": " << buf << ", \"values\": {";
+        bool firstValue = true;
+        for (const auto &[key, val] : sample.values) {
+            std::snprintf(buf, sizeof(buf), "%.9g", val);
+            os << (firstValue ? "" : ", ") << "\"" << jsonEscape(key)
+               << "\": " << buf;
+            firstValue = false;
+        }
+        os << "}}";
+    }
+    os << (firstSample ? "]" : "\n]");
+    return os.str();
+}
+
+} // namespace autocc::obs

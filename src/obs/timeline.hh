@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-solve time-series telemetry (DESIGN.md §8, layer 1).
+ *
+ * A Timeline is a bounded, thread-safe buffer of samples recorded
+ * *while* a check runs: the SAT solver's adaptive conflict heartbeat
+ * (conflicts/s, propagations/s, learnt-DB size, avg LBD, accounted
+ * memory), the engine's per-bound series (frames encoded/reused,
+ * reuse ratio, per-bound wall time) and every portfolio worker's
+ * equivalents.  Each sample is tagged with its source ("bmc#0",
+ * "engine", ...) so one timeline can interleave many writers; the
+ * engines snapshot it into CheckResult::timeline on every return, so
+ * a stuck bound is diagnosable from its conflict-rate curve instead
+ * of a silent hang.
+ *
+ * Samples happen at heartbeat granularity (never inside the solver's
+ * propagate loop), so a mutex is cheap.  The buffer is a ring: once
+ * `capacity` samples exist, the oldest are dropped and counted, so a
+ * multi-hour solve cannot grow memory without bound.  record() also
+ * accounts its own wall time so the <1% sampling-overhead budget is
+ * measurable (see bench/incremental_bmc.cc).
+ */
+
+#ifndef AUTOCC_OBS_TIMELINE_HH
+#define AUTOCC_OBS_TIMELINE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autocc::obs
+{
+
+/** One time-series point from one source. */
+struct TimelineSample
+{
+    /** Writer tag, e.g. "bmc#0", "leap#2", "engine". */
+    std::string source;
+    /** Seconds since the owning Timeline was created (steady clock). */
+    double tSeconds = 0.0;
+    /** Named series values at this instant (counters and rates). */
+    std::vector<std::pair<std::string, double>> values;
+
+    /** Value of series `name`; 0.0 when absent. */
+    double value(const std::string &name) const;
+    /** True when the sample carries series `name`. */
+    bool has(const std::string &name) const;
+};
+
+/** Bounded, thread-safe, source-tagged sample buffer. */
+class Timeline
+{
+  public:
+    explicit Timeline(size_t capacity = 4096);
+
+    /**
+     * Append one sample stamped with the current elapsed time.  The
+     * cost of this call (clock reads included) is accumulated into
+     * accountedSeconds() so sampling overhead is itself observable.
+     */
+    void record(const std::string &source,
+                std::vector<std::pair<std::string, double>> values);
+
+    /** Seconds since this timeline was created (steady clock). */
+    double elapsedSeconds() const;
+
+    /** Samples currently buffered. */
+    size_t size() const;
+
+    /** Samples evicted because the ring filled up. */
+    uint64_t dropped() const;
+
+    /** Total wall seconds spent inside record() calls. */
+    double accountedSeconds() const;
+
+    /** Point-in-time copy, oldest first. */
+    std::vector<TimelineSample> snapshot() const;
+
+    /**
+     * Serialize samples as a JSON array of
+     * {"source": ..., "t": ..., "values": {...}} objects.
+     */
+    static std::string json(const std::vector<TimelineSample> &samples);
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<TimelineSample> samples_; // guarded by mutex_
+    uint64_t dropped_ = 0;               // guarded by mutex_
+    double accountedSeconds_ = 0.0;      // guarded by mutex_
+};
+
+} // namespace autocc::obs
+
+#endif // AUTOCC_OBS_TIMELINE_HH

@@ -63,6 +63,30 @@ TraceBuffer::complete(const std::string &name, double beginMicros,
 }
 
 void
+TraceBuffer::counter(const std::string &name,
+                     const std::vector<std::pair<std::string, double>> &series)
+{
+    std::ostringstream args;
+    args << "{";
+    bool first = true;
+    for (const auto &[key, value] : series) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        args << (first ? "" : ", ") << "\"" << jsonEscape(key)
+             << "\": " << buf;
+        first = false;
+    }
+    args << "}";
+
+    TraceEvent event;
+    event.name = name;
+    event.phase = 'C';
+    event.tsMicros = now();
+    event.args = args.str();
+    events_.push_back(std::move(event));
+}
+
+void
 TraceBuffer::instant(const std::string &name, std::string args)
 {
     TraceEvent event;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace autocc::obs
@@ -38,7 +39,7 @@ namespace autocc::obs
 struct TraceEvent
 {
     std::string name;
-    char phase = 'X'; ///< 'X' complete span, 'i' instant
+    char phase = 'X'; ///< 'X' complete span, 'i' instant, 'C' counter
     double tsMicros = 0.0;
     double durMicros = 0.0;
     std::string args;
@@ -59,6 +60,14 @@ class TraceBuffer
 
     /** Record a zero-duration moment. */
     void instant(const std::string &name, std::string args = {});
+
+    /**
+     * Record a counter ('C') sample: `series` maps series names to
+     * values and renders as stacked value tracks in the trace viewer.
+     * This is how Timeline heartbeat samples appear in Perfetto.
+     */
+    void counter(const std::string &name,
+                 const std::vector<std::pair<std::string, double>> &series);
 
     int tid() const { return tid_; }
 

@@ -5,6 +5,8 @@
 
 #include "base/logging.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
 #include "robust/fault.hh"
 
 namespace autocc::sat
@@ -37,7 +39,68 @@ Solver::exportStats(obs::Registry &registry,
                  s.eliminatedVars - e.eliminatedVars);
     registry.add(prefix + ".inprocess_rounds",
                  s.inprocessRounds - e.inprocessRounds);
+    registry.add(prefix + ".lbd_sum", s.lbdSum - e.lbdSum);
+    registry.add(prefix + ".heartbeats", s.heartbeats - e.heartbeats);
     e = s;
+}
+
+void
+Solver::setTimeline(obs::Timeline *timeline, std::string source)
+{
+    timeline_ = timeline;
+    timelineSource_ = std::move(source);
+    if (timeline_) {
+        lastHeartbeat_ = std::chrono::steady_clock::now();
+        lastSample_ = stats_;
+        nextHeartbeat_ = stats_.conflicts + heartbeatInterval_;
+    }
+}
+
+void
+Solver::heartbeat()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - lastHeartbeat_).count();
+
+    // Adapt the conflict interval toward one sample per ~50-400 ms of
+    // search.  A sample costs microseconds, so at that period the
+    // sampler's share of wall time stays orders of magnitude below the
+    // 1% budget whatever the conflict rate is.
+    if (dt < 0.05 && heartbeatInterval_ < (uint64_t{1} << 22))
+        heartbeatInterval_ *= 2;
+    else if (dt > 0.4 && heartbeatInterval_ > 16)
+        heartbeatInterval_ /= 2;
+    nextHeartbeat_ = stats_.conflicts + heartbeatInterval_;
+
+    const SolverStats &s = stats_;
+    const SolverStats &p = lastSample_;
+    const uint64_t conflictsDelta = s.conflicts - p.conflicts;
+    const double invDt = dt > 0.0 ? 1.0 / dt : 0.0;
+    std::vector<std::pair<std::string, double>> values{
+        {"conflicts", static_cast<double>(s.conflicts)},
+        {"conflicts_per_sec", static_cast<double>(conflictsDelta) * invDt},
+        {"propagations_per_sec",
+         static_cast<double>(s.propagations - p.propagations) * invDt},
+        {"decisions", static_cast<double>(s.decisions)},
+        {"restarts", static_cast<double>(s.restarts)},
+        {"learnt_clauses", static_cast<double>(learntRefs_.size())},
+        {"avg_lbd", conflictsDelta ? static_cast<double>(s.lbdSum - p.lbdSum) /
+                                         static_cast<double>(conflictsDelta)
+                                   : 0.0},
+        {"subsumed_delta",
+         static_cast<double>(s.subsumedClauses - p.subsumedClauses)},
+        {"eliminated_delta",
+         static_cast<double>(s.eliminatedVars - p.eliminatedVars)},
+        {"mem_bytes", static_cast<double>(bytesAccounted_)},
+    };
+    if (traceCounters_)
+        traceCounters_->counter("heartbeat " + timelineSource_, values);
+    timeline_->record(timelineSource_, std::move(values));
+
+    lastSample_ = s;
+    lastHeartbeat_ = now;
+    ++stats_.heartbeats;
 }
 
 // --------------------------------------------------------------------
@@ -372,6 +435,22 @@ Solver::analyze(CRef confl, std::vector<Lit> &outLearnt, int &outBtLevel)
     outLearnt.resize(j);
     stats_.learntLiterals += outLearnt.size();
 
+    // LBD ("glue"): distinct decision levels in the minimized clause,
+    // accumulated for the heartbeat's windowed average.  Stamp-based so
+    // the count is O(|learnt|) with no clearing pass.
+    if (levelStamp_.size() <= static_cast<size_t>(decisionLevel()))
+        levelStamp_.resize(decisionLevel() + 1, 0);
+    ++lbdStamp_;
+    uint64_t lbd = 0;
+    for (const Lit lit : outLearnt) {
+        const int lv = level_[var(lit)];
+        if (levelStamp_[lv] != lbdStamp_) {
+            levelStamp_[lv] = lbdStamp_;
+            ++lbd;
+        }
+    }
+    stats_.lbdSum += lbd;
+
     // Find backtrack level: the max level among lits[1..].
     if (outLearnt.size() == 1) {
         outBtLevel = 0;
@@ -563,6 +642,11 @@ Solver::search(uint64_t conflictLimit, const std::vector<Lit> &assumptions)
             // Conflict.
             ++conflicts;
             ++stats_.conflicts;
+            // Heartbeat hook: one predicted branch per conflict (never
+            // per propagation); the sample itself is rare (see
+            // heartbeat() for the adaptive interval).
+            if (timeline_ && stats_.conflicts >= nextHeartbeat_)
+                heartbeat();
             if (decisionLevel() == 0) {
                 ok_ = false;
                 return SolveResult::Unsat;
@@ -655,6 +739,15 @@ Solver::solve(const std::vector<Lit> &assumptions)
     if (!ok_)
         return SolveResult::Unsat;
     conflictCore_.clear();
+
+    // Re-anchor the heartbeat window: idle time between solve() calls
+    // (encoding the next frame, the caller's bookkeeping) must not
+    // dilute the first sample's rates.
+    if (timeline_) {
+        lastHeartbeat_ = std::chrono::steady_clock::now();
+        lastSample_ = stats_;
+        nextHeartbeat_ = stats_.conflicts + heartbeatInterval_;
+    }
 
     // Entry memout check: a caller may have blown the budget with
     // problem clauses alone (or a prior call's learnts), in which case

@@ -16,6 +16,7 @@
 #define AUTOCC_SAT_SOLVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -27,6 +28,8 @@
 namespace autocc::obs
 {
 class Registry;
+class Timeline;
+class TraceBuffer;
 } // namespace autocc::obs
 
 namespace autocc::sat
@@ -60,6 +63,12 @@ struct SolverStats
     uint64_t strengthenedLiterals = 0;
     uint64_t eliminatedVars = 0;
     uint64_t inprocessRounds = 0;
+    /** Sum of learnt-clause LBDs (distinct decision levels); divide a
+     *  delta by the matching conflict delta for the windowed average
+     *  the timeline heartbeat reports. */
+    uint64_t lbdSum = 0;
+    /** Timeline heartbeat samples taken (see setTimeline). */
+    uint64_t heartbeats = 0;
 
     /** Fold another solver's work in (engine / portfolio aggregation). */
     SolverStats &
@@ -75,6 +84,8 @@ struct SolverStats
         strengthenedLiterals += other.strengthenedLiterals;
         eliminatedVars += other.eliminatedVars;
         inprocessRounds += other.inprocessRounds;
+        lbdSum += other.lbdSum;
+        heartbeats += other.heartbeats;
         return *this;
     }
 };
@@ -264,6 +275,29 @@ class Solver
     /** Why the last solve() returned Unknown (None if it didn't). */
     StopCause stopCause() const { return stopCause_; }
 
+    /**
+     * Attach an in-solve heartbeat (DESIGN.md §8, layer 1): roughly
+     * every N conflicts — N adapting so samples land every ~50-400 ms
+     * of search regardless of conflict rate, keeping the overhead far
+     * under 1% — the solver records a source-tagged sample into
+     * `timeline`: conflicts/s, propagations/s, decisions, restarts,
+     * learnt-DB size, windowed average LBD, inprocessing deltas and
+     * accounted memory.  Costs one predicted branch per conflict when
+     * attached and nothing when `timeline` is null.  The timeline must
+     * outlive every solve() call.
+     */
+    void setTimeline(obs::Timeline *timeline, std::string source);
+
+    /**
+     * Additionally mirror heartbeat samples as Chrome-trace counter
+     * ('C') events into `buffer`.  Single-writer contract: the buffer
+     * must belong to the thread that calls solve().
+     */
+    void setTraceCounters(obs::TraceBuffer *buffer)
+    {
+        traceCounters_ = buffer;
+    }
+
     /** Cumulative statistics. */
     const SolverStats &stats() const { return stats_; }
 
@@ -375,6 +409,21 @@ class Solver
     /** Stats already pushed to a registry (delta-based exportStats). */
     mutable SolverStats exported_;
 
+    // --- timeline heartbeat state ------------------------------------
+    obs::Timeline *timeline_ = nullptr;
+    obs::TraceBuffer *traceCounters_ = nullptr;
+    std::string timelineSource_;
+    /** Conflicts between samples; adapted toward the target period. */
+    uint64_t heartbeatInterval_ = 64;
+    /** stats_.conflicts value that triggers the next sample. */
+    uint64_t nextHeartbeat_ = 0;
+    std::chrono::steady_clock::time_point lastHeartbeat_{};
+    /** Stats at the previous sample (windowed rates and deltas). */
+    SolverStats lastSample_;
+    /** Per-level stamps for O(|learnt|) LBD computation. */
+    std::vector<uint64_t> levelStamp_;
+    uint64_t lbdStamp_ = 0;
+
     uint64_t conflictBudget_ = 0;
     size_t memLimitBytes_ = 0;
     size_t bytesAccounted_ = 0;
@@ -420,6 +469,7 @@ class Solver
                        const std::vector<Lit> &assumptions);
     void analyzeFinal(Lit p);
     static uint64_t luby(uint64_t i);
+    void heartbeat();
 
     // --- inprocessing helpers (all level-0 only) ----------------------
     bool assignAtZero(Lit lit);

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the bench-history layer (DESIGN.md §8, layer 3): the
+ * minimal JSON reader, sidecar parsing, lower-median noise folding,
+ * the JSONL history file (append / load / torn tail), the noise-aware
+ * regression comparator with its hard verdict-identity gate, and the
+ * self-contained HTML report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/history.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
+
+using namespace autocc;
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// JSON reader
+// ------------------------------------------------------------------
+TEST(Json, ParsesTheSubsetOurWritersEmit)
+{
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::parseJson(
+        R"({"name": "bench", "wall_seconds": 1.25,
+            "counters": {"a.b": 3, "neg": -2.5e-1},
+            "list": [1, "two", true, null],
+            "esc": "a\"b\\cA"})",
+        v));
+    ASSERT_EQ(v.kind, obs::JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("name")->textOr(""), "bench");
+    EXPECT_DOUBLE_EQ(v.find("wall_seconds")->numberOr(0), 1.25);
+    const obs::JsonValue *counters = v.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("a.b")->numberOr(0), 3.0);
+    EXPECT_DOUBLE_EQ(counters->find("neg")->numberOr(0), -0.25);
+    const obs::JsonValue *list = v.find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->array.size(), 4u);
+    EXPECT_EQ(list->array[1].text, "two");
+    EXPECT_TRUE(list->array[2].boolean);
+    EXPECT_EQ(list->array[3].kind, obs::JsonValue::Kind::Null);
+    EXPECT_EQ(v.find("esc")->textOr(""), "a\"b\\cA");
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    obs::JsonValue v;
+    EXPECT_FALSE(obs::parseJson("", v));
+    EXPECT_FALSE(obs::parseJson("{\"torn\": ", v));
+    EXPECT_FALSE(obs::parseJson("{\"a\": 1} trailing", v));
+    EXPECT_FALSE(obs::parseJson("{\"unterminated", v));
+    EXPECT_FALSE(obs::parseJson("{'single': 1}", v));
+    // Depth bomb: the parser caps nesting instead of overflowing.
+    std::string bomb;
+    for (int i = 0; i < 100; ++i)
+        bomb += "[";
+    EXPECT_FALSE(obs::parseJson(bomb, v));
+}
+
+// ------------------------------------------------------------------
+// Bench records + median folding
+// ------------------------------------------------------------------
+obs::BenchRecord
+makeRecord(const std::string &name, double wall,
+           std::map<std::string, double> counters)
+{
+    obs::BenchRecord record;
+    record.name = name;
+    record.wallSeconds = wall;
+    record.counters = std::move(counters);
+    return record;
+}
+
+TEST(BenchRecord, JsonRoundtrip)
+{
+    const obs::BenchRecord record = makeRecord(
+        "incremental_bmc", 12.5,
+        {{"cva6_c2.speedup", 1.15}, {"ok", 1.0}});
+    obs::BenchRecord parsed;
+    ASSERT_TRUE(obs::parseBenchRecord(record.json(), parsed));
+    EXPECT_EQ(parsed.name, record.name);
+    EXPECT_DOUBLE_EQ(parsed.wallSeconds, record.wallSeconds);
+    EXPECT_EQ(parsed.counters, record.counters);
+}
+
+TEST(BenchRecord, LowerMedianNeverInventsValues)
+{
+    // Odd count: the true median.  Even count: the lower of the two
+    // middles.  Identity counters must stay values an actual run
+    // produced — folding {1, 1, 0} may not yield 0.66.
+    const std::vector<obs::BenchRecord> runs = {
+        makeRecord("b", 3.0, {{"x.speedup", 1.4}, {"ok", 1.0}}),
+        makeRecord("b", 1.0, {{"x.speedup", 1.2}, {"ok", 1.0}}),
+        makeRecord("b", 2.0, {{"x.speedup", 1.6}, {"ok", 0.0}}),
+    };
+    const obs::BenchRecord folded = obs::medianRecord(runs);
+    EXPECT_EQ(folded.name, "b");
+    EXPECT_DOUBLE_EQ(folded.wallSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(folded.counters.at("x.speedup"), 1.4);
+    EXPECT_DOUBLE_EQ(folded.counters.at("ok"), 1.0);
+
+    const std::vector<obs::BenchRecord> two = {
+        makeRecord("b", 1.0, {{"c", 10.0}}),
+        makeRecord("b", 2.0, {{"c", 20.0}}),
+    };
+    EXPECT_DOUBLE_EQ(obs::medianRecord(two).counters.at("c"), 10.0);
+    EXPECT_TRUE(obs::medianRecord({}).name.empty());
+}
+
+// ------------------------------------------------------------------
+// History file
+// ------------------------------------------------------------------
+TEST(History, AppendLoadRoundtripSkipsTornTail)
+{
+    const std::string path =
+        testing::TempDir() + "autocc_test_history.jsonl";
+    std::remove(path.c_str());
+
+    obs::HistoryEntry entry;
+    entry.sha = "abc123";
+    entry.host = "ci-host";
+    entry.timestamp = "2026-08-09T12:00:00Z";
+    entry.record = makeRecord("coi_reduction", 2.0, {{"ok", 1.0}});
+    entry.fingerprint = obs::schemaFingerprint(entry.record);
+    ASSERT_TRUE(obs::appendHistory(path, entry));
+
+    entry.sha = "def456";
+    entry.record.counters["ok"] = 1.0;
+    ASSERT_TRUE(obs::appendHistory(path, entry));
+
+    // A crash-torn tail and stray garbage must be skipped, not fatal.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "not json\n{\"sha\": \"torn";
+    }
+
+    const std::vector<obs::HistoryEntry> history = obs::loadHistory(path);
+    ASSERT_EQ(history.size(), 2u);
+    EXPECT_EQ(history[0].sha, "abc123");
+    EXPECT_EQ(history[1].sha, "def456");
+    EXPECT_EQ(history[0].host, "ci-host");
+    EXPECT_EQ(history[0].timestamp, "2026-08-09T12:00:00Z");
+    EXPECT_EQ(history[0].record.name, "coi_reduction");
+    EXPECT_DOUBLE_EQ(history[0].record.counters.at("ok"), 1.0);
+    EXPECT_EQ(history[0].fingerprint,
+              obs::schemaFingerprint(history[0].record));
+
+    // latestPerBench keeps the newest line per bench name.
+    const std::vector<obs::HistoryEntry> latest =
+        obs::latestPerBench(history);
+    ASSERT_EQ(latest.size(), 1u);
+    EXPECT_EQ(latest[0].sha, "def456");
+    std::remove(path.c_str());
+}
+
+TEST(History, FingerprintTracksCounterSchema)
+{
+    const obs::BenchRecord a = makeRecord("b", 1.0, {{"x", 1.0}});
+    obs::BenchRecord b = a;
+    EXPECT_EQ(obs::schemaFingerprint(a), obs::schemaFingerprint(b));
+    b.counters["x"] = 99.0; // values don't change the schema
+    EXPECT_EQ(obs::schemaFingerprint(a), obs::schemaFingerprint(b));
+    b.counters["y"] = 1.0; // a new counter name does
+    EXPECT_NE(obs::schemaFingerprint(a), obs::schemaFingerprint(b));
+}
+
+// ------------------------------------------------------------------
+// Regression comparator
+// ------------------------------------------------------------------
+TEST(Diff, MetricClassification)
+{
+    using MC = obs::MetricClass;
+    EXPECT_EQ(obs::classifyMetric("ok"), MC::Identity);
+    EXPECT_EQ(obs::classifyMetric("cva6_c2.verdict_match"), MC::Identity);
+    EXPECT_EQ(obs::classifyMetric("cva6_c2.speedup"), MC::HigherBetter);
+    EXPECT_EQ(obs::classifyMetric("vscale.reuse_ratio"),
+              MC::HigherBetter);
+    EXPECT_EQ(obs::classifyMetric("x.encode_reduction"),
+              MC::HigherBetter);
+    EXPECT_EQ(obs::classifyMetric("x.incremental_seconds"),
+              MC::LowerBetter);
+    EXPECT_EQ(obs::classifyMetric("x.frames_encoded"),
+              MC::Informational);
+}
+
+TEST(Diff, UnchangedRunPasses)
+{
+    const obs::BenchRecord record = makeRecord(
+        "incremental_bmc", 10.0,
+        {{"cva6_c2.speedup", 1.2},
+         {"cva6_c2.verdict_match", 1.0},
+         {"ok", 1.0}});
+    const obs::DiffReport report = obs::diffRecords(record, record);
+    EXPECT_TRUE(report.pass()) << report.render();
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_EQ(report.identityFailures, 0u);
+}
+
+TEST(Diff, PlantedTwoTimesRegressionFails)
+{
+    const obs::BenchRecord baseline = makeRecord(
+        "incremental_bmc", 10.0,
+        {{"cva6_c2.speedup", 1.6}, {"ok", 1.0}});
+    obs::BenchRecord current = baseline;
+    current.counters["cva6_c2.speedup"] = 0.8; // planted 2x regression
+    const obs::DiffReport report = obs::diffRecords(baseline, current);
+    EXPECT_FALSE(report.pass());
+    EXPECT_GE(report.regressions, 1u);
+    EXPECT_NE(report.render().find("REGRESSED"), std::string::npos);
+}
+
+TEST(Diff, ImprovementAndNoiseWithinTolerancePass)
+{
+    const obs::BenchRecord baseline = makeRecord(
+        "b", 10.0, {{"x.speedup", 1.0}, {"ok", 1.0}});
+    obs::BenchRecord current = baseline;
+    current.counters["x.speedup"] = 2.0; // better never fails
+    EXPECT_TRUE(obs::diffRecords(baseline, current).pass());
+    current.counters["x.speedup"] = 0.9; // -10% inside the 15% default
+    EXPECT_TRUE(obs::diffRecords(baseline, current).pass());
+    current.counters["x.speedup"] = 0.8; // -20% outside it
+    EXPECT_FALSE(obs::diffRecords(baseline, current).pass());
+}
+
+TEST(Diff, VerdictIdentityIsAHardGate)
+{
+    const obs::BenchRecord baseline = makeRecord(
+        "b", 10.0, {{"x.verdict_match", 1.0}, {"ok", 1.0}});
+    obs::BenchRecord current = baseline;
+    current.counters["x.verdict_match"] = 0.0;
+    obs::DiffOptions loose;
+    loose.relTolerance = 1e9; // no tolerance excuses a changed verdict
+    const obs::DiffReport report =
+        obs::diffRecords(baseline, current, loose);
+    EXPECT_FALSE(report.pass());
+    EXPECT_GE(report.identityFailures, 1u);
+    EXPECT_NE(report.render().find("VERDICT MISMATCH"),
+              std::string::npos);
+}
+
+TEST(Diff, SecondsGateOnlyOnRequest)
+{
+    const obs::BenchRecord baseline = makeRecord(
+        "b", 10.0, {{"x.incremental_seconds", 1.0}, {"ok", 1.0}});
+    obs::BenchRecord current = baseline;
+    current.counters["x.incremental_seconds"] = 3.0;
+    current.wallSeconds = 30.0;
+    // Default: wall times are informational (cross-host noise).
+    EXPECT_TRUE(obs::diffRecords(baseline, current).pass());
+    obs::DiffOptions gated;
+    gated.gateSeconds = true;
+    EXPECT_FALSE(obs::diffRecords(baseline, current, gated).pass());
+}
+
+TEST(Diff, MissingGatedMetricFails)
+{
+    const obs::BenchRecord baseline = makeRecord(
+        "b", 10.0, {{"x.speedup", 1.2}, {"ok", 1.0}});
+    obs::BenchRecord current = baseline;
+    current.counters.erase("x.speedup");
+    const obs::DiffReport report = obs::diffRecords(baseline, current);
+    EXPECT_FALSE(report.pass());
+    ASSERT_EQ(report.missing.size(), 1u);
+    EXPECT_EQ(report.missing[0], "x.speedup");
+}
+
+// ------------------------------------------------------------------
+// HTML report
+// ------------------------------------------------------------------
+TEST(Report, SelfContainedHtmlWithSparklinesAndTimeline)
+{
+    std::vector<obs::HistoryEntry> history;
+    for (int i = 0; i < 3; ++i) {
+        obs::HistoryEntry entry;
+        entry.sha = "sha" + std::to_string(i);
+        entry.host = "host";
+        entry.timestamp = "2026-08-0" + std::to_string(i + 1) +
+                          "T00:00:00Z";
+        entry.record = makeRecord(
+            "incremental_bmc", 10.0 + i,
+            {{"cva6_c2.speedup", 1.2 + 0.1 * i}, {"ok", 1.0}});
+        history.push_back(std::move(entry));
+    }
+    std::vector<obs::TimelineSample> timeline;
+    obs::TimelineSample sample;
+    sample.source = "bmc#0";
+    sample.tSeconds = 0.5;
+    sample.values = {{"conflicts_per_s", 1200.0}};
+    timeline.push_back(sample);
+    sample.tSeconds = 1.0;
+    sample.values = {{"conflicts_per_s", 1500.0}};
+    timeline.push_back(std::move(sample));
+
+    const std::string html = obs::renderHtmlReport(history, timeline);
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    EXPECT_NE(html.find("<style>"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("incremental_bmc"), std::string::npos);
+    EXPECT_NE(html.find("cva6_c2.speedup"), std::string::npos);
+    EXPECT_NE(html.find("bmc#0"), std::string::npos);
+    EXPECT_NE(html.find("conflicts_per_s"), std::string::npos);
+    // Self-contained: no external fetches of any kind.
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("src="), std::string::npos);
+
+    // Degenerate inputs still render a valid page.
+    const std::string empty = obs::renderHtmlReport({});
+    EXPECT_NE(empty.find("no bench history"), std::string::npos);
+    EXPECT_NE(empty.find("</html>"), std::string::npos);
+}
+
+} // namespace

@@ -10,11 +10,15 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "base/logging.hh"
 #include "core/autocc.hh"
 #include "duts/toy.hh"
 #include "obs/obs.hh"
@@ -291,6 +295,228 @@ TEST(Tracer, BuffersGetDistinctTids)
     EXPECT_EQ(tracer.numBuffers(), 2u);
 }
 
+TEST(Tracer, CounterEventsSerialize)
+{
+    obs::Tracer tracer;
+    obs::TraceBuffer *buf = tracer.newBuffer("hb");
+    buf->counter("heartbeat", {{"conflicts_per_s", 1200.5},
+                               {"learnts", 42.0}});
+    const std::string json = tracer.json();
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("conflicts_per_s"), std::string::npos);
+    EXPECT_NE(json.find("\"learnts\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Timeline (DESIGN.md §8, layer 1)
+// ------------------------------------------------------------------
+TEST(Timeline, RingDropsOldestAndCounts)
+{
+    obs::Timeline tl(4);
+    for (int i = 0; i < 6; ++i)
+        tl.record("src", {{"i", static_cast<double>(i)}});
+    EXPECT_EQ(tl.size(), 4u);
+    EXPECT_EQ(tl.dropped(), 2u);
+
+    const std::vector<obs::TimelineSample> samples = tl.snapshot();
+    ASSERT_EQ(samples.size(), 4u);
+    // Oldest two (i=0, i=1) were evicted; order is preserved.
+    EXPECT_DOUBLE_EQ(samples.front().value("i"), 2.0);
+    EXPECT_DOUBLE_EQ(samples.back().value("i"), 5.0);
+    EXPECT_TRUE(samples.front().has("i"));
+    EXPECT_FALSE(samples.front().has("absent"));
+    EXPECT_DOUBLE_EQ(samples.front().value("absent"), 0.0);
+
+    // record() accounts its own cost; timestamps are monotone.
+    EXPECT_GT(tl.accountedSeconds(), 0.0);
+    for (size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GE(samples[i].tSeconds, samples[i - 1].tSeconds);
+}
+
+TEST(Timeline, JsonIsWellFormed)
+{
+    obs::Timeline tl;
+    tl.record("bmc#0", {{"conflicts_per_s", 123.25}, {"avg_lbd", 3.5}});
+    tl.record("engine", {{"bound", 7.0}});
+    const std::string json = obs::Timeline::json(tl.snapshot());
+    EXPECT_TRUE(validJson(json)) << json;
+    EXPECT_NE(json.find("\"bmc#0\""), std::string::npos);
+    EXPECT_NE(json.find("\"engine\""), std::string::npos);
+    EXPECT_NE(json.find("conflicts_per_s"), std::string::npos);
+    EXPECT_TRUE(validJson(obs::Timeline::json({})));
+}
+
+TEST(Timeline, ConcurrentWritersKeepEverySample)
+{
+    // Portfolio workers share one timeline; nothing may be lost or
+    // torn when they record concurrently.
+    obs::Timeline tl(100000);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 500;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&tl, w] {
+            const std::string src = "w#" + std::to_string(w);
+            for (int i = 0; i < kIters; ++i)
+                tl.record(src, {{"i", static_cast<double>(i)}});
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(tl.size(), static_cast<size_t>(kThreads) * kIters);
+    EXPECT_EQ(tl.dropped(), 0u);
+}
+
+// ------------------------------------------------------------------
+// EventLog (DESIGN.md §8, layer 2)
+// ------------------------------------------------------------------
+TEST(EventLog, EmitFileRoundtripAndTornTail)
+{
+    const std::string path =
+        testing::TempDir() + "obs_events_roundtrip.jsonl";
+    std::remove(path.c_str());
+    {
+        obs::EventLog log;
+        ASSERT_TRUE(log.open(path));
+        log.emit(obs::EventSeverity::Info, "engine", "bound locked",
+                 {{"bound", "7"}, {"path", "a\\b\"c"}});
+        log.emit(obs::EventSeverity::Warn, "robust", "worker died",
+                 {{"worker", "bmc#1"}});
+        EXPECT_EQ(log.count(), 2u);
+        EXPECT_EQ(log.path(), path);
+    }
+
+    // Reader side: every line parses back to the emitted event, and a
+    // torn tail (crash mid-write) is skipped, not fatal.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<obs::Event> events;
+    std::string line;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(validJson(line)) << line;
+        obs::Event event;
+        ASSERT_TRUE(obs::parseEventLine(line, event)) << line;
+        events.push_back(std::move(event));
+    }
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].severity, obs::EventSeverity::Info);
+    EXPECT_EQ(events[0].component, "engine");
+    EXPECT_EQ(events[0].message, "bound locked");
+    EXPECT_EQ(events[0].field("bound"), "7");
+    EXPECT_EQ(events[0].field("path"), "a\\b\"c");
+    EXPECT_EQ(events[0].field("absent"), "");
+    EXPECT_EQ(events[1].severity, obs::EventSeverity::Warn);
+    EXPECT_GE(events[1].tSeconds, events[0].tSeconds);
+
+    obs::Event torn;
+    EXPECT_FALSE(obs::parseEventLine("{\"t\": 1.5, \"sev", torn));
+    EXPECT_FALSE(obs::parseEventLine("", torn));
+    EXPECT_FALSE(obs::parseEventLine("not json at all", torn));
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, ReopenAppendsLikeBenchHistory)
+{
+    const std::string path = testing::TempDir() + "obs_events_append.jsonl";
+    std::remove(path.c_str());
+    for (int run = 0; run < 2; ++run) {
+        obs::EventLog log;
+        ASSERT_TRUE(log.open(path));
+        log.emit(obs::EventSeverity::Info, "cli", "run start",
+                 {{"run", std::to_string(run)}});
+    }
+    std::ifstream in(path);
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, TailIsBoundedButCountIsNot)
+{
+    obs::EventLog log(2);
+    for (int i = 0; i < 5; ++i) {
+        log.emit(obs::EventSeverity::Info, "t", "e" + std::to_string(i));
+    }
+    EXPECT_EQ(log.count(), 5u);
+    const std::vector<obs::Event> tail = log.snapshot();
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].message, "e3");
+    EXPECT_EQ(tail[1].message, "e4");
+}
+
+TEST(EventLog, LogSinkCapturesWarnAndInform)
+{
+    obs::EventLog log;
+    log.installAsLogSink();
+    warn("sink test warning");
+    inform("sink test status");
+    obs::EventLog::uninstallLogSink();
+    warn("after uninstall");
+
+    const std::vector<obs::Event> events = log.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].component, "log");
+    EXPECT_EQ(events[0].severity, obs::EventSeverity::Warn);
+    EXPECT_NE(events[0].message.find("sink test warning"),
+              std::string::npos);
+    EXPECT_EQ(events[1].severity, obs::EventSeverity::Info);
+}
+
+// ------------------------------------------------------------------
+// ScopedTimer: monotone spans that survive interruption
+// ------------------------------------------------------------------
+TEST(ScopedTimer, InterruptedSpanStillRecordsMonotone)
+{
+    // A watchdog interrupt / injected fault unwinds the solve through
+    // an exception; the span must still land, and never negatively.
+    obs::Registry reg;
+    try {
+        obs::ScopedTimer timer(&reg, "solve_seconds");
+        throw std::runtime_error("watchdog interrupt");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_TRUE(reg.snapshot().has("solve_seconds"));
+    EXPECT_GE(reg.gauge("solve_seconds"), 0.0);
+}
+
+TEST(ScopedTimer, StopIsIdempotentAndCancelRecordsNothing)
+{
+    obs::Registry reg;
+    {
+        obs::ScopedTimer timer(&reg, "a_seconds");
+        timer.stop();
+        const double once = reg.gauge("a_seconds");
+        timer.stop(); // destructor must not double-record either
+        EXPECT_DOUBLE_EQ(reg.gauge("a_seconds"), once);
+    }
+    {
+        obs::ScopedTimer timer(&reg, "b_seconds");
+        timer.cancel();
+    }
+    EXPECT_FALSE(reg.snapshot().has("b_seconds"));
+
+    // Null registry: every operation is a no-op.
+    obs::ScopedTimer nullTimer(nullptr, "c_seconds");
+    EXPECT_DOUBLE_EQ(nullTimer.seconds(), 0.0);
+    nullTimer.stop();
+}
+
+TEST(ScopedTimer, NegativeDeltasAreClamped)
+{
+    // Timers stay monotone even if a caller mis-subtracts timestamps
+    // around an interrupt: negative contributions are dropped.
+    obs::Registry reg;
+    reg.addSeconds("t_seconds", 1.0);
+    reg.addSeconds("t_seconds", -0.75);
+    EXPECT_DOUBLE_EQ(reg.gauge("t_seconds"), 1.0);
+    reg.addSeconds("u_seconds", -5.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("u_seconds"), 0.0);
+}
+
 // ------------------------------------------------------------------
 // Progress
 // ------------------------------------------------------------------
@@ -306,6 +532,64 @@ TEST(Progress, FrameLineFormat)
     EXPECT_NE(line.find("clauses=456"), std::string::npos);
     EXPECT_NE(line.find("conflicts=7"), std::string::npos);
     EXPECT_EQ(line.back(), '\n');
+}
+
+namespace
+{
+
+size_t
+countLines(const std::string &text)
+{
+    size_t lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++lines;
+    }
+    return lines;
+}
+
+} // namespace
+
+TEST(Progress, RateLimitIsPerSourceAndFirstLineAlwaysEmits)
+{
+    std::ostringstream os;
+    // A huge interval: only each source's first frame gets through.
+    obs::StreamProgress sink(os, 3600.0);
+    for (unsigned d = 1; d <= 5; ++d)
+        sink.frame({"bmc#0", d, 10, 20, 30, 0.01});
+    for (unsigned d = 1; d <= 3; ++d)
+        sink.frame({"bmc#1", d, 10, 20, 30, 0.01});
+    EXPECT_EQ(countLines(os.str()), 2u);
+    EXPECT_EQ(sink.suppressed(), 6u);
+    EXPECT_NE(os.str().find("bmc#0"), std::string::npos);
+    EXPECT_NE(os.str().find("bmc#1"), std::string::npos);
+}
+
+TEST(Progress, IntervalZeroEmitsEveryFrame)
+{
+    std::ostringstream os;
+    obs::StreamProgress sink(os, 0.0);
+    for (unsigned d = 1; d <= 4; ++d)
+        sink.frame({"bmc", d, 10, 20, 30, 0.01});
+    EXPECT_EQ(countLines(os.str()), 4u);
+    EXPECT_EQ(sink.suppressed(), 0u);
+}
+
+TEST(Progress, EmittedLinesMirrorIntoEventLog)
+{
+    std::ostringstream os;
+    obs::StreamProgress sink(os, 3600.0);
+    obs::EventLog events;
+    sink.setEventLog(&events);
+    sink.frame({"bmc", 1, 10, 20, 30, 0.01});
+    sink.frame({"bmc", 2, 11, 22, 33, 0.01}); // rate-limited away
+
+    // Only the emitted line is mirrored, as component "progress".
+    ASSERT_EQ(events.count(), 1u);
+    const obs::Event event = events.snapshot().front();
+    EXPECT_EQ(event.component, "progress");
+    EXPECT_EQ(event.field("source"), "bmc");
+    EXPECT_EQ(event.field("depth"), "1");
 }
 
 // ------------------------------------------------------------------
@@ -402,6 +686,91 @@ TEST(ObsEndToEnd, PortfolioCheckMergesWorkerBuffers)
     const std::string trace = tracer.json();
     EXPECT_TRUE(validJson(trace)) << trace.substr(0, 400);
     EXPECT_NE(trace.find("worker bmc#0"), std::string::npos);
+}
+
+TEST(ObsEndToEnd, TimelineAlwaysPopulatedAndOffSwitchWorks)
+{
+    // Like the private-registry fallback, CheckResult::timeline must
+    // be populated without any caller-supplied sink...
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 1;
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    ASSERT_FALSE(run.check.timeline.empty());
+    bool sawEngine = false;
+    for (const obs::TimelineSample &sample : run.check.timeline)
+        sawEngine |= sample.source == "engine";
+    EXPECT_TRUE(sawEngine);
+    EXPECT_TRUE(run.stats.has("obs.timeline.samples"));
+    EXPECT_TRUE(run.stats.has("obs.timeline.sample_seconds"));
+    EXPECT_TRUE(validJson(obs::Timeline::json(run.check.timeline)));
+
+    // ...and EngineOptions::sampleTimeline is the off switch.
+    engine.sampleTimeline = false;
+    const core::RunResult off =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    EXPECT_TRUE(off.check.timeline.empty());
+}
+
+TEST(ObsEndToEnd, CallerTimelineReceivesLiveSamples)
+{
+    obs::Timeline tl;
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 1;
+    engine.obs.timeline = &tl;
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    EXPECT_GT(tl.size(), 0u);
+    EXPECT_EQ(run.check.timeline.size(), tl.size());
+}
+
+TEST(ObsEndToEnd, PortfolioTimelineCarriesWorkerSources)
+{
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 3;
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    ASSERT_FALSE(run.check.timeline.empty());
+    bool sawWorker = false;
+    for (const obs::TimelineSample &sample : run.check.timeline)
+        sawWorker |= sample.source.find('#') != std::string::npos;
+    EXPECT_TRUE(sawWorker);
+    // Worker series carry the encoding-economy counters.
+    bool sawFrames = false;
+    for (const obs::TimelineSample &sample : run.check.timeline)
+        sawFrames |= sample.has("frames_encoded");
+    EXPECT_TRUE(sawFrames);
+}
+
+TEST(ObsEndToEnd, EventLogCapturesRunMilestones)
+{
+    obs::EventLog events;
+    formal::EngineOptions engine;
+    engine.maxDepth = 8;
+    engine.jobs = 1;
+    engine.obs.events = &events;
+    core::AutoccOptions opts;
+    opts.threshold = 2;
+    const core::RunResult run =
+        core::runAutocc(duts::buildToyAccelShipped(), opts, engine);
+    ASSERT_TRUE(run.foundCex());
+    EXPECT_GT(events.count(), 0u);
+    bool sawEngine = false;
+    for (const obs::Event &event : events.snapshot())
+        sawEngine |= event.component == "engine";
+    EXPECT_TRUE(sawEngine);
 }
 
 TEST(ObsEndToEnd, StatsAlwaysPopulatedWithoutSinks)

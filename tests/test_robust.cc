@@ -755,6 +755,68 @@ TEST(Portfolio, FaultedWorkerIsRespawnedOnce)
     }
 }
 
+TEST(Portfolio, RespawnMergesTraceAndStatsWithoutLossOrDuplication)
+{
+    PlanGuard guard;
+    // One injected bmc death: the supervisor respawns the worker into
+    // the SAME per-worker trace buffer and shared registry/timeline/
+    // event log — nothing may be lost, duplicated, or torn.
+    armPlan("worker.bmc:1");
+
+    obs::Registry reg;
+    obs::Tracer tracer;
+    obs::Timeline timeline;
+    obs::EventLog events;
+    formal::PortfolioOptions popts;
+    popts.jobs = 4;
+    popts.engine.maxDepth = 10;
+    popts.engine.obs.stats = &reg;
+    popts.engine.obs.tracer = &tracer;
+    popts.engine.obs.timeline = &timeline;
+    popts.engine.obs.events = &events;
+
+    formal::PortfolioStats stats;
+    const formal::CheckResult result =
+        formal::checkSafetyPortfolio(toyMiter(), popts, &stats);
+    ASSERT_TRUE(result.foundCex());
+    ASSERT_EQ(result.workerFailures.size(), 1u);
+
+    // Exactly one trace buffer per worker slot: the respawned attempt
+    // reuses its slot's buffer instead of allocating a second one, and
+    // each slot's lifetime span appears exactly once in the merged
+    // trace — none lost with the crashed attempt, none duplicated by
+    // the respawn.
+    EXPECT_EQ(tracer.numBuffers(), stats.workers.size());
+    const std::string trace = tracer.json();
+    for (const formal::WorkerStats &ws : stats.workers) {
+        const std::string span = "\"worker " + ws.name + "\"";
+        size_t count = 0;
+        for (size_t pos = 0;
+             (pos = trace.find(span, pos)) != std::string::npos; ++pos)
+            ++count;
+        EXPECT_EQ(count, 1u) << ws.name;
+    }
+
+    // The respawn warning reached the event log through the supervisor.
+    bool sawFailure = false;
+    for (const obs::Event &event : events.snapshot()) {
+        sawFailure |=
+            event.message.find("worker attempt failed") !=
+            std::string::npos;
+    }
+    EXPECT_TRUE(sawFailure);
+
+    // Merged stats survived the crash: both the failure count and the
+    // per-worker series are present exactly once.
+    EXPECT_EQ(result.stats.counter("robust.worker_failures"), 1u);
+    EXPECT_GE(result.stats.countPrefix("portfolio.worker."),
+              stats.workers.size());
+    EXPECT_GT(result.stats.counter("solver.decisions"), 0u);
+
+    // The shared timeline kept samples from the surviving attempts.
+    EXPECT_FALSE(result.timeline.empty());
+}
+
 // ---------------------------------------------------------------------
 // Chaos matrix: every known site, both throwing kinds
 // ---------------------------------------------------------------------

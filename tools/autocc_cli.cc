@@ -12,6 +12,9 @@
  *                       root-cause any counterexample (optional VCD)
  *   autocc_cli prove    attempt an unbounded proof of channel absence
  *   autocc_cli exploit  run the Listing-2 M3 attack end to end
+ *   autocc_cli report   render BENCH_history.jsonl (bench/run_all) and
+ *                       an optional solve timeline into a single
+ *                       self-contained HTML dashboard
  *
  *   autocc_cli list
  *   autocc_cli gen   <dut> [--out DIR]
@@ -36,15 +39,22 @@
  *                          [--stats-json FILE] [--trace-out FILE]
  *                          [--progress]
  *   autocc_cli exploit
+ *   autocc_cli report [--history FILE] [--timeline FILE] [--out FILE]
  *
  * check/prove statically discharge output-equality assertions whose
  * DUT output the taint engine proves untainted (--taint-discharge, the
  * default; --no-taint is the escape hatch that checks everything).
  *
- * The three observability flags tap the obs/ layer: --stats-json dumps
- * the run's counter/gauge snapshot, --trace-out writes a Chrome
- * trace-event file (load in ui.perfetto.dev or chrome://tracing), and
- * --progress prints one line per BMC/induction frame as it completes.
+ * The observability flags tap the obs/ layer (DESIGN.md §8):
+ * --stats-json dumps the run's counter/gauge snapshot, --trace-out
+ * writes a Chrome trace-event file (load in ui.perfetto.dev or
+ * chrome://tracing), --progress prints one line per BMC/induction
+ * frame (rate-limited; --progress-interval overrides the 250 ms
+ * default), --events-out appends the run's structured JSONL event log
+ * (progress, respawns, governor trips, checkpoints, verdicts — plus
+ * every warn/inform from base/logging), and --timeline-out writes the
+ * in-solve time series (SAT heartbeat + engine per-bound samples)
+ * that `autocc_cli report` can chart.
  *
  * The robustness flags tap the robust/ layer (DESIGN.md §10): budgets
  * degrade a run into a well-formed partial verdict instead of a hang
@@ -62,6 +72,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -72,6 +83,8 @@
 #include "analysis/taint.hh"
 #include "base/timer.hh"
 #include "core/autocc.hh"
+#include "obs/history.hh"
+#include "obs/report.hh"
 #include "robust/artifact.hh"
 #include "robust/failure.hh"
 #include "duts/aes.hh"
@@ -168,6 +181,10 @@ usage()
         "              [--no-incremental] [--no-taint] [--stats-json F] "
         "[--trace-out F] [--progress]\n"
         "  exploit                   run the Listing-2 M3 attack\n"
+        "  report [--history F] [--timeline F] [--out F]\n"
+        "                            render the bench history (and an\n"
+        "                            optional solve timeline) as one\n"
+        "                            self-contained HTML dashboard\n"
         "engine (check/prove):\n"
         "  --no-incremental   fresh solver + cold re-encode per bound "
         "(escape hatch / differential baseline)\n"
@@ -179,7 +196,13 @@ usage()
         "  --stats-json F   write the run's counter/gauge snapshot to F\n"
         "  --trace-out F    write a Chrome trace-event JSON to F "
         "(ui.perfetto.dev)\n"
-        "  --progress       print one line per BMC/induction frame\n"
+        "  --progress       print one line per BMC/induction frame "
+        "(rate-limited)\n"
+        "  --progress-interval SEC  minimum seconds between progress "
+        "lines per check (default 0.25)\n"
+        "  --events-out F   append the structured JSONL event log to F\n"
+        "  --timeline-out F write the in-solve time series (heartbeat + "
+        "per-bound samples) to F\n"
         "robustness (check/prove):\n"
         "  --time-limit SEC     wall-clock budget; a watchdog interrupts "
         "solves mid-search\n"
@@ -208,8 +231,14 @@ struct Args
     std::string statsJsonPath;
     /** Write a Chrome trace-event JSON here. */
     std::string traceOutPath;
+    /** Append the structured JSONL event log here. */
+    std::string eventsOutPath;
+    /** Write the in-solve timeline (JSON array of samples) here. */
+    std::string timelineOutPath;
     /** Print one line per completed BMC/induction frame. */
     bool progress = false;
+    /** Minimum seconds between progress lines per check source. */
+    double progressIntervalSeconds = 0.25;
     /** Wall-clock budget in seconds; 0 = unlimited. */
     double timeLimitSeconds = 0.0;
     /** SAT conflict budget per check; 0 = unlimited. */
@@ -355,6 +384,25 @@ parseArgs(int argc, char **argv, int start, Args &args)
             args.noTaint = false;
         } else if (flag == "--progress") {
             args.progress = true;
+        } else if (flag == "--progress-interval") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                return false;
+            }
+            if (!parseDouble(v, flag, args.progressIntervalSeconds))
+                return false;
+        } else if (flag == "--events-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.eventsOutPath = v;
+        } else if (flag == "--timeline-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.timelineOutPath = v;
         } else if (flag == "--stats-json") {
             const char *v = next();
             if (!v)
@@ -555,12 +603,26 @@ cmdCheck(const Args &args, bool prove)
     // to a private one anyway).
     obs::Registry statsReg;
     obs::Tracer tracer;
-    obs::StreamProgress progressSink(std::cout);
+    obs::StreamProgress progressSink(std::cout,
+                                     args.progressIntervalSeconds);
+    obs::EventLog events;
     engine.obs.stats = &statsReg;
     if (!args.traceOutPath.empty())
         engine.obs.tracer = &tracer;
     if (args.progress)
         engine.obs.progress = &progressSink;
+    if (!args.eventsOutPath.empty()) {
+        events.open(args.eventsOutPath);
+        // Every warn()/inform() in the process (supervisor respawns,
+        // checkpoint mismatches, fault-plan notices) lands in the
+        // JSONL stream alongside the structured engine events.
+        events.installAsLogSink();
+        engine.obs.events = &events;
+        progressSink.setEventLog(&events);
+        events.emit(obs::EventSeverity::Info, "cli", "run start",
+                    {{"command", prove ? "prove" : "check"},
+                     {"dut", args.dut}});
+    }
 
     const core::RunResult run = prove
         ? core::proveAutocc(dut, opts, engine)
@@ -607,6 +669,10 @@ cmdCheck(const Args &args, bool prove)
             break;
         }
         std::printf("verdict: %s\n", verdict.c_str());
+        if (engine.obs.events) {
+            events.emit(obs::EventSeverity::Info, "cli", "run complete",
+                        {{"dut", args.dut}, {"verdict", verdict}});
+        }
     }
     if (run.check.resumedBound) {
         std::printf("resumed from checkpoint: bounds 1..%u restored "
@@ -648,6 +714,18 @@ cmdCheck(const Args &args, bool prove)
                     "ui.perfetto.dev)\n",
                     args.traceOutPath.c_str(), tracer.numBuffers());
     }
+    if (!args.timelineOutPath.empty()) {
+        if (writeText(args.timelineOutPath,
+                      obs::Timeline::json(run.check.timeline) + "\n")) {
+            std::printf("  (%zu timeline samples)\n",
+                        run.check.timeline.size());
+        }
+    }
+    if (!args.eventsOutPath.empty()) {
+        std::printf("  event log: %llu event(s) appended to %s\n",
+                    static_cast<unsigned long long>(events.count()),
+                    args.eventsOutPath.c_str());
+    }
     if (run.foundCex()) {
         std::printf("\n%s", run.cause.render().c_str());
         if (!args.vcdPath.empty()) {
@@ -670,6 +748,84 @@ cmdCheck(const Args &args, bool prove)
         return 1;
     }
     return 0;
+}
+
+int
+cmdReport(int argc, char **argv, int start)
+{
+    std::string historyPath = "BENCH_history.jsonl";
+    std::string outPath = "autocc_report.html";
+    std::string timelinePath;
+    for (int i = start; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--history") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            historyPath = v;
+        } else if (flag == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            outPath = v;
+        } else if (flag == "--timeline") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            timelinePath = v;
+        } else {
+            std::fprintf(stderr, "unknown flag for report: %s\n",
+                         flag.c_str());
+            return usage();
+        }
+    }
+
+    const std::vector<obs::HistoryEntry> history =
+        obs::loadHistory(historyPath);
+    std::printf("report: %zu history entr%s from %s\n", history.size(),
+                history.size() == 1 ? "y" : "ies", historyPath.c_str());
+
+    // Optional solve timeline: the JSON array --timeline-out wrote.
+    std::vector<obs::TimelineSample> timeline;
+    if (!timelinePath.empty()) {
+        std::ifstream in(timelinePath);
+        const std::string text((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+        obs::JsonValue root;
+        if (!in.good() && text.empty()) {
+            std::fprintf(stderr, "report: cannot read %s\n",
+                         timelinePath.c_str());
+            return 2;
+        }
+        if (!obs::parseJson(text, root) ||
+            root.kind != obs::JsonValue::Kind::Array) {
+            std::fprintf(stderr, "report: %s is not a timeline JSON "
+                                 "array\n",
+                         timelinePath.c_str());
+            return 2;
+        }
+        for (const obs::JsonValue &item : root.array) {
+            obs::TimelineSample sample;
+            if (const obs::JsonValue *source = item.find("source"))
+                sample.source = source->textOr("");
+            if (const obs::JsonValue *t = item.find("t"))
+                sample.tSeconds = t->numberOr(0.0);
+            if (const obs::JsonValue *values = item.find("values")) {
+                for (const auto &[key, value] : values->members)
+                    sample.values.emplace_back(key, value.numberOr(0.0));
+            }
+            timeline.push_back(std::move(sample));
+        }
+        std::printf("report: %zu timeline samples from %s\n",
+                    timeline.size(), timelinePath.c_str());
+    }
+
+    return writeText(outPath, obs::renderHtmlReport(history, timeline))
+               ? 0
+               : 1;
 }
 
 int
@@ -699,6 +855,8 @@ main(int argc, char **argv)
         return cmdList();
     if (command == "exploit")
         return cmdExploit();
+    if (command == "report")
+        return cmdReport(argc, argv, 2);
 
     Args args;
     if (!parseArgs(argc, argv, 2, args) || args.dut.empty())

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Noise-aware bench comparator (DESIGN.md §8, layer 3).
+ *
+ *   bench_diff BASELINE.jsonl CURRENT.jsonl [options]
+ *
+ * Both files are BENCH_history.jsonl-format (bench/run_all writes
+ * them; a checked-in baseline lives at bench/BENCH_baseline.jsonl).
+ * For every bench present in the baseline, the *latest* entry of each
+ * file is compared with obs::diffRecords: quality ratios (speedup,
+ * reuse_ratio, *_reduction) gate at a relative threshold, verdict
+ * identity gates hard at any threshold, and wall times gate only with
+ * --gate-seconds.  Exit status is the CI contract: 0 = within
+ * tolerance, 1 = regression (or verdict mismatch, or a gated metric
+ * vanished), 2 = usage / unreadable input.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/history.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: bench_diff BASELINE.jsonl CURRENT.jsonl [options]\n"
+        "\n"
+        "  --tolerance R          relative drop allowed on gated ratio\n"
+        "                         metrics (default 0.15 = 15%%)\n"
+        "  --gate-seconds         also gate wall times\n"
+        "  --seconds-tolerance R  relative growth allowed on gated\n"
+        "                         seconds (default 0.5)\n"
+        "  --bench NAME           compare only this bench (repeatable)\n"
+        "\n"
+        "exit: 0 pass, 1 regression/verdict mismatch, 2 bad input\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace autocc;
+
+    std::vector<std::string> paths;
+    std::vector<std::string> only;
+    obs::DiffOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_diff: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--tolerance") {
+            options.relTolerance = std::atof(value("--tolerance"));
+        } else if (arg == "--gate-seconds") {
+            options.gateSeconds = true;
+        } else if (arg == "--seconds-tolerance") {
+            options.secondsTolerance =
+                std::atof(value("--seconds-tolerance"));
+        } else if (arg == "--bench") {
+            only.push_back(value("--bench"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bench_diff: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(stderr);
+        return 2;
+    }
+
+    const std::vector<obs::HistoryEntry> baseline =
+        obs::latestPerBench(obs::loadHistory(paths[0]));
+    const std::vector<obs::HistoryEntry> current =
+        obs::latestPerBench(obs::loadHistory(paths[1]));
+    if (baseline.empty()) {
+        std::fprintf(stderr, "bench_diff: no entries in baseline %s\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    if (current.empty()) {
+        std::fprintf(stderr, "bench_diff: no entries in current %s\n",
+                     paths[1].c_str());
+        return 2;
+    }
+
+    const auto wanted = [&only](const std::string &name) {
+        if (only.empty())
+            return true;
+        for (const std::string &pick : only) {
+            if (pick == name)
+                return true;
+        }
+        return false;
+    };
+
+    bool fail = false;
+    unsigned compared = 0;
+    for (const obs::HistoryEntry &base : baseline) {
+        if (!wanted(base.record.name))
+            continue;
+        const obs::HistoryEntry *now = nullptr;
+        for (const obs::HistoryEntry &entry : current) {
+            if (entry.record.name == base.record.name) {
+                now = &entry;
+                break;
+            }
+        }
+        if (!now) {
+            // A bench that stopped reporting entirely is a coverage
+            // regression, not a pass.
+            std::printf("bench %s: FAIL (missing from current run)\n",
+                        base.record.name.c_str());
+            fail = true;
+            continue;
+        }
+        ++compared;
+        const obs::DiffReport report =
+            obs::diffRecords(base.record, now->record, options);
+        std::fputs(report.render().c_str(), stdout);
+        fail = fail || !report.pass();
+    }
+    if (compared == 0 && !fail) {
+        std::fprintf(stderr, "bench_diff: nothing to compare\n");
+        return 2;
+    }
+    std::printf("bench_diff: %s\n", fail ? "FAIL" : "PASS");
+    return fail ? 1 : 0;
+}
